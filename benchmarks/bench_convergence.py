@@ -1,0 +1,44 @@
+"""Verification artifact: analytic-solution convergence in 1D/2D/3D.
+
+The paper's correctness claim is discrete ("results match the CPU
+reference"); this bench closes the loop to the continuous problem: the
+LoRAStencil engines integrate the heat equation at the FTCS scheme's
+theoretical order 2 in every dimensionality the paper supports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import format_table
+from repro.validation import convergence_study, estimated_order
+
+CASES = (
+    (1, (16, 32, 64, 128), 0.4),
+    (2, (12, 24, 48, 96), 0.2),
+    (3, (6, 12, 24), 1 / 8),
+)
+
+
+def test_convergence_orders(benchmark, write_result):
+    def run_all():
+        out = {}
+        for ndim, resolutions, r in CASES:
+            pts = convergence_study(
+                resolutions=resolutions, ndim=ndim, r=r, t_final=0.01
+            )
+            out[ndim] = (pts, estimated_order(pts))
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [["dim", "finest n", "max err at finest", "observed order"]]
+    for ndim, (pts, order) in sorted(results.items()):
+        rows.append(
+            [f"{ndim}D", str(pts[-1].n), f"{pts[-1].max_err:.3e}", f"{order:.3f}"]
+        )
+    text = format_table(rows, "heat-equation convergence through LoRAStencil")
+    text += "\n\nFTCS theoretical order: 2.0 in every dimension."
+    write_result("convergence", text)
+
+    for ndim, (_, order) in results.items():
+        assert order == pytest.approx(2.0, abs=0.15), ndim

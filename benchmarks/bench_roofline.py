@@ -1,0 +1,66 @@
+"""Extension analysis: roofline positions of every Fig. 8 method.
+
+Table III gives two points of the roofline story (CT and AI); this
+bench draws the whole picture — where each method sits relative to the
+A100's ridge, and how far below its attainable roof it runs.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.registry import BASELINE_METHODS
+from repro.experiments.footprints import cached_footprint
+from repro.experiments.report import format_table
+from repro.perf.roofline import ridge_intensity, roofline_point
+from repro.stencil.kernels import get_kernel
+
+KERNELS = ("Box-2D49P", "Heat-3D")
+
+
+def test_roofline_positions(benchmark, write_result):
+    def build():
+        rows = [
+            ["kernel", "method", "AI (F/B)", "achieved TF/s",
+             "attainable TF/s", "bound", "roof eff"]
+        ]
+        points = {}
+        for kname in KERNELS:
+            kernel = get_kernel(kname)
+            for mname, cls in BASELINE_METHODS.items():
+                method = cls(kernel)
+                fp = cached_footprint(method)
+                pt = roofline_point(
+                    fp, method.traits(), tensor_cores=method.uses_tensor_cores
+                )
+                points[(kname, mname)] = pt
+                rows.append(
+                    [
+                        kname,
+                        mname,
+                        f"{pt.arithmetic_intensity:.2f}",
+                        f"{pt.achieved_flops / 1e12:.2f}",
+                        f"{pt.attainable_flops / 1e12:.2f}",
+                        pt.bound,
+                        f"{pt.roof_efficiency * 100:.0f}%",
+                    ]
+                )
+        return rows, points
+
+    rows, points = benchmark.pedantic(build, rounds=1, iterations=1)
+    text = format_table(rows, "roofline — A100 FP64")
+    text += (
+        f"\n\nridge intensity (TCU): {ridge_intensity():.2f} FLOP/byte; "
+        f"(CUDA): {ridge_intensity(tensor_cores=False):.2f} FLOP/byte"
+    )
+    write_result("roofline", text)
+
+    # shape claims
+    for kname in KERNELS:
+        lora = points[(kname, "LoRAStencil")]
+        conv = points[(kname, "ConvStencil")]
+        # achieved throughput never exceeds the attainable roof
+        for (kn, mn), pt in points.items():
+            assert pt.achieved_flops <= pt.attainable_flops * 1.001, (kn, mn)
+        # LoRAStencil runs closer to its roof than cuDNN does on 2D
+        cudnn = points[("Box-2D49P", "cuDNN")]
+        assert lora.roof_efficiency > cudnn.roof_efficiency or kname != "Box-2D49P"
+        assert lora.arithmetic_intensity > 0 and conv.arithmetic_intensity > 0

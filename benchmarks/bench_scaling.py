@@ -1,0 +1,90 @@
+"""Extension experiment: multi-GPU domain-decomposition scaling.
+
+Strong and weak scaling of LoRAStencil across a simulated NVLink-
+connected device mesh (the deployment shape of the paper's motivating
+applications: weather models, RTM, wave propagation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import format_table
+from repro.parallel import SimulatedCluster
+from repro.stencil.kernels import get_kernel
+
+DEVICES = (1, 2, 4, 8, 16)
+
+
+def _mesh(n: int) -> tuple[int, int]:
+    best = (1, n)
+    for p in range(1, int(n**0.5) + 1):
+        if n % p == 0:
+            best = (p, n // p)
+    return best
+
+
+def test_strong_scaling(benchmark, write_result):
+    w = get_kernel("Box-2D9P").weights
+
+    def sweep():
+        return {
+            n: SimulatedCluster(w, (4096, 4096), _mesh(n)).timings()
+            for n in DEVICES
+        }
+
+    timings = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    base = timings[1]
+    rows = [["devices", "mesh", "step (ms)", "comm %", "speedup", "efficiency"]]
+    for n, t in timings.items():
+        s = t.speedup_over(base)
+        rows.append(
+            [
+                str(n),
+                "x".join(map(str, _mesh(n))),
+                f"{t.step_s * 1e3:.3f}",
+                f"{t.comm_fraction * 100:.1f}",
+                f"{s:.2f}x",
+                f"{100 * s / n:.0f}%",
+            ]
+        )
+    write_result(
+        "scaling_strong",
+        format_table(rows, "strong scaling — Box-2D9P on 4096^2"),
+    )
+    # scaling is near-linear while halo traffic is small
+    assert timings[4].speedup_over(base) > 3.0
+    assert timings[16].speedup_over(base) > 10.0
+    # efficiency decays monotonically with device count
+    effs = [timings[n].speedup_over(base) / n for n in DEVICES]
+    assert all(a >= b - 1e-9 for a, b in zip(effs, effs[1:]))
+
+
+def test_weak_scaling(benchmark, write_result):
+    """Fixed 1024^2 per device: step time should stay nearly flat."""
+    w = get_kernel("Box-2D9P").weights
+
+    def sweep():
+        out = {}
+        for n in (1, 4, 16):
+            p, q = _mesh(n)
+            out[n] = SimulatedCluster(w, (1024 * p, 1024 * q), (p, q)).timings()
+        return out
+
+    timings = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [["devices", "global grid", "step (ms)", "comm %"]]
+    for n, t in timings.items():
+        p, q = _mesh(n)
+        rows.append(
+            [
+                str(n),
+                f"{1024 * p}x{1024 * q}",
+                f"{t.step_s * 1e3:.3f}",
+                f"{t.comm_fraction * 100:.1f}",
+            ]
+        )
+    write_result(
+        "scaling_weak",
+        format_table(rows, "weak scaling — 1024^2 per device, Box-2D9P"),
+    )
+    assert timings[16].step_s == pytest.approx(timings[1].step_s, rel=0.25)

@@ -1,0 +1,46 @@
+"""Extension: LoRAStencil vs ConvStencil across problem sizes.
+
+Fig. 9 sweeps sizes for LoRAStencil's internal configurations; this
+bench sweeps the head-to-head comparison — both methods saturate with
+size and LoRAStencil's advantage is roughly size-independent once the
+GPU is full (speedup comes from per-point structure, not launch
+effects).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import format_table
+from repro.experiments.sweep import DEFAULT_SWEEP_SIZES, run_size_sweep
+
+
+def test_size_sweep(benchmark, write_result):
+    result = benchmark.pedantic(
+        run_size_sweep,
+        args=("Box-2D49P",),
+        kwargs={"sizes": DEFAULT_SWEEP_SIZES},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [["size"] + result.methods() + ["speedup"]]
+    for size, ratio in result.speedup_series("LoRAStencil", "ConvStencil"):
+        rows.append(
+            [str(size)]
+            + [f"{result.perf(m, size):.2f}" for m in result.methods()]
+            + [f"{ratio:.2f}x"]
+        )
+    write_result(
+        "size_sweep",
+        format_table(rows, "size sweep — Box-2D49P, LoRAStencil vs ConvStencil"),
+    )
+
+    sizes = result.sizes()
+    # both methods saturate with size
+    for m in result.methods():
+        perfs = [result.perf(m, s) for s in sizes]
+        assert perfs == sorted(perfs)
+    # once the GPU is full the advantage is structural (size-independent)
+    series = dict(result.speedup_series("LoRAStencil", "ConvStencil"))
+    assert series[10240] == pytest.approx(series[4096], rel=0.05)
+    assert series[10240] > 1.0

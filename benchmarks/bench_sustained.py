@@ -1,0 +1,74 @@
+"""Sustained execution: multi-step double-buffered simulated runs.
+
+Single-sweep footprints can hide steady-state effects; this bench runs
+the driver for many timesteps on one device, checks that the sustained
+per-point event rates equal the single-sweep rates (no warmup drift in
+the simulator), and reports sustained modelled GStencil/s.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.lorastencil import LoRAStencilMethod
+from repro.core.driver import SimulationDriver
+from repro.experiments.report import format_table
+from repro.stencil.kernels import get_kernel
+from repro.stencil.reference import reference_iterate
+
+KERNELS_2D = ("Heat-2D", "Box-2D9P", "Box-2D49P")
+STEPS = 8
+GRID = (48, 48)
+
+
+def test_sustained_runs(benchmark, write_result):
+    rng = np.random.default_rng(0)
+
+    def sweep():
+        rows = [["kernel", "steps", "MMA/pt/step", "loads/pt/step",
+                 "sustained GSt/s"]]
+        reports = {}
+        for name in KERNELS_2D:
+            k = get_kernel(name)
+            driver = SimulationDriver(k.weights)
+            x0 = rng.normal(size=GRID)
+            report = driver.run(x0, STEPS)
+            reports[name] = (report, x0)
+            traits = LoRAStencilMethod(k).traits()
+            rows.append(
+                [
+                    name,
+                    str(STEPS),
+                    f"{report.counters.mma_ops / report.point_steps:.4f}",
+                    f"{report.counters.shared_load_requests / report.point_steps:.4f}",
+                    f"{report.sustained_gstencil(traits):.2f}",
+                ]
+            )
+        return rows, reports
+
+    rows, reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_result("sustained_runs", format_table(rows, "sustained simulated runs"))
+
+    for name, (report, x0) in reports.items():
+        k = get_kernel(name)
+        # trajectory stays exact over many steps
+        ref = reference_iterate(x0, k.weights, STEPS)
+        assert np.allclose(report.final, ref, atol=1e-9), name
+        # steady state: per-step events equal the single-sweep events
+        single = SimulationDriver(k.weights).run(x0, 1)
+        assert report.counters.mma_ops == STEPS * single.counters.mma_ops
+        assert (
+            report.counters.shared_load_requests
+            == STEPS * single.counters.shared_load_requests
+        )
+
+
+def test_driver_wallclock(benchmark):
+    """Wall-clock of one sustained 4-step run (simulator cost)."""
+    k = get_kernel("Box-2D9P")
+    driver = SimulationDriver(k.weights)
+    rng = np.random.default_rng(1)
+    x0 = rng.normal(size=(32, 32))
+    report = benchmark(driver.run, x0, 4)
+    assert report.steps == 4

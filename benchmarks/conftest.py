@@ -1,0 +1,42 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every ``bench_*`` module regenerates one of the paper's tables/figures:
+the benchmark timing measures our simulator/driver cost, and the
+reproduced rows are written to ``benchmarks/results/<name>.txt`` (and
+echoed into the pytest-benchmark ``extra_info``) so a run of
+
+    pytest benchmarks/ --benchmark-only
+
+leaves the full set of paper artifacts on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def write_result(results_dir):
+    """Persist one reproduced artifact and echo its location."""
+
+    def _write(name: str, text: str) -> pathlib.Path:
+        suffix = "svg" if text.lstrip().startswith("<svg") else "txt"
+        path = results_dir / f"{name}.{suffix}"
+        path.write_text(text + "\n")
+        if suffix == "svg":
+            print(f"\n[{name}] written to {path}")
+        else:
+            print(f"\n[{name}] written to {path}\n{text}")
+        return path
+
+    return _write

@@ -1,0 +1,83 @@
+"""Regenerate every evaluation artifact of the paper in one run.
+
+Drives the experiment harness for Fig. 8 (state-of-the-art comparison),
+Fig. 9 (optimization breakdown), Fig. 10 (shared-memory requests) and
+Table III (CT/AI), printing each next to the paper-reported numbers.
+
+Run:  python examples/paper_figures.py         (~1 minute)
+"""
+
+from repro.experiments import (
+    PAPER,
+    format_table,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_table3,
+)
+
+
+def fig8() -> None:
+    print("=" * 72)
+    res = run_fig8()
+    print(format_table(res.table_rows(), "Fig. 8 — modelled GStencil/s"))
+    print("\nmean LoRAStencil speedups (paper in parentheses):")
+    for method, paper in PAPER["fig8_mean_speedup"].items():
+        print(f"  vs {method:12s} {res.mean_lora_speedup_over(method):6.2f}x "
+              f"({paper}x)")
+
+
+def fig9() -> None:
+    print("=" * 72)
+    res = run_fig9()
+    cfgs = res.configs()
+    rows = [["size"] + cfgs]
+    for size in res.sizes():
+        rows.append([str(size)] + [f"{res.perf(c, size):.2f}" for c in cfgs])
+    print(format_table(rows, "Fig. 9 — Box-2D9P breakdown (GStencil/s)"))
+    big = max(res.sizes())
+    print(f"\n  TCU gain {res.gain(cfgs[1], cfgs[0], big):.2f}x "
+          f"(paper {PAPER['fig9_tcu_gain']}x), "
+          f"BVS gain {res.gain(cfgs[2], cfgs[1], big):.2f}x "
+          f"(paper {PAPER['fig9_bvs_gain']}x), "
+          f"AC gain {res.gain(cfgs[3], cfgs[2], big):.3f}x "
+          f"(paper {PAPER['fig9_async_copy_gain']}x)")
+
+
+def fig10() -> None:
+    print("=" * 72)
+    res = run_fig10()
+    rows = [["kernel", "method", "loads/Mpt", "stores/Mpt", "total/Mpt"]]
+    for r in res.rows:
+        rows.append([r.kernel, r.method, f"{r.loads:.0f}", f"{r.stores:.0f}",
+                     f"{r.total:.0f}"])
+    print(format_table(rows, "Fig. 10 — shared-memory requests"))
+    print(f"\n  mean LoRA/Conv ratios: loads {res.mean_ratio('loads'):.3f} "
+          f"(paper {PAPER['fig10_load_ratio']}), "
+          f"stores {res.mean_ratio('stores'):.3f} "
+          f"(paper {PAPER['fig10_store_ratio']})")
+
+
+def table3() -> None:
+    print("=" * 72)
+    res = run_table3()
+    rows = [["kernel", "method", "CT%", "AI"]]
+    for r in res.rows:
+        p = PAPER["table3"][r.kernel][r.method]
+        rows.append([r.kernel, r.method,
+                     f"{r.ct_pct:.2f} (paper {p['ct_pct']})",
+                     f"{r.ai:.2f} (paper {p['ai']})"])
+    print(format_table(rows, "Table III — CT and AI"))
+
+
+def main() -> None:
+    fig8()
+    fig9()
+    fig10()
+    table3()
+    print("=" * 72)
+    print("done — see EXPERIMENTS.md for the paper-vs-measured discussion")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""repro — a full reproduction of *LoRAStencil: Low-Rank Adaptation of
+Stencil Computation on Tensor Cores* (SC 2024).
+
+Public API tour:
+
+>>> import numpy as np
+>>> from repro import get_kernel, LoRAStencil2D, reference_apply
+>>> kernel = get_kernel("Box-2D49P")
+>>> engine = LoRAStencil2D(kernel.weights.as_matrix())
+>>> x = np.random.default_rng(0).normal(size=(70, 70))
+>>> out = engine.apply(x)                       # functional fast path
+>>> out_sim, events = engine.apply_simulated(x)  # warp-level TCU simulation
+>>> bool(np.allclose(out, reference_apply(x, kernel.weights)))
+True
+
+Subpackages: :mod:`repro.stencil` (substrate), :mod:`repro.tcu`
+(tensor-core simulator), :mod:`repro.core` (RDG/PMA/BVS engines),
+:mod:`repro.baselines` (the Fig. 8 line-up), :mod:`repro.perf`
+(A100 cost model), :mod:`repro.analysis` (Eq. 12-16 closed forms),
+:mod:`repro.experiments` (figure/table drivers).
+"""
+
+from repro.stencil import (
+    Grid,
+    KERNELS,
+    Shape,
+    StencilPattern,
+    StencilWeights,
+    box_weights,
+    compose_weights,
+    get_kernel,
+    is_radially_symmetric,
+    list_kernels,
+    radially_symmetric_weights,
+    reference_apply,
+    reference_iterate,
+    star_weights,
+)
+from repro.core import (
+    Decomposition,
+    LoRAStencil1D,
+    LoRAStencil2D,
+    LoRAStencil3D,
+    OptimizationConfig,
+    Rank1Term,
+    decompose,
+    fuse_kernel,
+    pyramidal_decompose,
+    svd_decompose,
+)
+from repro.tcu import Device, EventCounters
+from repro.perf import A100, gstencil_per_second
+from repro.core.autotune import autotune_2d
+from repro.parallel import SimulatedCluster, SimulatedCluster3D
+from repro.precision import TCStencilFP16, precision_sweep
+from repro.codegen import generate_cuda_kernel
+from repro.validation import convergence_study, estimated_order
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # stencil substrate
+    "Shape",
+    "StencilPattern",
+    "StencilWeights",
+    "Grid",
+    "KERNELS",
+    "get_kernel",
+    "list_kernels",
+    "box_weights",
+    "star_weights",
+    "radially_symmetric_weights",
+    "compose_weights",
+    "is_radially_symmetric",
+    "reference_apply",
+    "reference_iterate",
+    # core
+    "Rank1Term",
+    "Decomposition",
+    "decompose",
+    "pyramidal_decompose",
+    "svd_decompose",
+    "LoRAStencil1D",
+    "LoRAStencil2D",
+    "LoRAStencil3D",
+    "OptimizationConfig",
+    "fuse_kernel",
+    # hardware + perf
+    "Device",
+    "EventCounters",
+    "A100",
+    "gstencil_per_second",
+    # extensions
+    "autotune_2d",
+    "SimulatedCluster",
+    "SimulatedCluster3D",
+    "TCStencilFP16",
+    "precision_sweep",
+    "generate_cuda_kernel",
+    "convergence_study",
+    "estimated_order",
+]

@@ -1,0 +1,35 @@
+"""Closed-form analytic models from the paper (Eq. 12-16, Section IV-A).
+
+These formulas are the paper's own redundancy/compute analysis; the test
+suite checks that the TCU simulator's *measured* counters agree with
+them, closing the loop between model and implementation.
+"""
+
+from repro.analysis.memory_model import (
+    convstencil_fragment_loads,
+    convstencil_loads_per_tile,
+    memory_ratio,
+    rdg_fragment_loads,
+    redundancy_eliminated,
+)
+from repro.analysis.occupancy_model import OccupancyComparison, compare_occupancy
+from repro.analysis.compute_model import (
+    convstencil_mma_count,
+    lorastencil_mma_count,
+    lorastencil_mma_per_tile,
+    mma_ratio,
+)
+
+__all__ = [
+    "rdg_fragment_loads",
+    "convstencil_fragment_loads",
+    "convstencil_loads_per_tile",
+    "memory_ratio",
+    "redundancy_eliminated",
+    "lorastencil_mma_count",
+    "lorastencil_mma_per_tile",
+    "convstencil_mma_count",
+    "mma_ratio",
+    "OccupancyComparison",
+    "compare_occupancy",
+]

@@ -1,0 +1,72 @@
+"""MMA-count models (Eq. 16 and the Section III-C analysis).
+
+LoRAStencil, radius ``h``, per 8x8 output tile:
+
+* Step 1 needs ``(K/4) * (W/8)`` MMAs and Step 2 ``W/4`` MMAs per rank-1
+  matrix term, and PMA yields ``h`` matrix terms (the ``h+1``-th term is
+  the scalar apex, computed on CUDA cores);
+* total: ``h * ((K/4)*(W/8) + W/4)`` — 36 for ``h = 3``, matching
+  Eq. 16's ``2h * ceil(h/2) * (2*ceil(h/4) + 1)`` per 64 points.
+
+ConvStencil has no fragment reuse, so its MMA count equals its fragment
+load count (Eq. 13).  The paper's headline ratio 36/26 ~ 1.38 at
+``h = 3`` quantifies the compute LoRAStencil trades for its memory
+savings.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.memory_model import (
+    convstencil_fragment_loads,
+    convstencil_loads_per_tile,
+    rdg_loads_per_tile,
+)
+
+__all__ = [
+    "lorastencil_mma_per_tile",
+    "lorastencil_mma_count",
+    "convstencil_mma_per_tile",
+    "convstencil_mma_count",
+    "mma_ratio",
+]
+
+
+def lorastencil_mma_per_tile(h: int, matrix_terms: int | None = None) -> int:
+    """MMAs per 8x8 output tile for a radius-``h`` PMA decomposition.
+
+    ``matrix_terms`` defaults to ``h`` (full-rank radially symmetric
+    weights); lower-rank kernels pass their actual term count.
+    """
+    if h < 1:
+        raise ValueError(f"radius must be >= 1, got {h}")
+    if matrix_terms is None:
+        matrix_terms = h
+    w = math.ceil((8 + 2 * h) / 8) * 8
+    step1 = rdg_loads_per_tile(h)
+    step2 = w // 4
+    return matrix_terms * (step1 + step2)
+
+
+def lorastencil_mma_count(a: int, b: int, h: int) -> int:
+    """Eq. 16: total MMAs for an ``a x b`` sweep."""
+    tiles = math.ceil(a / 8) * math.ceil(b / 8)
+    return tiles * lorastencil_mma_per_tile(h)
+
+
+def convstencil_mma_per_tile(h: int) -> int:
+    """ConvStencil MMAs per 8 x (2h+2) tile: equal to its loads (Eq. 13)."""
+    return convstencil_loads_per_tile(h)
+
+
+def convstencil_mma_count(a: int, b: int, h: int) -> int:
+    """Total ConvStencil MMAs for an ``a x b`` sweep."""
+    return convstencil_fragment_loads(a, b, h)
+
+
+def mma_ratio(h: int) -> float:
+    """LoRAStencil / ConvStencil MMAs per point (36/26 ~ 1.38 at h=3)."""
+    lora = lorastencil_mma_per_tile(h) / 64.0
+    conv = convstencil_mma_per_tile(h) / (8.0 * (2 * h + 2))
+    return lora / conv

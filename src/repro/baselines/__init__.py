@@ -1,0 +1,51 @@
+"""Baseline stencil systems (Section V's state-of-the-art comparison).
+
+Every baseline computes the *exact same stencil* as the reference
+executor — what differs between methods is performance structure: where
+the data moves, how often it moves, and which compute unit does the
+arithmetic.  Accordingly each method exposes:
+
+* ``apply(padded)`` — functionally exact output (validated against
+  :func:`repro.stencil.reference.reference_apply` in the test suite);
+* a performance footprint — either *measured* by running the method on
+  the TCU simulator (:class:`~repro.baselines.convstencil.ConvStencil2D`
+  implements the full stencil2row pipeline) or *analytic* per-point
+  event counts derived from the method's published structure;
+* :class:`~repro.baselines.base.MethodTraits` — the efficiency
+  calibration the cost model uses (see DESIGN.md Section 6).
+"""
+
+from repro.baselines.base import MethodTraits, StencilMethod
+from repro.baselines.convstencil import (
+    ConvStencil1D,
+    ConvStencil2D,
+    ConvStencil3D,
+    ConvStencilMethod,
+)
+from repro.baselines.tcstencil import TCStencilMethod
+from repro.baselines.cudnn import CuDNNMethod
+from repro.baselines.amos import AMOSMethod
+from repro.baselines.brick import BrickMethod
+from repro.baselines.drstencil import DRStencilMethod
+from repro.baselines.naive import NaiveCUDAMethod
+from repro.baselines.lorastencil import LoRAStencilMethod
+from repro.baselines.registry import BASELINE_METHODS, all_methods, get_method
+
+__all__ = [
+    "MethodTraits",
+    "StencilMethod",
+    "ConvStencil1D",
+    "ConvStencil2D",
+    "ConvStencil3D",
+    "ConvStencilMethod",
+    "TCStencilMethod",
+    "CuDNNMethod",
+    "AMOSMethod",
+    "BrickMethod",
+    "DRStencilMethod",
+    "NaiveCUDAMethod",
+    "LoRAStencilMethod",
+    "BASELINE_METHODS",
+    "all_methods",
+    "get_method",
+]

@@ -1,0 +1,65 @@
+"""AMOS-style baseline: automatic tensorization without stencil insight.
+
+AMOS (ISCA'22) maps tensor computations onto spatial accelerators via a
+generic hardware abstraction.  Applied to a stencil it finds an
+im2col-like mapping onto the TCU but — as the paper notes — "does not
+optimize the mapping from stencil to TCU, squandering a significant
+portion of computational power": every output tile re-stages its full
+neighbourhood (no fragment reuse, no residual-dimension gathering), and
+part of the expanded layout spills through global memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.analytic import analytic_counters
+from repro.baselines.base import FootprintScale, MethodTraits, StencilMethod
+from repro.stencil.reference import reference_apply
+
+__all__ = ["AMOSMethod"]
+
+
+def _round_up(x: int, to: int) -> int:
+    return ((x + to - 1) // to) * to
+
+
+class AMOSMethod(StencilMethod):
+    """Auto-mapped im2col on tensor cores, no stencil-specific reuse."""
+
+    name = "AMOS"
+    uses_tensor_cores = True
+
+    def apply(self, padded: np.ndarray) -> np.ndarray:
+        return reference_apply(padded, self.weights)
+
+    def footprint(self, grid_shape: tuple[int, ...] | None = None) -> FootprintScale:
+        grid_shape = grid_shape or self.default_measure_grid()
+        points = int(np.prod(grid_shape))
+        npts = self.kernel.points
+        k = _round_up(npts, 4)
+        # per 8x8 output tile: the data operand is a fresh K x 8 column
+        # group per output column block -> K/4 fragments per 8 outputs
+        loads_per_point = (k / 4.0) / 8.0
+        mma_per_point = loads_per_point
+        counters = analytic_counters(
+            points,
+            mma_per_point=mma_per_point,
+            shared_loads_per_point=loads_per_point,
+            # im2col staging written to shared for every tile
+            shared_stores_per_point=npts / 32.0,
+            # half the expanded layout round-trips through DRAM
+            dram_read_bytes_per_point=8.0 * (1.0 + 0.5 * npts),
+            dram_write_bytes_per_point=8.0 * (1.0 + 0.5 * npts),
+            register_bytes_per_point=8.0 * npts / 4.0,
+        )
+        return FootprintScale(counters=counters, points=points)
+
+    def traits(self) -> MethodTraits:
+        return MethodTraits(
+            tcu_efficiency=0.40,
+            dram_efficiency=0.60,
+            smem_efficiency=0.60,
+            issue_efficiency=0.40,
+            launch_overhead=1.38,
+        )

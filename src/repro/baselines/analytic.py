@@ -1,0 +1,62 @@
+"""Helpers for analytic (formula-derived) method footprints.
+
+The CUDA-core baselines (cuDNN, Brick, DRStencil, naive) and the
+FP16-fragment TCStencil have no implementation on our FP64 TCU
+simulator; their per-sweep event counts are instead derived from each
+method's published algorithmic structure.  This module centralizes the
+arithmetic so each baseline states only its *rates* (events per point).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.tcu.counters import EventCounters
+
+__all__ = ["analytic_counters", "halo_read_factor"]
+
+_FP64 = 8
+
+
+def analytic_counters(
+    points: int,
+    flops_per_point: float = 0.0,
+    mma_per_point: float = 0.0,
+    shared_loads_per_point: float = 0.0,
+    shared_stores_per_point: float = 0.0,
+    dram_read_bytes_per_point: float = 2 * _FP64,
+    dram_write_bytes_per_point: float = _FP64,
+    shuffles_per_point: float = 0.0,
+    register_bytes_per_point: float = 0.0,
+) -> EventCounters:
+    """Assemble an :class:`EventCounters` from per-point rates.
+
+    Default DRAM traffic is the compulsory minimum: read the input once
+    (8 B), write the output once (8 B) — ``dram_read`` defaults to twice
+    that to reflect the halo/no-reuse middle ground; methods override.
+    """
+    return EventCounters(
+        mma_ops=math.ceil(mma_per_point * points),
+        shared_load_requests=math.ceil(shared_loads_per_point * points),
+        shared_store_requests=math.ceil(shared_stores_per_point * points),
+        shuffle_ops=math.ceil(shuffles_per_point * points),
+        cuda_core_flops=math.ceil(flops_per_point * points),
+        global_load_bytes=math.ceil(dram_read_bytes_per_point * points),
+        global_store_bytes=math.ceil(dram_write_bytes_per_point * points),
+        register_intermediate_bytes=math.ceil(register_bytes_per_point * points),
+    )
+
+
+def halo_read_factor(block: tuple[int, ...], radius: int) -> float:
+    """How much more than once each input element is read, given a block
+    tiling with a halo of ``radius`` on every side.
+
+    A block of shape ``B`` reads ``prod(B_i + 2h)`` elements to update
+    ``prod(B_i)``; the ratio is the per-point DRAM read inflation.
+    """
+    num = 1.0
+    den = 1.0
+    for b in block:
+        num *= b + 2 * radius
+        den *= b
+    return num / den

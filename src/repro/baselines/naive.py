@@ -1,0 +1,55 @@
+"""Naive CUDA-core stencil: one thread per output, direct weighted sum.
+
+Not part of the paper's Fig. 8 line-up, but the natural floor every
+optimized method is implicitly measured against, and the substrate for
+the Fig. 9 "RDG on CUDA cores" intuition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.analytic import analytic_counters, halo_read_factor
+from repro.baselines.base import FootprintScale, MethodTraits, StencilMethod
+from repro.stencil.reference import reference_apply
+
+__all__ = ["NaiveCUDAMethod"]
+
+
+class NaiveCUDAMethod(StencilMethod):
+    """Direct per-point stencil on CUDA cores with shared-memory tiling."""
+
+    name = "Naive-CUDA"
+    uses_tensor_cores = False
+
+    def apply(self, padded: np.ndarray) -> np.ndarray:
+        return reference_apply(padded, self.weights)
+
+    def footprint(self, grid_shape: tuple[int, ...] | None = None) -> FootprintScale:
+        grid_shape = grid_shape or self.default_measure_grid()
+        points = int(np.prod(grid_shape))
+        npts = self.kernel.points
+        h = self.weights.radius
+        block = (32,) * self.weights.ndim
+        halo = halo_read_factor(block, h)
+        counters = analytic_counters(
+            points,
+            flops_per_point=2.0 * npts,
+            # every output's full neighbourhood is fetched from shared;
+            # one request serves the 32 outputs of a warp per kernel point
+            shared_loads_per_point=npts / 32.0,
+            shared_stores_per_point=halo / 32.0,
+            dram_read_bytes_per_point=8.0 * halo,
+            dram_write_bytes_per_point=8.0,
+            register_bytes_per_point=8.0 * halo,
+        )
+        return FootprintScale(counters=counters, points=points)
+
+    def traits(self) -> MethodTraits:
+        return MethodTraits(
+            cuda_efficiency=0.20,
+            dram_efficiency=0.60,
+            smem_efficiency=0.60,
+            issue_efficiency=0.30,
+            fixed_time_s=60e-12,
+        )

@@ -1,0 +1,48 @@
+"""Method registry: the Fig. 8 line-up in paper order."""
+
+from __future__ import annotations
+
+from repro.baselines.amos import AMOSMethod
+from repro.baselines.base import StencilMethod
+from repro.baselines.brick import BrickMethod
+from repro.baselines.convstencil import ConvStencilMethod
+from repro.baselines.cudnn import CuDNNMethod
+from repro.baselines.drstencil import DRStencilMethod
+from repro.baselines.lorastencil import LoRAStencilMethod
+from repro.baselines.lorastencil_best import LoRAStencilBestMethod
+from repro.baselines.naive import NaiveCUDAMethod
+from repro.baselines.tcstencil import TCStencilMethod
+from repro.stencil.kernels import BenchmarkKernel
+
+__all__ = ["BASELINE_METHODS", "all_methods", "get_method"]
+
+#: Fig. 8 methods, in the paper's plotting order.
+BASELINE_METHODS: dict[str, type[StencilMethod]] = {
+    "cuDNN": CuDNNMethod,
+    "AMOS": AMOSMethod,
+    "Brick": BrickMethod,
+    "DRStencil": DRStencilMethod,
+    "TCStencil": TCStencilMethod,
+    "ConvStencil": ConvStencilMethod,
+    "LoRAStencil": LoRAStencilMethod,
+}
+
+#: extra methods (Fig. 8's rank-1 "Best" series and the naive floor)
+EXTRA_METHODS: dict[str, type[StencilMethod]] = {
+    "Naive-CUDA": NaiveCUDAMethod,
+    "LoRAStencil-Best": LoRAStencilBestMethod,
+}
+
+
+def get_method(name: str, kernel: BenchmarkKernel) -> StencilMethod:
+    """Instantiate a method by (case-insensitive) name for a kernel."""
+    table = {**BASELINE_METHODS, **EXTRA_METHODS}
+    for key, cls in table.items():
+        if key.lower() == name.lower():
+            return cls(kernel)
+    raise KeyError(f"unknown method {name!r}; available: {sorted(table)}")
+
+
+def all_methods(kernel: BenchmarkKernel) -> list[StencilMethod]:
+    """All Fig. 8 methods bound to ``kernel``, in paper order."""
+    return [cls(kernel) for cls in BASELINE_METHODS.values()]

@@ -1,0 +1,88 @@
+"""TCStencil baseline (ICS'22): the first stencil-on-TCU system.
+
+TCStencil maps stencils to FP16 ``16x16x16`` tensor-core MMAs.  Two
+structural limits the paper highlights:
+
+* it is **FP16-only** — the fragment geometry its algorithm depends on
+  does not exist at FP64.  Following Section V-A we model its FP16
+  execution and divide the resulting speed by 4 (FP16 compute is 16x
+  faster and FP16 bytes are half, giving at best 4x over an FP64
+  equivalent), implemented as ``time_scale = 4``;
+* it suffers the same *dimension residue* as ConvStencil: gathering the
+  residual dimension costs one shifted fragment pass per kernel row.
+
+A FP16 16x16x16 MMA (8192 FLOPs at 312 TFLOP/s) occupies the tensor
+core for the same time as an FP64 8x8x4 MMA (512 FLOPs at 19.5
+TFLOP/s), so FP16 MMA counts are recorded directly in ``mma_ops``.
+FP16 traffic is 2 bytes per element.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.analytic import analytic_counters, halo_read_factor
+from repro.baselines.base import FootprintScale, MethodTraits, StencilMethod
+from repro.stencil.reference import reference_apply
+
+__all__ = ["TCStencilMethod"]
+
+
+class TCStencilMethod(StencilMethod):
+    """FP16 tensor-core stencil with dimension residue, scored at FP64/4."""
+
+    name = "TCStencil"
+    uses_tensor_cores = True
+
+    #: FP16 fragment edge
+    TILE = 16
+
+    def apply(self, padded: np.ndarray) -> np.ndarray:
+        """Functional output in FP64 (the FP16 loss is a precision
+        matter the paper's comparison already normalizes away)."""
+        return reference_apply(padded, self.weights)
+
+    def footprint(self, grid_shape: tuple[int, ...] | None = None) -> FootprintScale:
+        grid_shape = grid_shape or self.default_measure_grid()
+        points = int(np.prod(grid_shape))
+        h = self.weights.radius
+        rows = 2 * h + 1
+        tile_pts = self.TILE * self.TILE
+        # one 16x16 output tile: each of the 2h+1 kernel rows needs a
+        # shifted input fragment and one MMA for the collected dimension,
+        # plus one pass to reduce the residual dimension
+        mma_per_tile = rows + 1
+        loads_per_tile = rows + 1
+        if self.weights.ndim == 1:
+            mma_per_tile = max(1, (rows + 3) // 4)
+            loads_per_tile = mma_per_tile
+            tile_pts = 256
+        elif self.weights.ndim == 3:
+            # one 2D pass per kernel plane, plus the cross-plane residue
+            # pass: the 16x16 fragment geometry cannot gather the z
+            # dimension either, so every plane's partial result is
+            # re-gathered (TCStencil has no CUDA-core escape for 3D)
+            mma_per_tile = (2 * h + 1) * (rows + 1) ** 2
+            loads_per_tile = mma_per_tile
+        block = (self.TILE,) * min(self.weights.ndim, 2)
+        halo = halo_read_factor(block, h)
+        counters = analytic_counters(
+            points,
+            mma_per_point=mma_per_tile / tile_pts,
+            shared_loads_per_point=loads_per_tile / tile_pts,
+            shared_stores_per_point=halo / 32.0,
+            # FP16: 2 bytes per element
+            dram_read_bytes_per_point=2.0 * halo,
+            dram_write_bytes_per_point=2.0,
+            register_bytes_per_point=2.0 * halo,
+        )
+        return FootprintScale(counters=counters, points=points)
+
+    def traits(self) -> MethodTraits:
+        return MethodTraits(
+            tcu_efficiency=0.42,
+            dram_efficiency=0.70,
+            smem_efficiency=0.65,
+            issue_efficiency=0.40,
+            time_scale=4.0,
+        )

@@ -1,0 +1,424 @@
+"""Command-line interface.
+
+::
+
+    python -m repro kernels                 # Table II zoo
+    python -m repro decompose Box-2D49P     # PMA pyramid of a kernel
+    python -m repro run Box-2D49P --size 64 # simulated sweep + events
+    python -m repro fig8 [--kernels ...]    # figure/table drivers
+    python -m repro fig9 / fig10 / table3
+    python -m repro precision Heat-2D       # FP16 vs FP64 error growth
+    python -m repro scaling --devices 4     # multi-GPU scaling model
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LoRAStencil (SC'24) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("kernels", help="list the Table II benchmark kernels")
+
+    p = sub.add_parser("decompose", help="show a kernel's PMA/SVD pyramid")
+    p.add_argument("kernel")
+
+    p = sub.add_parser("run", help="simulated sweep of one kernel")
+    p.add_argument("kernel")
+    p.add_argument("--size", type=int, default=64, help="grid edge (default 64)")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("fig8", help="state-of-the-art comparison")
+    p.add_argument("--kernels", nargs="*", default=None)
+    p.add_argument("--best", action="store_true",
+                   help="include the rank-1 LoRAStencil-Best series")
+
+    sub.add_parser("fig9", help="optimization breakdown (Box-2D9P)")
+    sub.add_parser("fig10", help="shared-memory request comparison")
+    sub.add_parser("table3", help="compute throughput / arithmetic intensity")
+
+    p = sub.add_parser("precision", help="FP16 vs FP64 error growth")
+    p.add_argument("kernel")
+    p.add_argument("--steps", type=int, nargs="*", default=[1, 2, 4, 8, 16])
+
+    p = sub.add_parser("scaling", help="multi-GPU scaling model")
+    p.add_argument("--kernel", default="Box-2D9P")
+    p.add_argument("--size", type=int, default=4096)
+    p.add_argument("--devices", type=int, nargs="*", default=[1, 2, 4, 8])
+
+    p = sub.add_parser("autotune", help="search fusion/tile configurations")
+    p.add_argument("kernel")
+
+    p = sub.add_parser("convergence", help="heat-equation convergence study")
+    p.add_argument("--resolutions", type=int, nargs="*", default=[12, 24, 48])
+
+    p = sub.add_parser("codegen", help="emit the CUDA kernel for a stencil")
+    p.add_argument("kernel")
+    p.add_argument("--output", default=None, help="file to write (default: stdout)")
+    p.add_argument("--no-bvs", action="store_true")
+
+    p = sub.add_parser("trace", help="print the warp-op trace of one tile")
+    p.add_argument("kernel")
+    p.add_argument("--limit", type=int, default=80)
+
+    sub.add_parser("verify", help="quick end-to-end self-check of all engines")
+    return parser
+
+
+def _cmd_kernels() -> int:
+    from repro.experiments.report import format_table
+    from repro.stencil.kernels import KERNELS
+
+    rows = [["Kernel", "Points", "Problem Size", "Iterations", "Blocking"]]
+    for k in KERNELS.values():
+        rows.append(
+            [
+                k.name,
+                str(k.points),
+                "x".join(map(str, k.problem_size)),
+                str(k.iterations),
+                "x".join(map(str, k.blocking)),
+            ]
+        )
+    print(format_table(rows, "Table II — benchmark kernels"))
+    return 0
+
+
+def _cmd_decompose(kernel_name: str) -> int:
+    from repro.core.lowrank import decompose
+    from repro.stencil.kernels import get_kernel
+
+    k = get_kernel(kernel_name)
+    if k.weights.ndim == 1:
+        print(f"{k.name} is 1D: a single banded matrix, no decomposition "
+              "needed (Section IV-C)")
+        return 0
+    matrices = (
+        [k.weights.as_matrix()]
+        if k.weights.ndim == 2
+        else list(k.weights.planes())
+    )
+    for i, w in enumerate(matrices):
+        label = k.name if len(matrices) == 1 else f"{k.name} plane {i}"
+        if np.count_nonzero(w) <= 1:
+            print(f"{label}: single-point plane -> CUDA cores (Alg. 2)")
+            continue
+        d = decompose(w)
+        terms = ", ".join(
+            "1x1 apex" if t.is_scalar else f"{t.size}x{t.size}" for t in d.terms
+        )
+        print(f"{label}: method={d.method}, rank={d.rank}, terms=[{terms}], "
+              f"reconstruction error={d.max_error(w):.2e}")
+    return 0
+
+
+def _cmd_run(kernel_name: str, size: int, seed: int) -> int:
+    from repro.baselines.lorastencil import LoRAStencilMethod
+    from repro.stencil.kernels import get_kernel
+
+    k = get_kernel(kernel_name)
+    method = LoRAStencilMethod(k)
+    shape = (size,) * min(k.weights.ndim, 2)
+    if k.weights.ndim == 3:
+        shape = (min(size, 8), size, size)
+    if k.weights.ndim == 1:
+        shape = (size * size,)
+    out, events = method.simulated_sweep(shape, seed=seed)
+    print(f"{k.name}: simulated sweep over {shape} "
+          f"({'fused 3x, ' if method.steps_per_sweep > 1 else ''}"
+          f"engine radius {method._engine_radius()})")
+    for name, value in events.as_dict().items():
+        if value:
+            print(f"  {name:28s} {value:>12,}")
+    print(f"  arithmetic intensity          {events.arithmetic_intensity():12.2f}")
+    return 0
+
+
+def _cmd_fig8(kernels: list[str] | None, include_best: bool = False) -> int:
+    from repro.experiments import PAPER, format_table, run_fig8
+
+    res = run_fig8(kernels=kernels, include_best=include_best)
+    print(format_table(res.table_rows(), "Fig. 8 — modelled GStencil/s"))
+    if kernels is None:
+        print("\nmean LoRAStencil speedups (paper in parentheses):")
+        for method, paper in PAPER["fig8_mean_speedup"].items():
+            print(f"  vs {method:12s} "
+                  f"{res.mean_lora_speedup_over(method):6.2f}x ({paper}x)")
+    return 0
+
+
+def _cmd_fig9() -> int:
+    from repro.experiments import PAPER, format_table, run_fig9
+
+    res = run_fig9()
+    cfgs = res.configs()
+    rows = [["size"] + cfgs]
+    for size in res.sizes():
+        rows.append([str(size)] + [f"{res.perf(c, size):.2f}" for c in cfgs])
+    print(format_table(rows, "Fig. 9 — Box-2D9P breakdown (GStencil/s)"))
+    big = max(res.sizes())
+    print(f"\nTCU {res.gain(cfgs[1], cfgs[0], big):.2f}x "
+          f"(paper {PAPER['fig9_tcu_gain']}x) | "
+          f"BVS {res.gain(cfgs[2], cfgs[1], big):.2f}x "
+          f"(paper {PAPER['fig9_bvs_gain']}x) | "
+          f"AC {res.gain(cfgs[3], cfgs[2], big):.3f}x "
+          f"(paper {PAPER['fig9_async_copy_gain']}x)")
+    return 0
+
+
+def _cmd_fig10() -> int:
+    from repro.experiments import PAPER, format_table, run_fig10
+
+    res = run_fig10()
+    rows = [["kernel", "method", "loads/Mpt", "stores/Mpt", "total/Mpt"]]
+    for r in res.rows:
+        rows.append([r.kernel, r.method, f"{r.loads:.0f}", f"{r.stores:.0f}",
+                     f"{r.total:.0f}"])
+    print(format_table(rows, "Fig. 10 — shared-memory requests"))
+    print(f"\nmean LoRA/Conv: loads {res.mean_ratio('loads'):.3f} "
+          f"(paper {PAPER['fig10_load_ratio']}), "
+          f"stores {res.mean_ratio('stores'):.3f} "
+          f"(paper {PAPER['fig10_store_ratio']})")
+    return 0
+
+
+def _cmd_table3() -> int:
+    from repro.experiments import PAPER, format_table, run_table3
+
+    res = run_table3()
+    rows = [["kernel", "method", "CT%", "AI"]]
+    for r in res.rows:
+        p = PAPER["table3"][r.kernel][r.method]
+        rows.append([r.kernel, r.method,
+                     f"{r.ct_pct:.2f} ({p['ct_pct']})",
+                     f"{r.ai:.2f} ({p['ai']})"])
+    print(format_table(rows, "Table III — CT% and AI (paper in parentheses)"))
+    return 0
+
+
+def _cmd_precision(kernel_name: str, steps: list[int]) -> int:
+    from repro.experiments.report import format_table
+    from repro.precision import precision_sweep
+    from repro.stencil.kernels import get_kernel
+
+    k = get_kernel(kernel_name)
+    if k.weights.ndim != 2:
+        print(f"precision sweep supports 2D kernels, {k.name} is "
+              f"{k.weights.ndim}D", file=sys.stderr)
+        return 2
+    pts = precision_sweep(k.weights, steps=tuple(steps))
+    rows = [["steps", "max |err|", "rel L2 err"]]
+    for p in pts:
+        rows.append([str(p.step), f"{p.max_abs_err:.3e}", f"{p.rel_l2_err:.3e}"])
+    print(format_table(rows, f"{k.name}: FP16 TCStencil pipeline vs FP64"))
+    return 0
+
+
+def _cmd_scaling(kernel_name: str, size: int, devices: list[int]) -> int:
+    from repro.experiments.report import format_table
+    from repro.parallel import SimulatedCluster
+    from repro.stencil.kernels import get_kernel
+
+    k = get_kernel(kernel_name)
+    if k.weights.ndim != 2:
+        print("scaling model supports 2D kernels", file=sys.stderr)
+        return 2
+    base = None
+    rows = [["devices", "mesh", "step time", "comm %", "speedup", "efficiency"]]
+    for n in devices:
+        mesh = _best_mesh(n)
+        t = SimulatedCluster(k.weights, (size, size), mesh).timings(steps=1)
+        if base is None:
+            base = t
+        speedup = t.speedup_over(base)
+        rows.append(
+            [
+                str(n),
+                f"{mesh[0]}x{mesh[1]}",
+                f"{t.step_s * 1e3:.3f} ms",
+                f"{t.comm_fraction * 100:.1f}%",
+                f"{speedup:.2f}x",
+                f"{speedup / n * 100:.0f}%",
+            ]
+        )
+    print(format_table(rows, f"strong scaling, {k.name} on {size}x{size}"))
+    return 0
+
+
+def _cmd_autotune(kernel_name: str) -> int:
+    from repro.core.autotune import autotune_2d
+    from repro.experiments.report import format_table
+    from repro.stencil.kernels import get_kernel
+
+    k = get_kernel(kernel_name)
+    if k.weights.ndim != 2:
+        print("autotune supports 2D kernels", file=sys.stderr)
+        return 2
+    res = autotune_2d(k.weights)
+    rows = [["fusion", "tile", "GStencil/s", "MMA/pt", "loads/pt"]]
+    for c in res.candidates:
+        rows.append(
+            [
+                str(c.fusion),
+                f"{c.tile_shape[0]}x{c.tile_shape[1]}",
+                f"{c.gstencil_per_s:.2f}",
+                f"{c.mma_per_point:.4f}",
+                f"{c.loads_per_point:.4f}",
+            ]
+        )
+    print(format_table(rows, f"autotune — {k.name} (best first)"))
+    print(f"\nbest: fusion={res.best.fusion}, tile="
+          f"{res.best.tile_shape[0]}x{res.best.tile_shape[1]}")
+    return 0
+
+
+def _cmd_convergence(resolutions: list[int]) -> int:
+    from repro.experiments.report import format_table
+    from repro.validation import convergence_study, estimated_order
+
+    pts = convergence_study(resolutions=tuple(resolutions))
+    rows = [["n", "dx", "steps", "max err", "L2 err"]]
+    for p in pts:
+        rows.append(
+            [str(p.n), f"{p.dx:.4f}", str(p.steps), f"{p.max_err:.3e}",
+             f"{p.l2_err:.3e}"]
+        )
+    print(format_table(rows, "heat-equation convergence (LoRAStencil stack)"))
+    print(f"\nobserved order: {estimated_order(pts):.3f} (theory: 2.0)")
+    return 0
+
+
+def _cmd_codegen(kernel_name: str, output: str | None, no_bvs: bool) -> int:
+    from repro.codegen import (
+        generate_cuda_kernel,
+        generate_cuda_kernel_1d,
+        generate_cuda_kernel_3d,
+    )
+    from repro.core.config import OptimizationConfig
+    from repro.stencil.kernels import get_kernel
+
+    k = get_kernel(kernel_name)
+    config = OptimizationConfig(use_bvs=not no_bvs)
+    if k.weights.ndim == 1:
+        text = generate_cuda_kernel_1d(k.weights).source
+    elif k.weights.ndim == 2:
+        text = generate_cuda_kernel(k.weights, config=config).source
+    else:
+        text = generate_cuda_kernel_3d(k.weights, config=config).full_source
+    if output:
+        import pathlib
+
+        pathlib.Path(output).write_text(text)
+        print(f"wrote {len(text.splitlines())} lines to {output}")
+    else:
+        try:
+            print(text)
+        except BrokenPipeError:  # e.g. piped into head
+            pass
+    return 0
+
+
+def _cmd_trace(kernel_name: str, limit: int) -> int:
+    from repro.core.engine2d import LoRAStencil2D
+    from repro.stencil.kernels import get_kernel
+    from repro.tcu import Device, trace
+
+    k = get_kernel(kernel_name)
+    if k.weights.ndim != 2:
+        print("trace supports 2D kernels", file=sys.stderr)
+        return 2
+    device = Device()
+    recorder = trace.install(device.counters)
+    eng = LoRAStencil2D(k.weights.as_matrix())
+    h = k.weights.radius
+    x = np.zeros((8 + 2 * h, 8 + 2 * h))
+    eng.apply_simulated(x, device=device)
+    trace.uninstall(device.counters)
+    print(f"{k.name}: one 8x8 output tile, {len(recorder.events)} warp ops")
+    print(recorder.render(limit=limit))
+    return 0
+
+
+def _cmd_verify() -> int:
+    """Run a fast correctness pass of every engine on every zoo kernel."""
+    from repro.baselines.registry import all_methods
+    from repro.stencil.kernels import KERNELS
+    from repro.stencil.reference import reference_apply
+
+    rng = np.random.default_rng(0)
+    failures = 0
+    for kernel in KERNELS.values():
+        h = kernel.weights.radius
+        shape = {
+            1: (96 + 2 * h,),
+            2: (16 + 2 * h, 20 + 2 * h),
+            3: (4 + 2 * h, 10 + 2 * h, 12 + 2 * h),
+        }[kernel.weights.ndim]
+        x = rng.normal(size=shape)
+        ref = reference_apply(x, kernel.weights)
+        for method in all_methods(kernel):
+            err = float(np.abs(method.apply(x) - ref).max())
+            ok = err < 1e-9
+            failures += not ok
+            print(f"  {kernel.name:<12} {method.name:<12} "
+                  f"max|err|={err:.2e}  {'ok' if ok else 'FAIL'}")
+    print(f"\n{'all engines exact' if not failures else f'{failures} FAILURES'}")
+    return 1 if failures else 0
+
+
+def _best_mesh(n: int) -> tuple[int, int]:
+    """Most-square factorization of ``n``."""
+    best = (1, n)
+    for p in range(1, int(n**0.5) + 1):
+        if n % p == 0:
+            best = (p, n // p)
+    return best
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse ``argv`` (default ``sys.argv``) and dispatch one command."""
+    args = build_parser().parse_args(argv)
+    if args.command == "kernels":
+        return _cmd_kernels()
+    if args.command == "decompose":
+        return _cmd_decompose(args.kernel)
+    if args.command == "run":
+        return _cmd_run(args.kernel, args.size, args.seed)
+    if args.command == "fig8":
+        return _cmd_fig8(args.kernels, args.best)
+    if args.command == "fig9":
+        return _cmd_fig9()
+    if args.command == "fig10":
+        return _cmd_fig10()
+    if args.command == "table3":
+        return _cmd_table3()
+    if args.command == "precision":
+        return _cmd_precision(args.kernel, args.steps)
+    if args.command == "scaling":
+        return _cmd_scaling(args.kernel, args.size, args.devices)
+    if args.command == "autotune":
+        return _cmd_autotune(args.kernel)
+    if args.command == "convergence":
+        return _cmd_convergence(args.resolutions)
+    if args.command == "codegen":
+        return _cmd_codegen(args.kernel, args.output, args.no_bvs)
+    if args.command == "trace":
+        return _cmd_trace(args.kernel, args.limit)
+    if args.command == "verify":
+        return _cmd_verify()
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,29 @@
+"""CUDA source generation.
+
+The simulator proves the algorithm; this package emits the production
+artifact: CUDA C++ for a given kernel, with the banded weight fragments
+baked in as constants, ``wmma``/``mma.sync`` tensor-core calls for the
+two RDG gathers, Butterfly Vector Swapping as pure register aliasing
+(or the ``__shfl_sync`` fallback when BVS is disabled), and ``cp.async``
+global->shared copies.
+
+The generated source cannot be compiled in this repository's offline
+environment, but its structure is fully testable: instruction counts,
+weight constants, and the presence/absence of shuffle intrinsics mirror
+exactly what the simulator counts.
+"""
+
+from repro.codegen.cuda import CudaKernelSource, generate_cuda_kernel
+from repro.codegen.cuda_nd import (
+    Cuda3DSource,
+    generate_cuda_kernel_1d,
+    generate_cuda_kernel_3d,
+)
+
+__all__ = [
+    "CudaKernelSource",
+    "generate_cuda_kernel",
+    "Cuda3DSource",
+    "generate_cuda_kernel_1d",
+    "generate_cuda_kernel_3d",
+]

@@ -1,0 +1,45 @@
+"""Optimization toggles (the levels of the Fig. 9 breakdown)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["OptimizationConfig"]
+
+
+@dataclass(frozen=True)
+class OptimizationConfig:
+    """Which LoRAStencil optimizations are active.
+
+    The four Fig. 9 configurations are::
+
+        RDG (CUDA cores)   OptimizationConfig(use_tensor_cores=False)
+        + TensorCore       OptimizationConfig(use_bvs=False, use_async_copy=False)
+        + BVS              OptimizationConfig(use_async_copy=False)
+        + AsyncCopy        OptimizationConfig()            # everything on
+    """
+
+    use_tensor_cores: bool = True
+    use_bvs: bool = True
+    use_async_copy: bool = True
+
+    def label(self) -> str:
+        """Short display name used by Fig. 9 and the footprint cache."""
+        if not self.use_tensor_cores:
+            return "RDG(CUDA)"
+        parts = ["RDG+TCU"]
+        if self.use_bvs:
+            parts.append("BVS")
+        if self.use_async_copy:
+            parts.append("AC")
+        return "+".join(parts)
+
+    @classmethod
+    def breakdown_levels(cls) -> list["OptimizationConfig"]:
+        """The cumulative optimization ladder of Fig. 9."""
+        return [
+            cls(use_tensor_cores=False, use_bvs=False, use_async_copy=False),
+            cls(use_tensor_cores=True, use_bvs=False, use_async_copy=False),
+            cls(use_tensor_cores=True, use_bvs=True, use_async_copy=False),
+            cls(use_tensor_cores=True, use_bvs=True, use_async_copy=True),
+        ]

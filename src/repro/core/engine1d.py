@@ -1,0 +1,164 @@
+"""LoRAStencil 1D executor.
+
+1D stencils have no residual dimension (Section IV-C): a single matrix
+multiplication gathers all dependencies, so there is no MCM, no BVS, and
+no pyramid — just the banded weight matrix ``U`` applied to a window
+matrix whose columns are 8-strided segments of the input.
+
+Tile layout: one warp updates 64 consecutive outputs arranged as an 8x8
+accumulator with ``out_tile[p, q] = out[base + 8q + p]``.  The window
+``X[r, q] = x[base + 8q + r]`` is read from the block's flat shared
+buffer with strided fragment loads, and ``out_tile = U @ X`` accumulates
+over the ``K/4`` k-blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import OptimizationConfig
+from repro.core.uvbuild import build_u_matrix
+from repro.stencil.weights import StencilWeights
+from repro.tcu.counters import EventCounters
+from repro.tcu.device import Device
+from repro.tcu.fragment import Fragment
+from repro.tcu.layouts import FragmentKind
+
+__all__ = ["LoRAStencil1D", "DEFAULT_BLOCK_1D"]
+
+#: Paper Table II blocking for the 1D kernels (outputs per block).
+DEFAULT_BLOCK_1D = 1024
+
+_TILE = 64  # outputs per warp-tile (8x8 accumulator)
+
+
+def _round_up(x: int, to: int) -> int:
+    return ((x + to - 1) // to) * to
+
+
+class LoRAStencil1D:
+    """Tensorized executor for one 1D stencil kernel."""
+
+    def __init__(
+        self,
+        weights: StencilWeights | np.ndarray,
+        config: OptimizationConfig | None = None,
+    ) -> None:
+        if isinstance(weights, StencilWeights):
+            if weights.ndim != 1:
+                raise ValueError(
+                    f"LoRAStencil1D requires 1D weights, got {weights.ndim}D"
+                )
+            w = weights.as_vector()
+        else:
+            w = np.asarray(weights, dtype=np.float64)
+            if w.ndim != 1 or w.shape[0] % 2 != 1:
+                raise ValueError(
+                    f"weight vector must have odd length, got shape {w.shape}"
+                )
+        self.weight_vector = w
+        self.radius = (w.shape[0] - 1) // 2
+        self.config = config or OptimizationConfig()
+
+        h = self.radius
+        #: window rows (k-dimension), 4-aligned
+        self.k_rows = _round_up(8 + 2 * h, 4)
+        u_mat = build_u_matrix(w, 8, self.k_rows, offset=0)
+        self._u_mat = u_mat
+        self._u_frags = [
+            Fragment.from_matrix(FragmentKind.A, u_mat[:, 4 * k : 4 * k + 4])
+            for k in range(self.k_rows // 4)
+        ]
+
+    @property
+    def mma_per_tile(self) -> int:
+        """MMA instructions per 64 outputs."""
+        return self.k_rows // 4
+
+    # ------------------------------------------------------------------
+    # functional path
+    # ------------------------------------------------------------------
+    def apply(self, padded: np.ndarray) -> np.ndarray:
+        """Apply the stencil to a padded 1D array; returns the interior."""
+        padded = np.asarray(padded, dtype=np.float64)
+        if padded.ndim != 1:
+            raise ValueError(f"expected 1D input, got {padded.ndim}D")
+        n = padded.shape[0] - 2 * self.radius
+        if n <= 0:
+            raise ValueError(
+                f"padded input of {padded.shape[0]} too small for radius "
+                f"{self.radius}"
+            )
+        out = np.zeros(n, dtype=np.float64)
+        for t, wt in enumerate(self.weight_vector):
+            out += wt * padded[t : t + n]
+        return out
+
+    # ------------------------------------------------------------------
+    # simulated path
+    # ------------------------------------------------------------------
+    def apply_simulated(
+        self,
+        padded: np.ndarray,
+        device: Device | None = None,
+        block: int = DEFAULT_BLOCK_1D,
+    ) -> tuple[np.ndarray, EventCounters]:
+        """Warp-level execution; returns ``(interior, counters)``."""
+        padded = np.asarray(padded, dtype=np.float64)
+        if padded.ndim != 1:
+            raise ValueError(f"expected 1D input, got {padded.ndim}D")
+        n = padded.shape[0] - 2 * self.radius
+        if n <= 0:
+            raise ValueError(
+                f"padded input of {padded.shape[0]} too small for radius "
+                f"{self.radius}"
+            )
+        device = device or Device()
+        start = device.snapshot()
+        warp = device.warp()
+        gmem_in = device.global_array(padded.reshape(1, -1), name="input")
+        gmem_out = device.global_array(np.zeros((1, n)), name="output")
+
+        block = max(_TILE, _round_up(min(block, n), _TILE))
+        # last tile of the block reads up to block - 64 + 8*7 + k_rows
+        buf_len = block + self.k_rows - 8 + _TILE - 8
+
+        for b0 in range(0, n, block):
+            smem = device.shared((1, buf_len), name="block")
+            avail = min(buf_len, padded.shape[0] - b0)
+            gmem_in.copy_to_shared(
+                (slice(0, 1), slice(b0, b0 + avail)),
+                smem,
+                0,
+                0,
+                use_async=self.config.use_async_copy,
+            )
+            lim = min(block, n - b0)
+            for t0 in range(0, lim, _TILE):
+                tile = self._compute_tile(warp, smem, t0)
+                valid = min(_TILE, n - (b0 + t0))
+                flat = tile.T.reshape(-1)[:valid]  # out[base + 8q + p]
+                gmem_out.write(
+                    (slice(0, 1), slice(b0 + t0, b0 + t0 + valid)),
+                    flat.reshape(1, -1),
+                )
+        return gmem_out.data.reshape(-1), device.events_since(start)
+
+    def _compute_tile(self, warp, smem, local_base: int) -> np.ndarray:
+        """One 8x8 accumulator covering 64 consecutive outputs."""
+        if not self.config.use_tensor_cores:
+            window = np.empty((self.k_rows, 8), dtype=np.float64)
+            for kb in range(self.k_rows // 4):
+                window[4 * kb : 4 * kb + 4, :] = smem.read_fragment_strided(
+                    local_base + 4 * kb, (4, 8), col_stride=8
+                )
+            warp.counters.cuda_core_flops += 2 * 8 * self.k_rows * 8
+            return self._u_mat @ window
+        acc = None
+        for kb in range(self.k_rows // 4):
+            x_tile = smem.read_fragment_strided(
+                local_base + 4 * kb, (4, 8), col_stride=8
+            )
+            x_frag = Fragment.from_matrix(FragmentKind.B, x_tile)
+            acc = warp.mma_sync(self._u_frags[kb], x_frag, acc)
+        return acc.to_matrix()

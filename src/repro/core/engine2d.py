@@ -1,0 +1,194 @@
+"""LoRAStencil 2D executor.
+
+Two execution paths share one decomposition:
+
+* :meth:`LoRAStencil2D.apply` — the *functional* path: each rank-1 term
+  is a separable filter (vertical pass with ``u``, horizontal with
+  ``v``), vectorized with NumPy over the whole grid.  Used for
+  correctness oracles and large functional runs.
+* :meth:`LoRAStencil2D.apply_simulated` — the *faithful* path: the grid
+  is swept block by block exactly like the CUDA implementation — global
+  -> shared copies (``cp.async`` when enabled), 8x8 output tiles computed
+  by :class:`~repro.core.rdg.RDGTileCompute` on the TCU simulator, and
+  accumulator stores back to DRAM — producing both the numeric result and
+  the hardware event counts the figures consume.
+
+Both paths use the repository-wide convention: input is padded by the
+stencil radius, output is the interior.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import OptimizationConfig
+from repro.core.lowrank import Decomposition, decompose
+from repro.core.rdg import OUT_TILE, RDGTileCompute
+from repro.stencil.weights import StencilWeights
+from repro.tcu.counters import EventCounters
+from repro.tcu.device import Device
+
+__all__ = ["LoRAStencil2D", "DEFAULT_BLOCK_2D"]
+
+#: Paper Table II blocking for the 2D kernels (rows x cols of outputs).
+DEFAULT_BLOCK_2D = (32, 64)
+
+
+class LoRAStencil2D:
+    """Low-rank tensorized executor for one 2D stencil kernel."""
+
+    def __init__(
+        self,
+        weights: StencilWeights | np.ndarray,
+        config: OptimizationConfig | None = None,
+        decomposition: Decomposition | None = None,
+        tile_shape: tuple[int, int] = (OUT_TILE, OUT_TILE),
+    ) -> None:
+        if isinstance(weights, StencilWeights):
+            if weights.ndim != 2:
+                raise ValueError(
+                    f"LoRAStencil2D requires 2D weights, got {weights.ndim}D"
+                )
+            w = weights.as_matrix()
+        else:
+            w = np.asarray(weights, dtype=np.float64)
+            if w.ndim != 2 or w.shape[0] != w.shape[1] or w.shape[0] % 2 != 1:
+                raise ValueError(
+                    f"weight matrix must be square with odd side, got {w.shape}"
+                )
+        self.weight_matrix = w
+        self.radius = (w.shape[0] - 1) // 2
+        self.config = config or OptimizationConfig()
+        self.decomposition = decomposition or decompose(w)
+        self.tile = RDGTileCompute(
+            self.decomposition,
+            self.radius,
+            self.config,
+            out_rows=tile_shape[0],
+            out_cols=tile_shape[1],
+        )
+
+    # ------------------------------------------------------------------
+    # functional path
+    # ------------------------------------------------------------------
+    def apply(self, padded: np.ndarray) -> np.ndarray:
+        """Apply the stencil to a padded array; returns the interior.
+
+        Computes ``sum_k U_k X V_k`` as a sum of separable filters —
+        mathematically identical to the simulated MCM.
+        """
+        padded = np.asarray(padded, dtype=np.float64)
+        if padded.ndim != 2:
+            raise ValueError(f"expected 2D input, got {padded.ndim}D")
+        h = self.radius
+        rows, cols = padded.shape[0] - 2 * h, padded.shape[1] - 2 * h
+        if rows <= 0 or cols <= 0:
+            raise ValueError(
+                f"padded input {padded.shape} too small for radius {h}"
+            )
+        out = np.zeros((rows, cols), dtype=np.float64)
+        for term in self.decomposition.matrix_terms:
+            pd, s = term.pad, term.size
+            tmp = np.zeros((rows, padded.shape[1]), dtype=np.float64)
+            for t in range(s):
+                tmp += term.u[t] * padded[pd + t : pd + t + rows, :]
+            for r in range(s):
+                out += term.v[r] * tmp[:, pd + r : pd + r + cols]
+        for term in self.decomposition.scalar_terms:
+            out += term.scalar_weight * padded[h : h + rows, h : h + cols]
+        return out
+
+    # ------------------------------------------------------------------
+    # simulated path
+    # ------------------------------------------------------------------
+    def apply_simulated(
+        self,
+        padded: np.ndarray,
+        device: Device | None = None,
+        block: tuple[int, int] | None = None,
+    ) -> tuple[np.ndarray, EventCounters]:
+        """Warp-level execution on the TCU simulator.
+
+        Returns ``(interior, counters)`` where ``counters`` holds the
+        events of this sweep only.
+        """
+        padded = np.asarray(padded, dtype=np.float64)
+        if padded.ndim != 2:
+            raise ValueError(f"expected 2D input, got {padded.ndim}D")
+        h = self.radius
+        rows, cols = padded.shape[0] - 2 * h, padded.shape[1] - 2 * h
+        if rows <= 0 or cols <= 0:
+            raise ValueError(
+                f"padded input {padded.shape} too small for radius {h}"
+            )
+
+        device = device or Device()
+        start = device.snapshot()
+        warp = device.warp()
+        gmem_in = device.global_array(padded, name="input")
+        gmem_out = device.global_array(
+            np.zeros((rows, cols), dtype=np.float64), name="output"
+        )
+
+        if block is None:
+            block = DEFAULT_BLOCK_2D
+        t_r, t_c = self.tile.out_rows, self.tile.out_cols
+        block_r = min(_round_up(rows, t_r), _round_up(max(block[0], t_r), t_r))
+        block_c = min(_round_up(cols, t_c), _round_up(max(block[1], t_c), t_c))
+
+        # shared tile large enough for every input window of the block
+        smem_rows = block_r + self.tile.k_rows - t_r
+        smem_cols = block_c + self.tile.w_cols - t_c
+
+        for br in range(0, rows, block_r):
+            for bc in range(0, cols, block_c):
+                smem = device.shared((smem_rows, smem_cols), name="block")
+                self._fill_shared(gmem_in, smem, br, bc, padded.shape)
+                r_lim = min(block_r, rows - br)
+                c_lim = min(block_c, cols - bc)
+                for tr in range(0, r_lim, t_r):
+                    for tc in range(0, c_lim, t_c):
+                        out_tile = self.tile.compute_tile(warp, smem, tr, tc)
+                        vr = min(t_r, rows - (br + tr))
+                        vc = min(t_c, cols - (bc + tc))
+                        gmem_out.write(
+                            (
+                                slice(br + tr, br + tr + vr),
+                                slice(bc + tc, bc + tc + vc),
+                            ),
+                            out_tile[:vr, :vc],
+                        )
+        return gmem_out.data, device.events_since(start)
+
+    def _fill_shared(self, gmem_in, smem, br: int, bc: int, padded_shape) -> None:
+        """Copy the block's input window global -> shared (clamped at the
+        grid edge; shared memory is zero-initialized so out-of-range
+        reads contribute through zero weights only)."""
+        avail_r = min(smem.shape[0], padded_shape[0] - br)
+        avail_c = min(smem.shape[1], padded_shape[1] - bc)
+        if avail_r <= 0 or avail_c <= 0:
+            return
+        gmem_in.copy_to_shared(
+            (slice(br, br + avail_r), slice(bc, bc + avail_c)),
+            smem,
+            0,
+            0,
+            use_async=self.config.use_async_copy,
+        )
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return self.decomposition.rank
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LoRAStencil2D(radius={self.radius}, rank={self.rank}, "
+            f"method={self.decomposition.method!r}, config={self.config.label()})"
+        )
+
+
+def _round_up(x: int, to: int) -> int:
+    return ((x + to - 1) // to) * to

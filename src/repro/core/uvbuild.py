@@ -1,0 +1,98 @@
+"""Banded weight-matrix construction (Eq. 5/6) and butterfly orders.
+
+A rank-1 term ``(u, v)`` of the kernel turns into
+
+* ``U`` — the ``out_rows x in_rows`` *vertical gather* matrix with
+  ``U[p, p + offset + t] = u[t]``: each row is the weight vector shifted
+  one position right of the previous row (Fig. 4);
+* ``V`` — the ``in_cols x out_cols`` *horizontal gather* matrix with
+  ``V[q + offset + t, q] = v[t]``.
+
+``offset`` is the term's pyramid pad: the inner (smaller) terms of PMA
+start their band further from the window edge, so every term of a
+decomposition reads the *same* input tile.
+
+:func:`butterfly_row_order` gives the row permutation Butterfly Vector
+Swapping applies to ``V`` (Eq. 17): within every 8-row block, the even
+rows first (they pair with the accumulator's R0 registers) then the odd
+rows (R1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tcu.warp import BVS_EVEN_ODD_ORDER
+
+__all__ = ["build_u_matrix", "build_v_matrix", "butterfly_row_order"]
+
+
+def build_u_matrix(
+    u: np.ndarray,
+    out_rows: int,
+    in_rows: int,
+    offset: int = 0,
+) -> np.ndarray:
+    """The banded vertical-gather matrix ``U`` (Eq. 5).
+
+    Row ``p`` of ``U @ X`` accumulates ``sum_t u[t] * X[p + offset + t]``,
+    i.e. the vertical dependencies of output row ``p``.
+    """
+    u = np.asarray(u, dtype=np.float64)
+    if u.ndim != 1:
+        raise ValueError(f"u must be a vector, got shape {u.shape}")
+    size = u.shape[0]
+    if out_rows - 1 + offset + size > in_rows:
+        raise ValueError(
+            f"band does not fit: out_rows={out_rows}, offset={offset}, "
+            f"size={size} requires in_rows >= {out_rows - 1 + offset + size}, "
+            f"got {in_rows}"
+        )
+    mat = np.zeros((out_rows, in_rows), dtype=np.float64)
+    for p in range(out_rows):
+        mat[p, p + offset : p + offset + size] = u
+    return mat
+
+
+def build_v_matrix(
+    v: np.ndarray,
+    in_cols: int,
+    out_cols: int,
+    offset: int = 0,
+) -> np.ndarray:
+    """The banded horizontal-gather matrix ``V`` (Eq. 6).
+
+    Column ``q`` of ``T @ V`` accumulates ``sum_t v[t] * T[:, q + offset + t]``.
+    """
+    v = np.asarray(v, dtype=np.float64)
+    if v.ndim != 1:
+        raise ValueError(f"v must be a vector, got shape {v.shape}")
+    size = v.shape[0]
+    if out_cols - 1 + offset + size > in_cols:
+        raise ValueError(
+            f"band does not fit: out_cols={out_cols}, offset={offset}, "
+            f"size={size} requires in_cols >= {out_cols - 1 + offset + size}, "
+            f"got {in_cols}"
+        )
+    mat = np.zeros((in_cols, out_cols), dtype=np.float64)
+    for q in range(out_cols):
+        mat[q + offset : q + offset + size, q] = v
+    return mat
+
+
+def butterfly_row_order(rows: int) -> np.ndarray:
+    """Butterfly permutation of ``rows`` indices (multiple of 8).
+
+    Within each 8-row block the order is ``0,2,4,6,1,3,5,7`` — the even
+    rows feed the fragment built from R0 registers, the odd rows the one
+    built from R1.  Permuting the rows of ``V`` in this order while
+    reading the accumulator's register file directly leaves the product
+    ``T @ V`` unchanged (Eq. 17).
+    """
+    if rows % 8 != 0:
+        raise ValueError(f"rows must be a multiple of 8, got {rows}")
+    order = np.empty(rows, dtype=np.int64)
+    for blk in range(rows // 8):
+        base = 8 * blk
+        order[base : base + 8] = base + np.asarray(BVS_EVEN_ODD_ORDER)
+    return order

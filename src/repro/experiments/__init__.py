@@ -1,0 +1,33 @@
+"""Experiment harness: one driver per paper figure/table.
+
+Each driver assembles method footprints (measured on the TCU simulator
+or analytic), runs them through the cost model, and returns structured
+rows mirroring the paper's plots.  ``benchmarks/`` wraps these drivers
+in pytest-benchmark targets; EXPERIMENTS.md records paper-vs-measured.
+"""
+
+from repro.experiments.paper import PAPER
+from repro.experiments.fig8 import Fig8Result, run_fig8
+from repro.experiments.fig9 import Fig9Result, run_fig9
+from repro.experiments.fig10 import Fig10Result, run_fig10
+from repro.experiments.table3 import Table3Result, run_table3
+from repro.experiments.report import format_table
+from repro.experiments.sweep import SweepResult, run_size_sweep
+from repro.experiments.io import load_result, save_result
+
+__all__ = [
+    "PAPER",
+    "Fig8Result",
+    "run_fig8",
+    "Fig9Result",
+    "run_fig9",
+    "Fig10Result",
+    "run_fig10",
+    "Table3Result",
+    "run_table3",
+    "format_table",
+    "SweepResult",
+    "run_size_sweep",
+    "save_result",
+    "load_result",
+]

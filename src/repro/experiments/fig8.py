@@ -1,0 +1,110 @@
+"""Fig. 8: GStencil/s and speedup across 8 kernels x 7 methods.
+
+The speedup of each bar is computed the way the paper's caption states:
+relative to the lowest-performing method on that kernel.  The driver
+also aggregates the geometric means the paper's running text reports
+(20.11x over cuDNN ... 1.37x over ConvStencil).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.registry import BASELINE_METHODS, EXTRA_METHODS
+from repro.experiments.footprints import cached_footprint
+from repro.perf.costmodel import gstencil_per_second
+from repro.perf.machine import A100, MachineSpec
+from repro.stencil.kernels import KERNELS, get_kernel
+
+__all__ = ["Fig8Row", "Fig8Result", "run_fig8"]
+
+
+@dataclass(frozen=True)
+class Fig8Row:
+    kernel: str
+    method: str
+    gstencil_per_s: float
+    speedup: float  # vs the slowest method on this kernel
+
+
+@dataclass
+class Fig8Result:
+    rows: list[Fig8Row] = field(default_factory=list)
+
+    def by_kernel(self, kernel: str) -> list[Fig8Row]:
+        """All rows (one per method) for one kernel."""
+        return [r for r in self.rows if r.kernel == kernel]
+
+    def perf(self, kernel: str, method: str) -> float:
+        """Modelled GStencil/s of ``method`` on ``kernel``."""
+        for r in self.rows:
+            if r.kernel == kernel and r.method == method:
+                return r.gstencil_per_s
+        raise KeyError(f"no row for ({kernel}, {method})")
+
+    def lora_speedup_over(self, method: str, kernel: str) -> float:
+        """LoRAStencil / ``method`` performance ratio on one kernel."""
+        return self.perf(kernel, "LoRAStencil") / self.perf(kernel, method)
+
+    def mean_lora_speedup_over(self, method: str) -> float:
+        """Arithmetic mean across kernels (the paper's "average")."""
+        kernels = sorted({r.kernel for r in self.rows})
+        vals = [self.lora_speedup_over(method, k) for k in kernels]
+        return float(np.mean(vals))
+
+    def minmax_lora_speedup_over(self, method: str) -> tuple[float, float]:
+        """(min, max) of the per-kernel speedups over ``method``."""
+        kernels = sorted({r.kernel for r in self.rows})
+        vals = [self.lora_speedup_over(method, k) for k in kernels]
+        return float(min(vals)), float(max(vals))
+
+    def table_rows(self) -> list[list[str]]:
+        """Kernel-by-method GStencil/s rows for table rendering."""
+        kernels = list(dict.fromkeys(r.kernel for r in self.rows))
+        methods = list(dict.fromkeys(r.method for r in self.rows))
+        out = [["Kernel"] + methods]
+        for k in kernels:
+            row = [k]
+            for m in methods:
+                row.append(f"{self.perf(k, m):.2f}")
+            out.append(row)
+        return out
+
+
+def run_fig8(
+    kernels: list[str] | None = None,
+    methods: list[str] | None = None,
+    machine: MachineSpec = A100,
+    include_best: bool = False,
+) -> Fig8Result:
+    """Model GStencil/s for every (kernel, method) pair.
+
+    ``include_best`` adds Fig. 8's "LoRAStencil-Best" series — the
+    rank-1 weight-matrix upper bound of the caption.
+    """
+    kernel_names = kernels or list(KERNELS)
+    method_names = methods or list(BASELINE_METHODS)
+    if include_best and "LoRAStencil-Best" not in method_names:
+        method_names = list(method_names) + ["LoRAStencil-Best"]
+    table = {**BASELINE_METHODS, **EXTRA_METHODS}
+    result = Fig8Result()
+    for kname in kernel_names:
+        kernel = get_kernel(kname)
+        perfs: dict[str, float] = {}
+        for mname in method_names:
+            method = table[mname](kernel)
+            fp = cached_footprint(method)
+            perfs[mname] = gstencil_per_second(fp, method.traits(), machine)
+        floor = min(perfs.values())
+        for mname in method_names:
+            result.rows.append(
+                Fig8Row(
+                    kernel=kname,
+                    method=mname,
+                    gstencil_per_s=perfs[mname],
+                    speedup=perfs[mname] / floor,
+                )
+            )
+    return result

@@ -1,0 +1,35 @@
+"""Footprint measurement with in-process caching.
+
+Simulated footprints (LoRAStencil, ConvStencil) take seconds to measure;
+every figure driver shares one cache keyed by (method, kernel, grid).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import FootprintScale, StencilMethod
+
+__all__ = ["cached_footprint", "clear_cache"]
+
+_CACHE: dict[tuple[str, str, tuple[int, ...] | None], FootprintScale] = {}
+
+
+def cached_footprint(
+    method: StencilMethod,
+    grid_shape: tuple[int, ...] | None = None,
+) -> FootprintScale:
+    """Measure (or fetch) the method's footprint for ``grid_shape``."""
+    variant = getattr(method, "config", None)
+    key = (
+        type(method).__name__,
+        variant.label() if variant is not None else "",
+        method.kernel.name,
+        grid_shape,
+    )
+    if key not in _CACHE:
+        _CACHE[key] = method.footprint(grid_shape)
+    return _CACHE[key]
+
+
+def clear_cache() -> None:
+    """Drop every cached footprint (used by tests)."""
+    _CACHE.clear()

@@ -1,0 +1,62 @@
+"""JSON (de)serialization of experiment results.
+
+Lets benchmark runs archive their structured results (not just the
+rendered tables) so downstream analysis or plotting can reload them:
+
+>>> save_result(fig8_result, "fig8.json")
+>>> fig8_again = load_result("fig8.json")
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Any
+
+from repro.experiments.fig8 import Fig8Result, Fig8Row
+from repro.experiments.fig9 import Fig9Result, Fig9Row
+from repro.experiments.fig10 import Fig10Result, Fig10Row
+from repro.experiments.table3 import Table3Result, Table3Row
+
+__all__ = ["save_result", "load_result"]
+
+_RESULT_TYPES: dict[str, tuple[type, type]] = {
+    "fig8": (Fig8Result, Fig8Row),
+    "fig9": (Fig9Result, Fig9Row),
+    "fig10": (Fig10Result, Fig10Row),
+    "table3": (Table3Result, Table3Row),
+}
+
+
+def _kind_of(result: Any) -> str:
+    for kind, (res_type, _) in _RESULT_TYPES.items():
+        if isinstance(result, res_type):
+            return kind
+    raise TypeError(
+        f"unsupported result type {type(result).__name__}; expected one of "
+        f"{[t.__name__ for t, _ in _RESULT_TYPES.values()]}"
+    )
+
+
+def save_result(result: Any, path: str | pathlib.Path) -> pathlib.Path:
+    """Write a figure/table result to ``path`` as JSON."""
+    kind = _kind_of(result)
+    payload = {
+        "kind": kind,
+        "rows": [dataclasses.asdict(row) for row in result.rows],
+    }
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def load_result(path: str | pathlib.Path) -> Any:
+    """Reload a result written by :func:`save_result`."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    kind = payload.get("kind")
+    if kind not in _RESULT_TYPES:
+        raise ValueError(f"unknown result kind {kind!r} in {path}")
+    res_type, row_type = _RESULT_TYPES[kind]
+    rows = [row_type(**row) for row in payload["rows"]]
+    return res_type(rows=rows)

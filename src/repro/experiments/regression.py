@@ -1,0 +1,89 @@
+"""Regression pinning of the measured footprints.
+
+The reproduced figures rest on simulator-measured event counts that are
+fully deterministic.  This module snapshots the canonical per-kernel
+footprints of the two simulated systems (LoRAStencil and ConvStencil)
+into a JSON file shipped with the package; the test suite compares
+fresh measurements against it **exactly**, so any change to the
+algorithms, the counters, or the measurement grids that would move the
+paper-comparison numbers fails loudly instead of drifting silently.
+
+Regenerate intentionally with::
+
+    python -m repro.experiments.regression   # rewrites the snapshot
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.baselines.convstencil import ConvStencilMethod
+from repro.baselines.lorastencil import LoRAStencilMethod
+from repro.stencil.kernels import KERNELS
+
+__all__ = [
+    "SNAPSHOT_PATH",
+    "collect_snapshot",
+    "load_snapshot",
+    "compare",
+    "write_snapshot",
+]
+
+SNAPSHOT_PATH = pathlib.Path(__file__).parent / "data" / "footprints.json"
+
+_METHODS = {"LoRAStencil": LoRAStencilMethod, "ConvStencil": ConvStencilMethod}
+
+
+def collect_snapshot() -> dict:
+    """Measure the canonical footprint of every (method, kernel) pair."""
+    out: dict = {}
+    for kname, kernel in KERNELS.items():
+        for mname, cls in _METHODS.items():
+            method = cls(kernel)
+            fp = method.footprint()
+            out[f"{mname}/{kname}"] = {
+                "points": fp.points,
+                "counters": fp.counters.as_dict(),
+            }
+    return out
+
+
+def load_snapshot() -> dict:
+    """Read the pinned snapshot shipped with the package."""
+    return json.loads(SNAPSHOT_PATH.read_text())
+
+
+def compare(measured: dict, pinned: dict) -> list[str]:
+    """Human-readable list of deviations (empty = exact match)."""
+    problems: list[str] = []
+    for key in sorted(set(pinned) | set(measured)):
+        if key not in pinned:
+            problems.append(f"{key}: missing from pinned snapshot")
+            continue
+        if key not in measured:
+            problems.append(f"{key}: missing from measurement")
+            continue
+        a, b = measured[key], pinned[key]
+        if a["points"] != b["points"]:
+            problems.append(
+                f"{key}: points {a['points']} != pinned {b['points']}"
+            )
+        for counter, value in b["counters"].items():
+            got = a["counters"].get(counter, 0)
+            if got != value:
+                problems.append(
+                    f"{key}: {counter} {got} != pinned {value}"
+                )
+    return problems
+
+
+def write_snapshot() -> pathlib.Path:
+    """Regenerate the pinned snapshot (an intentional act)."""
+    SNAPSHOT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    SNAPSHOT_PATH.write_text(json.dumps(collect_snapshot(), indent=1) + "\n")
+    return SNAPSHOT_PATH
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(f"wrote {write_snapshot()}")

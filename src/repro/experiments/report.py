@@ -1,0 +1,26 @@
+"""Plain-text table rendering for the benchmark harnesses."""
+
+from __future__ import annotations
+
+__all__ = ["format_table"]
+
+
+def format_table(rows: list[list[str]], title: str | None = None) -> str:
+    """Render rows (first row = header) as an aligned ASCII table."""
+    if not rows:
+        return ""
+    widths = [
+        max(len(str(row[i])) for row in rows if i < len(row))
+        for i in range(max(len(r) for r in rows))
+    ]
+
+    def fmt(row: list[str]) -> str:
+        return "  ".join(str(c).ljust(w) for c, w in zip(row, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(rows[0]))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(r) for r in rows[1:])
+    return "\n".join(lines)

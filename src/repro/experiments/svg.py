@@ -1,0 +1,162 @@
+"""Dependency-free SVG charts for the figure artifacts.
+
+matplotlib is not available offline, so the benches emit the paper's
+figures as hand-rolled SVG: grouped bars for Fig. 8, log-x line series
+for Fig. 9.  The output is deliberately simple — enough to eyeball the
+reproduced shapes in any browser.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["grouped_bar_chart", "line_chart"]
+
+_COLORS = [
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2",
+    "#59a14f", "#edc948", "#b07aa1", "#9c755f",
+]
+
+
+def _esc(text: str) -> str:
+    return (
+        str(text).replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def grouped_bar_chart(
+    groups: list[str],
+    series: dict[str, list[float]],
+    title: str = "",
+    ylabel: str = "",
+    width: int = 960,
+    height: int = 420,
+) -> str:
+    """Grouped vertical bars: one cluster per group, one bar per series."""
+    for name, vals in series.items():
+        if len(vals) != len(groups):
+            raise ValueError(
+                f"series {name!r} has {len(vals)} values for {len(groups)} groups"
+            )
+    margin_l, margin_b, margin_t = 60, 70, 40
+    plot_w, plot_h = width - margin_l - 20, height - margin_b - margin_t
+    vmax = max((max(v) for v in series.values()), default=1.0) or 1.0
+    n_groups, n_series = len(groups), len(series)
+    group_w = plot_w / max(1, n_groups)
+    bar_w = group_w * 0.8 / max(1, n_series)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="11">',
+        f'<text x="{width / 2}" y="20" text-anchor="middle" '
+        f'font-size="14">{_esc(title)}</text>',
+        f'<text x="15" y="{margin_t + plot_h / 2}" text-anchor="middle" '
+        f'transform="rotate(-90 15 {margin_t + plot_h / 2})">{_esc(ylabel)}</text>',
+        f'<line x1="{margin_l}" y1="{margin_t + plot_h}" '
+        f'x2="{margin_l + plot_w}" y2="{margin_t + plot_h}" stroke="black"/>',
+        f'<line x1="{margin_l}" y1="{margin_t}" x2="{margin_l}" '
+        f'y2="{margin_t + plot_h}" stroke="black"/>',
+    ]
+    for tick in range(5):
+        v = vmax * tick / 4
+        y = margin_t + plot_h * (1 - tick / 4)
+        parts.append(
+            f'<text x="{margin_l - 6}" y="{y + 4}" text-anchor="end">{v:.0f}</text>'
+        )
+        parts.append(
+            f'<line x1="{margin_l}" y1="{y}" x2="{margin_l + plot_w}" y2="{y}" '
+            f'stroke="#ddd"/>'
+        )
+    for gi, group in enumerate(groups):
+        gx = margin_l + gi * group_w + group_w * 0.1
+        for si, (name, vals) in enumerate(series.items()):
+            h = plot_h * vals[gi] / vmax
+            x = gx + si * bar_w
+            y = margin_t + plot_h - h
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_w:.1f}" '
+                f'height="{h:.1f}" fill="{_COLORS[si % len(_COLORS)]}">'
+                f"<title>{_esc(name)} / {_esc(group)}: {vals[gi]:.2f}</title></rect>"
+            )
+        parts.append(
+            f'<text x="{gx + group_w * 0.4}" y="{margin_t + plot_h + 16}" '
+            f'text-anchor="middle">{_esc(group)}</text>'
+        )
+    for si, name in enumerate(series):
+        lx = margin_l + si * 120
+        ly = height - 18
+        parts.append(
+            f'<rect x="{lx}" y="{ly - 10}" width="10" height="10" '
+            f'fill="{_COLORS[si % len(_COLORS)]}"/>'
+        )
+        parts.append(f'<text x="{lx + 14}" y="{ly}">{_esc(name)}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def line_chart(
+    x_values: list[float],
+    series: dict[str, list[float]],
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    log_x: bool = False,
+    width: int = 820,
+    height: int = 420,
+) -> str:
+    """Line series over a shared (optionally log-scaled) x axis."""
+    for name, vals in series.items():
+        if len(vals) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(vals)} values for {len(x_values)} x"
+            )
+    margin_l, margin_b, margin_t = 60, 60, 40
+    plot_w, plot_h = width - margin_l - 20, height - margin_b - margin_t
+    xs = [math.log10(x) for x in x_values] if log_x else list(x_values)
+    x_lo, x_hi = min(xs), max(xs)
+    x_span = (x_hi - x_lo) or 1.0
+    vmax = max((max(v) for v in series.values()), default=1.0) or 1.0
+
+    def px(x: float) -> float:
+        return margin_l + plot_w * (x - x_lo) / x_span
+
+    def py(v: float) -> float:
+        return margin_t + plot_h * (1 - v / vmax)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="11">',
+        f'<text x="{width / 2}" y="20" text-anchor="middle" '
+        f'font-size="14">{_esc(title)}</text>',
+        f'<text x="{width / 2}" y="{height - 8}" text-anchor="middle">'
+        f"{_esc(xlabel)}</text>",
+        f'<text x="15" y="{margin_t + plot_h / 2}" text-anchor="middle" '
+        f'transform="rotate(-90 15 {margin_t + plot_h / 2})">{_esc(ylabel)}</text>',
+        f'<line x1="{margin_l}" y1="{margin_t + plot_h}" '
+        f'x2="{margin_l + plot_w}" y2="{margin_t + plot_h}" stroke="black"/>',
+        f'<line x1="{margin_l}" y1="{margin_t}" x2="{margin_l}" '
+        f'y2="{margin_t + plot_h}" stroke="black"/>',
+    ]
+    for xv, xs_i in zip(x_values, xs):
+        parts.append(
+            f'<text x="{px(xs_i):.1f}" y="{margin_t + plot_h + 16}" '
+            f'text-anchor="middle">{_esc(xv)}</text>'
+        )
+    for tick in range(5):
+        v = vmax * tick / 4
+        parts.append(
+            f'<text x="{margin_l - 6}" y="{py(v) + 4:.1f}" '
+            f'text-anchor="end">{v:.0f}</text>'
+        )
+    for si, (name, vals) in enumerate(series.items()):
+        pts = " ".join(f"{px(x):.1f},{py(v):.1f}" for x, v in zip(xs, vals))
+        color = _COLORS[si % len(_COLORS)]
+        parts.append(
+            f'<polyline points="{pts}" fill="none" stroke="{color}" '
+            f'stroke-width="2"/>'
+        )
+        lx, ly = margin_l + si * 150, height - 24
+        parts.append(f'<rect x="{lx}" y="{ly - 10}" width="10" height="10" fill="{color}"/>')
+        parts.append(f'<text x="{lx + 14}" y="{ly}">{_esc(name)}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,97 @@
+"""Grid-size sweeps: performance as a function of problem size.
+
+Generalizes Fig. 9's size axis to any method pair: per-point footprints
+are measured once per method, and the size dependence enters through the
+same wave-quantization utilization model — small grids cannot fill the
+GPU's resident-block capacity, large ones saturate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.baselines.base import StencilMethod
+from repro.baselines.registry import get_method
+from repro.experiments.fig9 import _utilization
+from repro.experiments.footprints import cached_footprint
+from repro.perf.costmodel import time_per_point
+from repro.perf.machine import A100, MachineSpec
+from repro.stencil.kernels import get_kernel
+
+__all__ = ["SweepPoint", "SweepResult", "run_size_sweep", "DEFAULT_SWEEP_SIZES"]
+
+DEFAULT_SWEEP_SIZES = (256, 512, 1024, 2048, 4096, 10240)
+
+#: shared-memory footprint charged per block in the utilization model
+_BLOCK_SMEM_BYTES = 20 * 1024
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (method, size) sample."""
+
+    method: str
+    size: int
+    gstencil_per_s: float
+    utilization: float
+
+
+@dataclass
+class SweepResult:
+    """A full size sweep over several methods on one kernel."""
+
+    kernel: str
+    rows: list[SweepPoint] = field(default_factory=list)
+
+    def perf(self, method: str, size: int) -> float:
+        """Modelled GStencil/s of ``method`` at one grid size."""
+        for r in self.rows:
+            if r.method == method and r.size == size:
+                return r.gstencil_per_s
+        raise KeyError(f"no point for ({method}, {size})")
+
+    def methods(self) -> list[str]:
+        """Swept method names, first-seen order."""
+        return list(dict.fromkeys(r.method for r in self.rows))
+
+    def sizes(self) -> list[int]:
+        """Swept grid sides, ascending."""
+        return sorted({r.size for r in self.rows})
+
+    def speedup_series(self, numer: str, denom: str) -> list[tuple[int, float]]:
+        """``numer``/``denom`` performance ratio at every size."""
+        return [
+            (s, self.perf(numer, s) / self.perf(denom, s)) for s in self.sizes()
+        ]
+
+
+def run_size_sweep(
+    kernel_name: str,
+    methods: tuple[str, ...] = ("ConvStencil", "LoRAStencil"),
+    sizes: tuple[int, ...] = DEFAULT_SWEEP_SIZES,
+    machine: MachineSpec = A100,
+) -> SweepResult:
+    """Model every (method, size) point for one 2D kernel."""
+    kernel = get_kernel(kernel_name)
+    if kernel.weights.ndim != 2:
+        raise ValueError(
+            f"size sweeps are defined for 2D kernels, {kernel.name} is "
+            f"{kernel.weights.ndim}D"
+        )
+    result = SweepResult(kernel=kernel_name)
+    for mname in methods:
+        method: StencilMethod = get_method(mname, kernel)
+        fp = cached_footprint(method)
+        base_t = time_per_point(fp, method.traits(), machine)
+        for size in sizes:
+            util = _utilization(size * size, _BLOCK_SMEM_BYTES, machine)
+            result.rows.append(
+                SweepPoint(
+                    method=mname,
+                    size=size,
+                    gstencil_per_s=1.0 / (base_t / util) / 1e9,
+                    utilization=util,
+                )
+            )
+    return result

@@ -1,0 +1,36 @@
+"""Multi-GPU domain decomposition (scale-out substrate).
+
+The paper evaluates a single A100; production stencil codes
+(atmospheric models, RTM seismic imaging — the paper's motivating
+applications) decompose the grid across many GPUs with halo exchange.
+This package provides that substrate over the same simulator:
+
+* :func:`repro.parallel.decomposition.partition` — block-partition a
+  grid onto a ``P x Q`` device mesh;
+* :class:`repro.parallel.halo.HaloExchanger` — per-step halo exchange
+  with byte accounting (the interconnect's event counter);
+* :class:`repro.parallel.cluster.SimulatedCluster` — drives one
+  LoRAStencil engine per device, timesteps the global problem, and
+  models strong/weak scaling with an NVLink-like interconnect.
+
+Everything is deterministic and validated against the single-grid
+reference trajectory in the test suite.
+"""
+
+from repro.parallel.decomposition import Partition, Subdomain, partition
+from repro.parallel.halo import HaloExchanger
+from repro.parallel.cluster import ClusterTimings, SimulatedCluster
+from repro.parallel.cluster3d import SimulatedCluster3D
+from repro.parallel.temporal import run_temporal_blocked, temporal_halo_bytes
+
+__all__ = [
+    "Partition",
+    "Subdomain",
+    "partition",
+    "HaloExchanger",
+    "SimulatedCluster",
+    "SimulatedCluster3D",
+    "ClusterTimings",
+    "run_temporal_blocked",
+    "temporal_halo_bytes",
+]

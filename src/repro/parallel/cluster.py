@@ -1,0 +1,154 @@
+"""Simulated multi-GPU cluster running LoRAStencil per device.
+
+:class:`SimulatedCluster` timesteps a global 2D problem across a device
+mesh: each step is one halo exchange followed by one LoRAStencil sweep
+per device (executed sequentially in Python; semantically parallel).
+It produces
+
+* the exact global trajectory (validated against the single-grid
+  reference in the tests), and
+* a scaling-time model: per step, the slowest device's modelled sweep
+  time plus the interconnect time of its halo traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.base import FootprintScale
+from repro.core.engine2d import LoRAStencil2D
+from repro.parallel.decomposition import Partition, partition
+from repro.parallel.halo import HaloExchanger
+from repro.perf.costmodel import time_per_point
+from repro.perf.machine import A100, MachineSpec
+from repro.stencil.weights import StencilWeights
+
+__all__ = ["SimulatedCluster", "ClusterTimings", "NVLINK_BANDWIDTH"]
+
+#: per-direction NVLink3 bandwidth of an A100 system, B/s
+NVLINK_BANDWIDTH = 600e9
+
+
+@dataclass(frozen=True)
+class ClusterTimings:
+    """Modelled per-step timing of one cluster configuration."""
+
+    num_devices: int
+    compute_s: float  # slowest device's sweep
+    comm_s: float  # largest halo transfer
+    steps: int
+
+    @property
+    def step_s(self) -> float:
+        return self.compute_s + self.comm_s
+
+    @property
+    def total_s(self) -> float:
+        return self.step_s * self.steps
+
+    def speedup_over(self, other: "ClusterTimings") -> float:
+        """How much faster this configuration is than ``other``."""
+        return other.total_s / self.total_s
+
+    @property
+    def comm_fraction(self) -> float:
+        return self.comm_s / self.step_s if self.step_s else 0.0
+
+
+class SimulatedCluster:
+    """A mesh of simulated devices timestepping one global stencil."""
+
+    def __init__(
+        self,
+        weights: StencilWeights,
+        global_shape: tuple[int, int],
+        mesh: tuple[int, int],
+        boundary: str = "constant",
+        machine: MachineSpec = A100,
+    ) -> None:
+        if weights.ndim != 2:
+            raise ValueError(
+                f"SimulatedCluster supports 2D stencils, got {weights.ndim}D"
+            )
+        self.weights = weights
+        self.machine = machine
+        self.part: Partition = partition(global_shape, mesh)
+        self.halo = HaloExchanger(self.part, weights.radius, boundary)
+        self.engines = {
+            sub.rank: LoRAStencil2D(weights.as_matrix())
+            for sub in self.part.subdomains
+        }
+
+    # ------------------------------------------------------------------
+    # functional execution
+    # ------------------------------------------------------------------
+    def scatter(self, global_field: np.ndarray) -> dict[int, np.ndarray]:
+        """Distribute a global field onto the device mesh."""
+        global_field = np.asarray(global_field, dtype=np.float64)
+        if global_field.shape != self.part.global_shape:
+            raise ValueError(
+                f"field shape {global_field.shape} != partition "
+                f"{self.part.global_shape}"
+            )
+        return {
+            sub.rank: global_field[sub.row_slice, sub.col_slice].copy()
+            for sub in self.part.subdomains
+        }
+
+    def gather(self, blocks: dict[int, np.ndarray]) -> np.ndarray:
+        """Reassemble the global field."""
+        out = np.empty(self.part.global_shape, dtype=np.float64)
+        for sub in self.part.subdomains:
+            out[sub.row_slice, sub.col_slice] = blocks[sub.rank]
+        return out
+
+    def run(self, global_field: np.ndarray, steps: int) -> np.ndarray:
+        """Timestep the global problem; returns the final global field."""
+        if steps < 0:
+            raise ValueError(f"steps must be >= 0, got {steps}")
+        blocks = self.scatter(global_field)
+        for _ in range(steps):
+            windows = self.halo.exchange(blocks)
+            blocks = {
+                rank: self.engines[rank].apply(window)
+                for rank, window in windows.items()
+            }
+        return self.gather(blocks)
+
+    # ------------------------------------------------------------------
+    # scaling model
+    # ------------------------------------------------------------------
+    def timings(self, steps: int = 1) -> ClusterTimings:
+        """Modelled per-step time: slowest sweep + largest halo transfer.
+
+        The sweep time reuses the single-GPU cost model on a
+        representative measured footprint scaled to the largest block.
+        """
+        from repro.baselines.lorastencil import LoRAStencilMethod
+        from repro.stencil.kernels import BenchmarkKernel
+
+        biggest = max(self.part.subdomains, key=lambda s: s.shape[0] * s.shape[1])
+        kernel = BenchmarkKernel(
+            name="cluster-kernel",
+            weights=self.weights,
+            problem_size=biggest.shape,
+            iterations=steps,
+            blocking=(32, 64),
+        )
+        method = LoRAStencilMethod(kernel)
+        measure = tuple(min(s, 64) for s in biggest.shape)
+        fp: FootprintScale = method.footprint(measure)
+        per_point = time_per_point(fp, method.traits(), self.machine)
+        compute = per_point * biggest.shape[0] * biggest.shape[1]
+        comm_bytes = max(
+            self.halo.bytes_per_exchange(s.rank) for s in self.part.subdomains
+        )
+        comm = comm_bytes / NVLINK_BANDWIDTH
+        return ClusterTimings(
+            num_devices=self.part.num_devices,
+            compute_s=compute,
+            comm_s=comm,
+            steps=steps,
+        )

@@ -1,0 +1,97 @@
+"""Block partitioning of a 2D grid onto a device mesh."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Subdomain", "Partition", "partition"]
+
+
+@dataclass(frozen=True)
+class Subdomain:
+    """One device's block of the global grid."""
+
+    rank: int
+    mesh_pos: tuple[int, int]  # (p, q) position in the device mesh
+    row_slice: slice
+    col_slice: slice
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (
+            self.row_slice.stop - self.row_slice.start,
+            self.col_slice.stop - self.col_slice.start,
+        )
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A full block partition of a ``rows x cols`` grid on a P x Q mesh."""
+
+    global_shape: tuple[int, int]
+    mesh: tuple[int, int]
+    subdomains: tuple[Subdomain, ...]
+
+    @property
+    def num_devices(self) -> int:
+        return self.mesh[0] * self.mesh[1]
+
+    def at(self, p: int, q: int) -> Subdomain:
+        """Subdomain at mesh position ``(p, q)``."""
+        return self.subdomains[p * self.mesh[1] + q]
+
+    def neighbor(self, sub: Subdomain, dp: int, dq: int, periodic: bool) -> Subdomain | None:
+        """Mesh neighbor in direction ``(dp, dq)`` (None past a
+        non-periodic global edge)."""
+        p, q = sub.mesh_pos
+        np_, nq = p + dp, q + dq
+        if periodic:
+            np_ %= self.mesh[0]
+            nq %= self.mesh[1]
+        elif not (0 <= np_ < self.mesh[0] and 0 <= nq < self.mesh[1]):
+            return None
+        return self.at(np_, nq)
+
+
+def _split(n: int, parts: int) -> list[slice]:
+    """Split ``n`` items into ``parts`` contiguous nearly-equal slices."""
+    base, extra = divmod(n, parts)
+    slices = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        slices.append(slice(start, start + size))
+        start += size
+    return slices
+
+
+def partition(global_shape: tuple[int, int], mesh: tuple[int, int]) -> Partition:
+    """Block-partition ``global_shape`` onto a ``mesh = (P, Q)`` of devices.
+
+    Every subdomain must be non-empty; uneven shapes distribute the
+    remainder over the leading ranks (the standard block distribution).
+    """
+    rows, cols = global_shape
+    p_mesh, q_mesh = mesh
+    if p_mesh < 1 or q_mesh < 1:
+        raise ValueError(f"mesh must be positive, got {mesh}")
+    if rows < p_mesh or cols < q_mesh:
+        raise ValueError(
+            f"grid {global_shape} too small for a {mesh} device mesh"
+        )
+    row_slices = _split(rows, p_mesh)
+    col_slices = _split(cols, q_mesh)
+    subs = []
+    rank = 0
+    for p in range(p_mesh):
+        for q in range(q_mesh):
+            subs.append(
+                Subdomain(
+                    rank=rank,
+                    mesh_pos=(p, q),
+                    row_slice=row_slices[p],
+                    col_slice=col_slices[q],
+                )
+            )
+            rank += 1
+    return Partition(global_shape=global_shape, mesh=mesh, subdomains=tuple(subs))

@@ -1,0 +1,32 @@
+"""Performance model: simulator event counts -> A100-calibrated time.
+
+The paper measures wall-clock on an A100; we cannot.  Instead
+:mod:`repro.perf.costmodel` converts each method's *measured or analytic
+event footprint* (per grid point and timestep) into time through a
+roofline-style machine model of the A100 (:mod:`repro.perf.machine`),
+using the per-method efficiency traits described in DESIGN.md Section 6.
+Absolute GStencil/s numbers are therefore model outputs; the claims this
+reproduction checks are the *relative* ones (method ordering, speedup
+ratios, breakdown factors), which derive from the counted quantities.
+"""
+
+from repro.perf.machine import A100, MachineSpec
+from repro.perf.costmodel import (
+    CostBreakdown,
+    cost_breakdown,
+    gstencil_per_second,
+    time_per_point,
+)
+from repro.perf.metrics import arithmetic_intensity, compute_throughput_pct, gstencils
+
+__all__ = [
+    "MachineSpec",
+    "A100",
+    "CostBreakdown",
+    "cost_breakdown",
+    "time_per_point",
+    "gstencil_per_second",
+    "gstencils",
+    "arithmetic_intensity",
+    "compute_throughput_pct",
+]

@@ -1,0 +1,140 @@
+"""Roofline cost model: per-point event rates -> time and GStencil/s.
+
+Model (per grid point and timestep)::
+
+    t_compute = max( mma*512 / (TCU_peak * eff_tcu) + shuffles * stall,
+                     flops   / (CUDA_peak * eff_cuda),
+                     inst    / (issue_rate * eff_issue) )
+    t_memory  = dram_bytes / (HBM_bw * eff_dram)
+              + smem_requests*256 / (smem_bw * eff_smem)
+              + reg_bytes / register_staging_bw
+    t = overhead * time_scale * max(t_compute, t_memory)
+
+Shuffles serialize with the tensor-core pipeline (they sit between the
+two gathers of the MCM), hence they add to the TCU term; memory terms
+add to each other because DRAM, shared and register staging contend for
+the same LSU path.  ``time_scale`` implements the paper's TCStencil
+FP64 convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.base import FootprintScale, MethodTraits
+from repro.perf.machine import A100, MachineSpec
+from repro.tcu.counters import MMA_FLOPS
+
+__all__ = [
+    "CostBreakdown",
+    "cost_breakdown",
+    "time_per_point",
+    "gstencil_per_second",
+]
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """All model terms for one (method, kernel) pair, seconds/point."""
+
+    t_tcu: float
+    t_shuffle: float
+    t_cuda: float
+    t_issue: float
+    t_dram: float
+    t_smem: float
+    t_reg: float
+    t_fixed: float
+    overhead: float
+    time_scale: float
+
+    @property
+    def t_compute(self) -> float:
+        return max(self.t_tcu + self.t_shuffle, self.t_cuda, self.t_issue)
+
+    @property
+    def t_memory(self) -> float:
+        return self.t_dram + self.t_smem + self.t_reg
+
+    @property
+    def total(self) -> float:
+        return (
+            self.overhead
+            * self.time_scale
+            * (max(self.t_compute, self.t_memory) + self.t_fixed)
+        )
+
+    @property
+    def bound(self) -> str:
+        """Which resource binds this configuration."""
+        terms = {
+            "tcu": self.t_tcu + self.t_shuffle,
+            "cuda": self.t_cuda,
+            "issue": self.t_issue,
+            "memory": self.t_memory,
+        }
+        return max(terms, key=terms.get)
+
+
+def cost_breakdown(
+    footprint: FootprintScale,
+    traits: MethodTraits,
+    machine: MachineSpec = A100,
+) -> CostBreakdown:
+    """Evaluate the model for one measured/analytic footprint."""
+    per_pt = footprint.per_point()
+    mma = per_pt["mma_ops"]
+    flops = per_pt["cuda_core_flops"]
+    loads = per_pt["shared_load_requests"]
+    stores = per_pt["shared_store_requests"]
+    shuffles = per_pt["shuffle_ops"]
+    dram = per_pt["global_load_bytes"] + per_pt["global_store_bytes"]
+    reg = per_pt["register_intermediate_bytes"]
+
+    # warp-level instruction estimate: each MMA, fragment load and store
+    # is one instruction; CUDA-core FLOPs issue as warp FMAs (32 lanes,
+    # 2 FLOPs each)
+    inst = mma + loads + stores + flops / 64.0
+
+    t_tcu = mma * MMA_FLOPS / (machine.tcu_peak_flops * traits.tcu_efficiency)
+    t_shuffle = shuffles * machine.shuffle_stall_s
+    t_cuda = flops / (machine.cuda_peak_flops * traits.cuda_efficiency)
+    t_issue = inst / (machine.issue_rate * traits.issue_efficiency)
+    t_dram = dram / (machine.dram_bandwidth * traits.dram_efficiency)
+    t_smem = (
+        (loads + stores)
+        * machine.bytes_per_smem_request
+        / (machine.smem_bandwidth * traits.smem_efficiency)
+    )
+    t_reg = reg / machine.register_staging_bw
+    return CostBreakdown(
+        t_tcu=t_tcu,
+        t_shuffle=t_shuffle,
+        t_cuda=t_cuda,
+        t_issue=t_issue,
+        t_dram=t_dram,
+        t_smem=t_smem,
+        t_reg=t_reg,
+        t_fixed=traits.fixed_time_s,
+        overhead=traits.launch_overhead,
+        time_scale=traits.time_scale,
+    )
+
+
+def time_per_point(
+    footprint: FootprintScale,
+    traits: MethodTraits,
+    machine: MachineSpec = A100,
+) -> float:
+    """Modelled seconds per grid point and timestep."""
+    return cost_breakdown(footprint, traits, machine).total
+
+
+def gstencil_per_second(
+    footprint: FootprintScale,
+    traits: MethodTraits,
+    machine: MachineSpec = A100,
+) -> float:
+    """Modelled GStencil/s (Eq. 18): point-updates per nanosecond."""
+    t = time_per_point(footprint, traits, machine)
+    return 1.0 / t / 1e9

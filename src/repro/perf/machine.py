@@ -1,0 +1,65 @@
+"""Machine descriptions.
+
+:data:`A100` encodes the evaluation platform of Section V-A: an NVIDIA
+A100-80GB (108 SMs x 4 tensor cores, 19.5 TFLOP/s FP64 on the TCUs,
+1935 GB/s HBM2e).  The two starred constants are *calibrated* rather
+than data-sheet values — they price effects the event counters cannot
+express directly (see DESIGN.md Section 6):
+
+* ``shuffle_stall_s`` — pipeline serialization per warp shuffle during
+  MCM accumulator splitting, calibrated so removing all shuffles
+  reproduces the paper's measured 4.00x BVS gain (Fig. 9);
+* ``register_staging_bw`` — effective throughput of global->register->
+  shared staging, calibrated so eliminating it with ``cp.async``
+  reproduces the paper's 29.7% async-copy gain (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineSpec", "A100"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Peak rates of one GPU."""
+
+    name: str
+    #: FP64 tensor-core peak, FLOP/s
+    tcu_peak_flops: float
+    #: FP64 CUDA-core peak, FLOP/s
+    cuda_peak_flops: float
+    #: HBM bandwidth, B/s
+    dram_bandwidth: float
+    #: aggregate shared-memory bandwidth, B/s
+    smem_bandwidth: float
+    #: aggregate warp-instruction issue rate, instructions/s
+    issue_rate: float
+    #: number of streaming multiprocessors
+    num_sms: int
+    #: shared memory capacity per SM, bytes
+    smem_capacity: int
+    #: calibrated: pipeline stall per warp shuffle, seconds (*)
+    shuffle_stall_s: float
+    #: calibrated: global->register->shared staging throughput, B/s (*)
+    register_staging_bw: float
+
+    @property
+    def bytes_per_smem_request(self) -> int:
+        """One warp-wide shared-memory request moves 32 x FP64."""
+        return 32 * 8
+
+
+A100 = MachineSpec(
+    name="NVIDIA A100-80GB (SXM)",
+    tcu_peak_flops=19.5e12,
+    cuda_peak_flops=9.7e12,
+    dram_bandwidth=1.935e12,
+    smem_bandwidth=19.5e12,  # 128 B/clk/SM x 108 SM x 1.41 GHz
+    issue_rate=6.09e11,  # 4 schedulers/SM x 108 SM x 1.41 GHz
+    num_sms=108,
+    smem_capacity=164 * 1024,
+    shuffle_stall_s=1.28e-10,
+    register_staging_bw=1.43e12,
+)

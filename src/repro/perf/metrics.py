@@ -1,0 +1,65 @@
+"""Evaluation metrics (Section V-A, Table III).
+
+* :func:`gstencils` — Eq. 18: ``T * prod(N_i) / (t * 1e9)``.
+* :func:`arithmetic_intensity` — Table III's AI: FLOP per DRAM byte.
+* :func:`compute_throughput_pct` — Table III's CT: achieved fraction of
+  the binding compute unit's peak, in percent.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import FootprintScale, MethodTraits
+from repro.perf.costmodel import cost_breakdown
+from repro.perf.machine import A100, MachineSpec
+from repro.tcu.counters import MMA_FLOPS
+
+__all__ = ["gstencils", "arithmetic_intensity", "compute_throughput_pct"]
+
+
+def gstencils(
+    iterations: int,
+    grid_shape: tuple[int, ...],
+    elapsed_seconds: float,
+) -> float:
+    """Gigastencils per second (Eq. 18)."""
+    if elapsed_seconds <= 0:
+        raise ValueError(f"elapsed time must be > 0, got {elapsed_seconds}")
+    points = 1
+    for n in grid_shape:
+        points *= n
+    return iterations * points / (elapsed_seconds * 1e9)
+
+
+def arithmetic_intensity(footprint: FootprintScale) -> float:
+    """FLOP per DRAM byte for one sweep (Table III's AI column)."""
+    per_pt = footprint.per_point()
+    flops = per_pt["mma_ops"] * MMA_FLOPS + per_pt["cuda_core_flops"]
+    dram = per_pt["global_load_bytes"] + per_pt["global_store_bytes"]
+    if dram == 0:
+        return float("inf") if flops else 0.0
+    return flops / dram
+
+
+def compute_throughput_pct(
+    footprint: FootprintScale,
+    traits: MethodTraits,
+    machine: MachineSpec = A100,
+    tensor_cores: bool = True,
+) -> float:
+    """Achieved compute throughput as % of peak (Table III's CT column).
+
+    Achieved rate = (FLOPs per point) / (modelled time per point); peak
+    is the tensor-core peak for TCU methods, CUDA-core peak otherwise.
+    """
+    per_pt = footprint.per_point()
+    bd = cost_breakdown(footprint, traits, machine)
+    t = bd.total
+    if t <= 0:
+        return 0.0
+    if tensor_cores:
+        flops = per_pt["mma_ops"] * MMA_FLOPS
+        peak = machine.tcu_peak_flops
+    else:
+        flops = per_pt["cuda_core_flops"]
+        peak = machine.cuda_peak_flops
+    return 100.0 * (flops / t) / peak

@@ -1,0 +1,39 @@
+"""Shared-memory occupancy model.
+
+LoRAStencil's Section V-D attributes part of its advantage to
+occupancy: ConvStencil's stencil2row matrices occupy extra shared
+memory per block, capping how many thread blocks an SM can host and
+therefore how much latency the SM can hide.  This module quantifies
+that: blocks per SM limited by the shared-memory capacity, normalized
+to an occupancy factor.
+"""
+
+from __future__ import annotations
+
+from repro.perf.machine import A100, MachineSpec
+
+__all__ = ["blocks_per_sm", "occupancy_factor"]
+
+#: target resident blocks per SM for full latency hiding
+_FULL_OCCUPANCY_BLOCKS = 8
+
+
+def blocks_per_sm(
+    shared_bytes_per_block: int,
+    machine: MachineSpec = A100,
+) -> int:
+    """How many blocks fit in one SM's shared memory."""
+    if shared_bytes_per_block <= 0:
+        return _FULL_OCCUPANCY_BLOCKS
+    return max(0, machine.smem_capacity // shared_bytes_per_block)
+
+
+def occupancy_factor(
+    shared_bytes_per_block: int,
+    machine: MachineSpec = A100,
+) -> float:
+    """Occupancy in [0, 1]: resident blocks over the full-occupancy
+    target, capped at 1."""
+    return min(
+        1.0, blocks_per_sm(shared_bytes_per_block, machine) / _FULL_OCCUPANCY_BLOCKS
+    )

@@ -1,0 +1,69 @@
+"""Roofline analysis.
+
+Places every (method, kernel) pair on the classic roofline: attainable
+performance = ``min(peak_compute, AI * memory_bandwidth)``, with the
+achieved point coming from the cost model.  This is the analysis frame
+behind Table III's CT/AI columns: LoRAStencil's higher arithmetic
+intensity moves it right along the roof, out of the bandwidth-bound
+region ConvStencil sits in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.base import FootprintScale, MethodTraits
+from repro.perf.costmodel import cost_breakdown
+from repro.perf.machine import A100, MachineSpec
+from repro.tcu.counters import MMA_FLOPS
+
+__all__ = ["RooflinePoint", "roofline_point", "ridge_intensity"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One method's position on the roofline (FLOP/s vs FLOP/byte)."""
+
+    arithmetic_intensity: float
+    achieved_flops: float
+    attainable_flops: float
+    peak_flops: float
+    bound: str  # "compute" | "bandwidth"
+
+    @property
+    def roof_efficiency(self) -> float:
+        """Achieved fraction of the *attainable* (not absolute) roof."""
+        if self.attainable_flops <= 0:
+            return 0.0
+        return self.achieved_flops / self.attainable_flops
+
+
+def ridge_intensity(machine: MachineSpec = A100, tensor_cores: bool = True) -> float:
+    """The AI where the roof transitions from bandwidth- to compute-bound."""
+    peak = machine.tcu_peak_flops if tensor_cores else machine.cuda_peak_flops
+    return peak / machine.dram_bandwidth
+
+
+def roofline_point(
+    footprint: FootprintScale,
+    traits: MethodTraits,
+    machine: MachineSpec = A100,
+    tensor_cores: bool = True,
+) -> RooflinePoint:
+    """Evaluate one footprint against the machine's roofline."""
+    per_pt = footprint.per_point()
+    flops_per_pt = per_pt["mma_ops"] * MMA_FLOPS + per_pt["cuda_core_flops"]
+    dram_per_pt = per_pt["global_load_bytes"] + per_pt["global_store_bytes"]
+    ai = flops_per_pt / dram_per_pt if dram_per_pt else float("inf")
+
+    peak = machine.tcu_peak_flops if tensor_cores else machine.cuda_peak_flops
+    attainable = min(peak, ai * machine.dram_bandwidth)
+    t = cost_breakdown(footprint, traits, machine).total
+    achieved = flops_per_pt / t if t > 0 else 0.0
+    return RooflinePoint(
+        arithmetic_intensity=ai,
+        achieved_flops=achieved,
+        attainable_flops=attainable,
+        peak_flops=peak,
+        bound="compute" if ai >= ridge_intensity(machine, tensor_cores) else "bandwidth",
+    )

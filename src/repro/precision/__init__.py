@@ -1,0 +1,14 @@
+"""Precision analysis: FP64 LoRAStencil vs FP16 TCStencil numerics.
+
+The paper's Section V-A/VI argument against TCStencil is that its
+algorithm only exists at FP16.  This package makes that argument
+quantitative: a TCStencil-style FP16 stencil pipeline
+(:class:`TCStencilFP16`) runs next to the FP64 engines, and
+:func:`precision_sweep` measures how its error grows across timesteps —
+the extension experiment behind ``benchmarks/bench_precision_fp16.py``.
+"""
+
+from repro.precision.tcstencil_fp16 import TCStencilFP16
+from repro.precision.analysis import PrecisionPoint, precision_sweep
+
+__all__ = ["TCStencilFP16", "PrecisionPoint", "precision_sweep"]

@@ -1,0 +1,67 @@
+"""Error-growth analysis: FP16 pipeline vs FP64 reference over time."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.precision.tcstencil_fp16 import TCStencilFP16
+from repro.stencil.grid import Grid
+from repro.stencil.weights import StencilWeights
+
+__all__ = ["PrecisionPoint", "precision_sweep"]
+
+
+@dataclass(frozen=True)
+class PrecisionPoint:
+    """Error statistics after one number of timesteps."""
+
+    step: int
+    max_abs_err: float
+    rel_l2_err: float
+
+
+def precision_sweep(
+    weights: StencilWeights,
+    grid_shape: tuple[int, int] = (64, 64),
+    steps: tuple[int, ...] = (1, 2, 4, 8, 16),
+    boundary: str = "periodic",
+    seed: int = 0,
+) -> list[PrecisionPoint]:
+    """Run the FP16 TCStencil-style pipeline next to the FP64 reference
+    and record the error after each checkpoint in ``steps``.
+
+    The FP64 trajectory uses the reference executor; the FP16 trajectory
+    feeds its own (already rounded) output forward, as a real FP16
+    implementation must — so rounding error compounds across timesteps.
+    """
+    if weights.ndim != 2:
+        raise ValueError(f"precision sweep is defined for 2D kernels, got "
+                         f"{weights.ndim}D")
+    from repro.stencil.reference import reference_apply
+
+    rng = np.random.default_rng(seed)
+    x0 = rng.normal(size=grid_shape)
+    fp16_engine = TCStencilFP16(weights)
+
+    grid64 = Grid(x0, weights.radius, boundary=boundary)
+    grid16 = Grid(x0, weights.radius, boundary=boundary)
+
+    points: list[PrecisionPoint] = []
+    done = 0
+    for checkpoint in sorted(steps):
+        for _ in range(checkpoint - done):
+            grid64.step(lambda p: reference_apply(p, weights))
+            grid16.step(fp16_engine.apply)
+        done = checkpoint
+        diff = grid16.interior - grid64.interior
+        ref_norm = float(np.linalg.norm(grid64.interior)) or 1.0
+        points.append(
+            PrecisionPoint(
+                step=checkpoint,
+                max_abs_err=float(np.abs(diff).max()),
+                rel_l2_err=float(np.linalg.norm(diff)) / ref_norm,
+            )
+        )
+    return points

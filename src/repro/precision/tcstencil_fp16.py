@@ -1,0 +1,76 @@
+"""A TCStencil-style FP16 stencil pipeline (numerics model).
+
+TCStencil maps a 2D stencil to FP16 ``m16n16k16`` MMAs with one banded
+GEMM pass per kernel row: pass ``i`` gathers the horizontal
+dependencies of row ``i`` from the vertically shifted input,
+
+    ``out = sum_i  X[i : i + R, :] @ V_i``
+
+with ``V_i`` the Eq. 6-style banded matrix built from ``w[i, :]``.
+There is no rank decomposition, so the *dimension residue* is paid as
+``2h+1`` full passes over shifted data — and every operand is rounded
+to half precision with FP32 accumulation (:mod:`repro.tcu.fp16`).
+
+This class exists for accuracy studies: its output deliberately carries
+genuine FP16 rounding error.  Tolerant comparison against the FP64
+engines is the point, not a bug.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.uvbuild import build_v_matrix
+from repro.stencil.weights import StencilWeights
+from repro.tcu.fp16 import FP16_TILE, fp16_matmul
+
+__all__ = ["TCStencilFP16"]
+
+
+def _round_up(x: int, to: int) -> int:
+    return ((x + to - 1) // to) * to
+
+
+class TCStencilFP16:
+    """FP16 row-pass stencil executor for one 2D kernel."""
+
+    def __init__(self, weights: StencilWeights | np.ndarray) -> None:
+        if isinstance(weights, StencilWeights):
+            w = weights.as_matrix()
+        else:
+            w = np.asarray(weights, dtype=np.float64)
+        if w.ndim != 2 or w.shape[0] != w.shape[1] or w.shape[0] % 2 != 1:
+            raise ValueError(f"weight matrix must be square/odd, got {w.shape}")
+        self.weight_matrix = w
+        self.radius = (w.shape[0] - 1) // 2
+
+    @property
+    def passes(self) -> int:
+        """GEMM passes per sweep — one per kernel row (the residue)."""
+        return 2 * self.radius + 1
+
+    def apply(self, padded: np.ndarray) -> np.ndarray:
+        """FP16-pipeline stencil; returns the interior (float64 holding
+        FP32-accumulated values)."""
+        padded = np.asarray(padded, dtype=np.float64)
+        if padded.ndim != 2:
+            raise ValueError(f"expected 2D input, got {padded.ndim}D")
+        h = self.radius
+        rows, cols = padded.shape[0] - 2 * h, padded.shape[1] - 2 * h
+        if rows <= 0 or cols <= 0:
+            raise ValueError(
+                f"padded input {padded.shape} too small for radius {h}"
+            )
+        rows_p = _round_up(rows, FP16_TILE)
+        cols_p = _round_up(cols, FP16_TILE)
+        in_cols_p = _round_up(cols_p + 2 * h, FP16_TILE)
+
+        out = np.zeros((rows_p, cols_p), dtype=np.float64)
+        x_pad = np.zeros((rows_p + 2 * h, in_cols_p), dtype=np.float64)
+        x_pad[: padded.shape[0], : padded.shape[1]] = padded
+        for i in range(2 * h + 1):
+            v_i = build_v_matrix(
+                self.weight_matrix[i], in_cols_p, cols_p, offset=0
+            )
+            out += fp16_matmul(x_pad[i : i + rows_p, :], v_i)
+        return out[:rows, :cols]

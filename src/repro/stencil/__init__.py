@@ -1,0 +1,75 @@
+"""Stencil substrate: patterns, weights, benchmark kernels, grids and
+reference executors.
+
+This package is the ground truth the rest of the repository is validated
+against.  It knows nothing about Tensor Cores: a stencil here is simply a
+dense weight array applied as a sliding weighted sum (cross-correlation)
+over a regular grid.
+"""
+
+from repro.stencil.patterns import Shape, StencilPattern
+from repro.stencil.weights import (
+    StencilWeights,
+    box_weights,
+    compose_weights,
+    is_radially_symmetric,
+    radially_symmetric_weights,
+    star_weights,
+)
+from repro.stencil.kernels import (
+    BenchmarkKernel,
+    KERNELS,
+    get_kernel,
+    list_kernels,
+)
+from repro.stencil.boundary import (
+    BoundaryCondition,
+    Dirichlet,
+    Neumann,
+    Periodic,
+    Reflect,
+    parse_boundary,
+)
+from repro.stencil.fields import (
+    checkerboard,
+    gaussian_pulse,
+    hot_square,
+    plane_wave,
+    random_field,
+)
+from repro.stencil.grid import Grid
+from repro.stencil.reference import (
+    reference_apply,
+    reference_apply_naive,
+    reference_iterate,
+)
+
+__all__ = [
+    "Shape",
+    "StencilPattern",
+    "StencilWeights",
+    "box_weights",
+    "star_weights",
+    "radially_symmetric_weights",
+    "compose_weights",
+    "is_radially_symmetric",
+    "BenchmarkKernel",
+    "KERNELS",
+    "get_kernel",
+    "list_kernels",
+    "Grid",
+    "BoundaryCondition",
+    "Dirichlet",
+    "Periodic",
+    "Neumann",
+    "Reflect",
+    "parse_boundary",
+    "gaussian_pulse",
+    "hot_square",
+    "plane_wave",
+    "random_field",
+    "checkerboard",
+    "reference_apply",
+    "reference_apply_naive",
+    "reference_iterate",
+]

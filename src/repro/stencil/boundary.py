@@ -1,0 +1,108 @@
+"""Boundary conditions as first-class objects.
+
+:class:`~repro.stencil.grid.Grid` accepts either the string shorthands
+(``"constant"``, ``"periodic"``, ``"reflect"``, ``"edge"``) or one of
+these condition objects, which add the physically named variants:
+
+* :class:`Dirichlet` — fixed boundary value (``constant`` generalized);
+* :class:`Periodic` — wrap-around domain;
+* :class:`Neumann` — zero normal gradient (equivalent to ``edge``
+  replication at first order);
+* :class:`Reflect` — mirror about the boundary node.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "BoundaryCondition",
+    "Dirichlet",
+    "Periodic",
+    "Neumann",
+    "Reflect",
+    "parse_boundary",
+]
+
+
+class BoundaryCondition(abc.ABC):
+    """Materializes the halo around an interior array."""
+
+    #: string shorthand this condition answers to
+    name: str = ""
+
+    @abc.abstractmethod
+    def pad(self, interior: np.ndarray, radius: int) -> np.ndarray:
+        """Return ``interior`` padded by ``radius`` on every side."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+@dataclass(frozen=True, repr=False)
+class Dirichlet(BoundaryCondition):
+    """Fixed boundary value (default 0: the cold/absorbing boundary)."""
+
+    value: float = 0.0
+    name = "constant"
+
+    def pad(self, interior: np.ndarray, radius: int) -> np.ndarray:
+        return np.pad(interior, radius, mode="constant", constant_values=self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Dirichlet({self.value})"
+
+
+class Periodic(BoundaryCondition):
+    """Wrap-around domain."""
+
+    name = "periodic"
+
+    def pad(self, interior: np.ndarray, radius: int) -> np.ndarray:
+        return np.pad(interior, radius, mode="wrap")
+
+
+class Neumann(BoundaryCondition):
+    """Zero normal gradient: replicate the boundary value outward."""
+
+    name = "edge"
+
+    def pad(self, interior: np.ndarray, radius: int) -> np.ndarray:
+        return np.pad(interior, radius, mode="edge")
+
+
+class Reflect(BoundaryCondition):
+    """Mirror about the boundary node (symmetric extension)."""
+
+    name = "reflect"
+
+    def pad(self, interior: np.ndarray, radius: int) -> np.ndarray:
+        return np.pad(interior, radius, mode="reflect")
+
+
+_BY_NAME: dict[str, BoundaryCondition] = {
+    "constant": Dirichlet(0.0),
+    "periodic": Periodic(),
+    "edge": Neumann(),
+    "reflect": Reflect(),
+}
+
+
+def parse_boundary(
+    boundary: str | BoundaryCondition,
+    constant_value: float = 0.0,
+) -> BoundaryCondition:
+    """Normalize a string shorthand or condition object."""
+    if isinstance(boundary, BoundaryCondition):
+        return boundary
+    if boundary == "constant" and constant_value != 0.0:
+        return Dirichlet(constant_value)
+    if boundary in _BY_NAME:
+        return _BY_NAME[boundary]
+    raise ValueError(
+        f"boundary must be one of {sorted(_BY_NAME)} or a BoundaryCondition, "
+        f"got {boundary!r}"
+    )

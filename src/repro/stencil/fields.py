@@ -1,0 +1,93 @@
+"""Initial-condition library.
+
+Reusable field generators for examples, tests and studies: every
+generator takes a grid shape and returns a float64 array, so they plug
+straight into :class:`~repro.stencil.grid.Grid` or the engines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "gaussian_pulse",
+    "hot_square",
+    "plane_wave",
+    "random_field",
+    "checkerboard",
+]
+
+
+def _grids(shape: tuple[int, ...]) -> list[np.ndarray]:
+    axes = [np.arange(n, dtype=np.float64) for n in shape]
+    return list(np.meshgrid(*axes, indexing="ij"))
+
+
+def gaussian_pulse(
+    shape: tuple[int, ...],
+    center: tuple[float, ...] | None = None,
+    sigma: float | None = None,
+    amplitude: float = 1.0,
+) -> np.ndarray:
+    """Isotropic Gaussian bump (the classic diffusion/wave seed)."""
+    if center is None:
+        center = tuple((n - 1) / 2.0 for n in shape)
+    if len(center) != len(shape):
+        raise ValueError(f"center {center} does not match shape {shape}")
+    if sigma is None:
+        sigma = min(shape) / 8.0
+    if sigma <= 0:
+        raise ValueError(f"sigma must be > 0, got {sigma}")
+    r2 = sum((g - c) ** 2 for g, c in zip(_grids(shape), center))
+    return amplitude * np.exp(-r2 / (2.0 * sigma * sigma))
+
+
+def hot_square(
+    shape: tuple[int, ...],
+    half_width: int | None = None,
+    value: float = 100.0,
+) -> np.ndarray:
+    """A hot hypercube in a cold field (the heat-example initial state)."""
+    if half_width is None:
+        half_width = min(shape) // 8
+    if half_width < 1:
+        raise ValueError(f"half_width must be >= 1, got {half_width}")
+    out = np.zeros(shape, dtype=np.float64)
+    sl = tuple(
+        slice(max(0, n // 2 - half_width), min(n, n // 2 + half_width))
+        for n in shape
+    )
+    out[sl] = value
+    return out
+
+
+def plane_wave(
+    shape: tuple[int, ...],
+    wavevector: tuple[float, ...] | None = None,
+    phase: float = 0.0,
+) -> np.ndarray:
+    """``sin(k . x + phase)`` — eigenfunction-ish probe for dispersion."""
+    if wavevector is None:
+        wavevector = tuple(2.0 * np.pi / n for n in shape)
+    if len(wavevector) != len(shape):
+        raise ValueError(f"wavevector {wavevector} does not match {shape}")
+    arg = sum(k * g for k, g in zip(wavevector, _grids(shape)))
+    return np.sin(arg + phase)
+
+
+def random_field(
+    shape: tuple[int, ...],
+    seed: int = 0,
+    scale: float = 1.0,
+) -> np.ndarray:
+    """Deterministic Gaussian noise (the property-test workhorse)."""
+    return scale * np.random.default_rng(seed).normal(size=shape)
+
+
+def checkerboard(shape: tuple[int, ...], period: int = 1) -> np.ndarray:
+    """±1 checkerboard — the highest-frequency mode a grid carries,
+    maximally punishing for diffusion stencils."""
+    if period < 1:
+        raise ValueError(f"period must be >= 1, got {period}")
+    parity = sum(g // period for g in _grids(shape))
+    return np.where(parity.astype(np.int64) % 2 == 0, 1.0, -1.0)

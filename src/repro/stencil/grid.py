@@ -1,0 +1,103 @@
+"""Grids with halo regions and boundary handling.
+
+All stencil executors in this repository share one calling convention:
+they take a *padded* array (interior plus a halo of width ``radius`` on
+every side) and return the updated interior.  :class:`Grid` owns that
+padding: it stores the interior, materializes the halo through a
+:class:`~repro.stencil.boundary.BoundaryCondition` (or its string
+shorthand), and double-buffers across temporal iterations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.stencil.boundary import BoundaryCondition, parse_boundary
+
+__all__ = ["Grid"]
+
+
+class Grid:
+    """A d-dimensional grid with a halo of configurable boundary condition.
+
+    Parameters
+    ----------
+    interior:
+        Initial interior values (any dimensionality).
+    radius:
+        Halo width; must cover the radius of every stencil applied.
+    boundary:
+        A :class:`~repro.stencil.boundary.BoundaryCondition`, or one of
+        the shorthands ``"constant"`` (zero Dirichlet), ``"periodic"``,
+        ``"reflect"``, ``"edge"`` (zero-gradient Neumann).
+    """
+
+    def __init__(
+        self,
+        interior: np.ndarray,
+        radius: int,
+        boundary: str | BoundaryCondition = "constant",
+        constant_value: float = 0.0,
+    ) -> None:
+        if radius < 0:
+            raise ValueError(f"radius must be >= 0, got {radius}")
+        self._interior = np.array(interior, dtype=np.float64, copy=True)
+        self.radius = radius
+        self.condition = parse_boundary(boundary, constant_value)
+        self.boundary = self.condition.name
+        self.constant_value = float(constant_value)
+
+    # -- geometry ---------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        return self._interior.ndim
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._interior.shape
+
+    @property
+    def interior(self) -> np.ndarray:
+        """The interior values (a copy-safe read/write view)."""
+        return self._interior
+
+    # -- halo -------------------------------------------------------------
+    def padded(self) -> np.ndarray:
+        """Interior plus halo, materialized per the boundary condition."""
+        if self.radius == 0:
+            return self._interior.copy()
+        return self.condition.pad(self._interior, self.radius)
+
+    # -- time stepping ------------------------------------------------------
+    def step(self, apply_fn: Callable[[np.ndarray], np.ndarray]) -> None:
+        """Advance one timestep.
+
+        ``apply_fn`` receives the padded array and must return the new
+        interior (shape equal to :attr:`shape`).
+        """
+        out = apply_fn(self.padded())
+        if out.shape != self._interior.shape:
+            raise ValueError(
+                f"stencil returned shape {out.shape}, expected {self._interior.shape}"
+            )
+        self._interior = np.asarray(out, dtype=np.float64)
+
+    def run(
+        self,
+        apply_fn: Callable[[np.ndarray], np.ndarray],
+        iterations: int,
+    ) -> np.ndarray:
+        """Advance ``iterations`` timesteps and return the final interior."""
+        if iterations < 0:
+            raise ValueError(f"iterations must be >= 0, got {iterations}")
+        for _ in range(iterations):
+            self.step(apply_fn)
+        return self._interior
+
+    def copy(self) -> "Grid":
+        """Independent copy (same boundary condition and halo width)."""
+        return Grid(
+            self._interior, self.radius, self.condition, self.constant_value
+        )

@@ -1,0 +1,174 @@
+"""Benchmark kernel zoo (paper Table II).
+
+Each entry packages the stencil weights together with the problem size,
+iteration count and thread-block tile the paper benchmarks with:
+
+=============  ======  ==========================  =============
+Kernel         Points  Problem Size                Blocking Size
+=============  ======  ==========================  =============
+Heat-1D        3       10240000 x 10000            1024
+1D5P           5       10240000 x 10000            1024
+Heat-2D        5       10240 x 10240 x 10240       32 x 64
+Box-2D9P       9       10240 x 10240 x 10240       32 x 64
+Star-2D13P     13      10240 x 10240 x 10240       32 x 64
+Box-2D49P      49      10240 x 10240 x 10240       32 x 64
+Heat-3D        7       1024^3 x 1024               8 x 64
+Box-3D27P      27      1024^3 x 1024               8 x 64
+=============  ======  ==========================  =============
+
+(The trailing factor of each problem size is the temporal iteration
+count.)  Weights use the classic explicit finite-difference coefficients
+for the Heat kernels and fixed radially symmetric coefficients for the
+box/star kernels, so every kernel in the zoo satisfies the paper's
+radial-symmetry assumption (Section II-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stencil.patterns import Shape, StencilPattern
+from repro.stencil.weights import (
+    StencilWeights,
+    radially_symmetric_weights,
+    star_weights,
+)
+
+__all__ = ["BenchmarkKernel", "KERNELS", "get_kernel", "list_kernels"]
+
+
+@dataclass(frozen=True)
+class BenchmarkKernel:
+    """One row of Table II: a named stencil plus its benchmark config."""
+
+    name: str
+    weights: StencilWeights
+    problem_size: tuple[int, ...]
+    iterations: int
+    blocking: tuple[int, ...]
+
+    @property
+    def pattern(self) -> StencilPattern:
+        return self.weights.pattern
+
+    @property
+    def points(self) -> int:
+        return self.pattern.num_points
+
+    @property
+    def grid_points(self) -> int:
+        n = 1
+        for s in self.problem_size:
+            n *= s
+        return n
+
+    def small_problem(self, scale: int = 64) -> tuple[int, ...]:
+        """A shrunken problem size for functional (simulated) runs.
+
+        Keeps the dimensionality and aspect of the benchmark problem but
+        caps each axis at ``scale`` points so the pure-Python simulator
+        can execute it end to end.
+        """
+        return tuple(min(s, scale) for s in self.problem_size)
+
+
+def _heat_1d() -> StencilWeights:
+    alpha = 0.125
+    vals = np.array([alpha, 1.0 - 2.0 * alpha, alpha])
+    return StencilWeights(StencilPattern(Shape.STAR, 1, 1), vals)
+
+
+def _1d5p() -> StencilWeights:
+    # 4th-order central difference diffusion operator.
+    a, b = -1.0 / 12.0, 4.0 / 3.0
+    c = 1.0 - 2.0 * (a + b) * 0.1
+    vals = np.array([a, b, c, b, a]) * 0.1
+    vals[2] = 1.0 + 0.1 * (-2.5)
+    return StencilWeights(StencilPattern(Shape.STAR, 2, 1), vals)
+
+
+def _heat_2d() -> StencilWeights:
+    alpha = 0.125
+    axis = np.array([[alpha, alpha], [alpha, alpha]])
+    return star_weights(1, 2, axis_values=axis, center=1.0 - 4.0 * alpha)
+
+
+def _box_2d9p() -> StencilWeights:
+    # Radial classes for a 3x3 box: centre (0,0), edge (0,1), corner (1,1).
+    classes = {(0, 0): 0.5, (0, 1): 0.1, (1, 1): 0.025}
+    return radially_symmetric_weights(1, 2, class_values=classes)
+
+
+def _star_2d13p() -> StencilWeights:
+    # Order-3 star: weights fall off with distance, symmetric per axis.
+    w1, w2, w3 = 0.11, 0.025, 0.004
+    axis = np.array([[w3, w2, w1, w1, w2, w3]] * 2)
+    center = 1.0 - 4.0 * (w1 + w2 + w3)
+    return star_weights(3, 2, axis_values=axis, center=center)
+
+
+def _box_2d49p() -> StencilWeights:
+    # Radius-3 radially symmetric box; weights decay with the radial class.
+    classes: dict[tuple[int, ...], float] = {}
+    for i in range(4):
+        for j in range(i, 4):
+            classes[(i, j)] = 0.5 / (1.0 + i * i + j * j)
+    return radially_symmetric_weights(3, 2, class_values=classes)
+
+
+def _heat_3d() -> StencilWeights:
+    alpha = 0.08
+    axis = np.full((3, 2), alpha)
+    return star_weights(1, 3, axis_values=axis, center=1.0 - 6.0 * alpha)
+
+
+def _box_3d27p() -> StencilWeights:
+    classes = {
+        (0, 0, 0): 0.4,
+        (0, 0, 1): 0.05,
+        (0, 1, 1): 0.02,
+        (1, 1, 1): 0.00625,
+    }
+    return radially_symmetric_weights(1, 3, class_values=classes)
+
+
+def _build_zoo() -> dict[str, BenchmarkKernel]:
+    entries = [
+        BenchmarkKernel("Heat-1D", _heat_1d(), (10_240_000,), 10_000, (1024,)),
+        BenchmarkKernel("1D5P", _1d5p(), (10_240_000,), 10_000, (1024,)),
+        BenchmarkKernel("Heat-2D", _heat_2d(), (10_240, 10_240), 10_240, (32, 64)),
+        BenchmarkKernel("Box-2D9P", _box_2d9p(), (10_240, 10_240), 10_240, (32, 64)),
+        BenchmarkKernel(
+            "Star-2D13P", _star_2d13p(), (10_240, 10_240), 10_240, (32, 64)
+        ),
+        BenchmarkKernel(
+            "Box-2D49P", _box_2d49p(), (10_240, 10_240), 10_240, (32, 64)
+        ),
+        BenchmarkKernel(
+            "Heat-3D", _heat_3d(), (1024, 1024, 1024), 1024, (8, 64)
+        ),
+        BenchmarkKernel(
+            "Box-3D27P", _box_3d27p(), (1024, 1024, 1024), 1024, (8, 64)
+        ),
+    ]
+    return {k.name: k for k in entries}
+
+
+KERNELS: dict[str, BenchmarkKernel] = _build_zoo()
+
+
+def get_kernel(name: str) -> BenchmarkKernel:
+    """Look up a Table II kernel by name (case-insensitive)."""
+    for key, kernel in KERNELS.items():
+        if key.lower() == name.lower():
+            return kernel
+    raise KeyError(
+        f"unknown benchmark kernel {name!r}; available: {sorted(KERNELS)}"
+    )
+
+
+def list_kernels() -> list[str]:
+    """Names of all Table II kernels, in paper order."""
+    return list(KERNELS)

@@ -1,0 +1,106 @@
+"""Stencil dependence patterns.
+
+A *pattern* describes which neighbouring grid points a stencil reads,
+independently of the numeric weights attached to them.  The paper's
+taxonomy (Section II) distinguishes two shapes:
+
+``star``
+    neighbours displaced along a single dimension only (an axis cross),
+``box``
+    every point of the full ``(2h+1)^d`` hypercube around the centre.
+
+``h`` is the *radius* (also called *order* in the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+
+
+class Shape(enum.Enum):
+    """Shape of a stencil's dependence pattern."""
+
+    STAR = "star"
+    BOX = "box"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class StencilPattern:
+    """A (shape, radius, ndim) stencil dependence pattern.
+
+    Parameters
+    ----------
+    shape:
+        ``Shape.STAR`` or ``Shape.BOX``.
+    radius:
+        Number of neighbours reached along each axis direction (``h``).
+    ndim:
+        Spatial dimensionality of the grid (1, 2 or 3 in the paper).
+    """
+
+    shape: Shape
+    radius: int
+    ndim: int
+
+    def __post_init__(self) -> None:
+        if self.radius < 1:
+            raise ValueError(f"radius must be >= 1, got {self.radius}")
+        if self.ndim < 1:
+            raise ValueError(f"ndim must be >= 1, got {self.ndim}")
+
+    @property
+    def side(self) -> int:
+        """Edge length ``n = 2h + 1`` of the bounding hypercube."""
+        return 2 * self.radius + 1
+
+    @property
+    def num_points(self) -> int:
+        """Number of grid points read per update.
+
+        A box stencil reads the full hypercube; a star stencil reads the
+        centre plus ``2h`` points along each of the ``ndim`` axes.  In 1D
+        the two shapes coincide.
+        """
+        if self.shape is Shape.BOX or self.ndim == 1:
+            return self.side**self.ndim
+        return 2 * self.radius * self.ndim + 1
+
+    def offsets(self) -> list[tuple[int, ...]]:
+        """All dependence offsets relative to the centre point.
+
+        Offsets are tuples of length ``ndim`` with components in
+        ``[-h, h]``, sorted lexicographically.
+        """
+        rng = range(-self.radius, self.radius + 1)
+        if self.shape is Shape.BOX or self.ndim == 1:
+            return list(itertools.product(rng, repeat=self.ndim))
+        pts = {(0,) * self.ndim}
+        for axis in range(self.ndim):
+            for r in rng:
+                off = [0] * self.ndim
+                off[axis] = r
+                pts.add(tuple(off))
+        return sorted(pts)
+
+    def mask(self):
+        """Boolean occupancy array of shape ``(side,) * ndim``.
+
+        ``mask[idx] == True`` iff the offset ``idx - h`` participates in
+        the stencil.
+        """
+        import numpy as np
+
+        m = np.zeros((self.side,) * self.ndim, dtype=bool)
+        h = self.radius
+        for off in self.offsets():
+            m[tuple(o + h for o in off)] = True
+        return m
+
+    def label(self) -> str:
+        """Conventional name like ``Box-2D9P`` / ``Star-2D13P``."""
+        return f"{self.shape.value.capitalize()}-{self.ndim}D{self.num_points}P"

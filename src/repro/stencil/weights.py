@@ -1,0 +1,271 @@
+"""Stencil weight containers and generators.
+
+The numeric payload of a stencil is a dense ``(2h+1)^d`` array ``W``;
+the stencil update is the cross-correlation
+
+    ``out[i] = sum_o W[o + h] * in[i + o]``    for offsets ``o in [-h, h]^d``.
+
+The paper's low-rank machinery operates on the 2D *weight matrix* (for 2D
+stencils) or on the per-plane weight matrices (for 3D stencils, Alg. 2).
+This module also provides the *radially symmetric* generators whose rank
+bound ``rank(W) <= h + 1`` (Section II-C) powers Pyramidal Matrix
+Adaptation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.stencil.patterns import Shape, StencilPattern
+
+__all__ = [
+    "StencilWeights",
+    "box_weights",
+    "star_weights",
+    "radially_symmetric_weights",
+    "compose_weights",
+    "is_radially_symmetric",
+]
+
+
+@dataclass(frozen=True)
+class StencilWeights:
+    """A stencil pattern together with its dense weight array.
+
+    Attributes
+    ----------
+    pattern:
+        The dependence pattern the weights were built for.
+    array:
+        Dense ``(2h+1,)*ndim`` float64 array.  Points outside the pattern
+        (star stencils) carry exact zeros.
+    """
+
+    pattern: StencilPattern
+    array: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.array, dtype=np.float64)
+        expected = (self.pattern.side,) * self.pattern.ndim
+        if arr.shape != expected:
+            raise ValueError(
+                f"weight array shape {arr.shape} does not match pattern "
+                f"{self.pattern.label()} (expected {expected})"
+            )
+        object.__setattr__(self, "array", arr)
+
+    # -- basic geometry -------------------------------------------------
+    @property
+    def radius(self) -> int:
+        return self.pattern.radius
+
+    @property
+    def ndim(self) -> int:
+        return self.pattern.ndim
+
+    @property
+    def side(self) -> int:
+        return self.pattern.side
+
+    # -- views ----------------------------------------------------------
+    def as_matrix(self) -> np.ndarray:
+        """The 2D weight matrix ``W`` (only valid for 2D stencils)."""
+        if self.ndim != 2:
+            raise ValueError(f"as_matrix() requires a 2D stencil, got {self.ndim}D")
+        return self.array
+
+    def as_vector(self) -> np.ndarray:
+        """The 1D weight vector (only valid for 1D stencils)."""
+        if self.ndim != 1:
+            raise ValueError(f"as_vector() requires a 1D stencil, got {self.ndim}D")
+        return self.array
+
+    def planes(self) -> list[np.ndarray]:
+        """Decompose a 3D stencil into its ``2h+1`` 2D weight planes.
+
+        This is the plane view used by Algorithm 2 of the paper: plane
+        ``i`` is the 2D sub-stencil applied to input plane ``z + i - h``.
+        """
+        if self.ndim != 3:
+            raise ValueError(f"planes() requires a 3D stencil, got {self.ndim}D")
+        return [self.array[i] for i in range(self.side)]
+
+    # -- algebra ----------------------------------------------------------
+    def matrix_rank(self, tol: float = 1e-12) -> int:
+        """Numerical rank of the 2D weight matrix."""
+        return int(np.linalg.matrix_rank(self.as_matrix(), tol=tol))
+
+    def scaled(self, factor: float) -> "StencilWeights":
+        """New weights multiplied by ``factor`` (same pattern)."""
+        return StencilWeights(self.pattern, self.array * factor)
+
+    def nonzero_count(self) -> int:
+        """Number of grid points with nonzero weight."""
+        return int(np.count_nonzero(self.array))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StencilWeights):
+            return NotImplemented
+        return self.pattern == other.pattern and np.array_equal(
+            self.array, other.array
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.pattern, self.array.tobytes()))
+
+
+# ---------------------------------------------------------------------------
+# generators
+# ---------------------------------------------------------------------------
+
+def box_weights(
+    radius: int,
+    ndim: int,
+    values: np.ndarray | None = None,
+    rng: np.random.Generator | None = None,
+) -> StencilWeights:
+    """Dense box-stencil weights.
+
+    When ``values`` is omitted, random weights in ``[0.1, 1)`` are drawn
+    (bounded away from zero so low-rank pivots stay well conditioned).
+    """
+    pattern = StencilPattern(Shape.BOX, radius, ndim)
+    shape = (pattern.side,) * ndim
+    if values is None:
+        rng = rng or np.random.default_rng()
+        values = rng.uniform(0.1, 1.0, size=shape)
+    return StencilWeights(pattern, np.asarray(values, dtype=np.float64))
+
+
+def star_weights(
+    radius: int,
+    ndim: int,
+    axis_values: np.ndarray | None = None,
+    center: float | None = None,
+    rng: np.random.Generator | None = None,
+) -> StencilWeights:
+    """Star-stencil weights embedded in the dense ``(2h+1)^d`` array.
+
+    Parameters
+    ----------
+    axis_values:
+        Array of shape ``(ndim, 2 * radius)`` giving, per axis, the
+        weights at offsets ``-h..-1, 1..h`` (centre excluded).  Random
+        when omitted.
+    center:
+        Weight of the centre point (random when omitted).
+    """
+    pattern = StencilPattern(Shape.STAR, radius, ndim)
+    rng = rng or np.random.default_rng()
+    if axis_values is None:
+        axis_values = rng.uniform(0.1, 1.0, size=(ndim, 2 * radius))
+    axis_values = np.asarray(axis_values, dtype=np.float64)
+    if axis_values.shape != (ndim, 2 * radius):
+        raise ValueError(
+            f"axis_values must have shape {(ndim, 2 * radius)}, "
+            f"got {axis_values.shape}"
+        )
+    if center is None:
+        center = float(rng.uniform(0.1, 1.0))
+
+    h = radius
+    arr = np.zeros((pattern.side,) * ndim, dtype=np.float64)
+    centre_idx = (h,) * ndim
+    arr[centre_idx] = center
+    offsets = [o for o in range(-h, h + 1) if o != 0]
+    for axis in range(ndim):
+        for slot, off in enumerate(offsets):
+            idx = list(centre_idx)
+            idx[axis] = h + off
+            arr[tuple(idx)] = axis_values[axis, slot]
+    return StencilWeights(pattern, arr)
+
+
+def _radial_key(offset: tuple[int, ...]) -> tuple[int, ...]:
+    """Equivalence-class key for radial symmetry.
+
+    Two offsets share a weight iff their absolute coordinates are equal as
+    multisets.  This implies all the reflection/transpose symmetries the
+    paper's radially symmetric matrices possess (Fig. 2).
+    """
+    return tuple(sorted(abs(o) for o in offset))
+
+
+def radially_symmetric_weights(
+    radius: int,
+    ndim: int,
+    shape: Shape = Shape.BOX,
+    class_values: dict[tuple[int, ...], float] | None = None,
+    rng: np.random.Generator | None = None,
+) -> StencilWeights:
+    """Weights constant on radial symmetry classes (Section II-C).
+
+    Every offset whose absolute coordinates form the same multiset gets
+    the same weight.  For a 2D box stencil of radius ``h`` the resulting
+    weight matrix is symmetric under row flips, column flips and
+    transposition, and therefore has ``rank <= h + 1``.
+    """
+    pattern = StencilPattern(shape, radius, ndim)
+    rng = rng or np.random.default_rng()
+    class_values = dict(class_values or {})
+    h = radius
+    arr = np.zeros((pattern.side,) * ndim, dtype=np.float64)
+    for off in pattern.offsets():
+        key = _radial_key(off)
+        if key not in class_values:
+            class_values[key] = float(rng.uniform(0.1, 1.0))
+        arr[tuple(o + h for o in off)] = class_values[key]
+    return StencilWeights(pattern, arr)
+
+
+def is_radially_symmetric(weights: StencilWeights, tol: float = 1e-12) -> bool:
+    """True iff offsets in the same radial class carry the same weight.
+
+    ``tol`` is relative to the weight magnitude (floor 1.0), so kernels
+    produced by floating-point composition still register as symmetric.
+    """
+    h = weights.radius
+    seen: dict[tuple[int, ...], float] = {}
+    it = np.ndindex(*weights.array.shape)
+    for idx in it:
+        off = tuple(i - h for i in idx)
+        key = _radial_key(off)
+        val = float(weights.array[idx])
+        if key in seen:
+            if abs(seen[key] - val) > tol * max(1.0, abs(val)):
+                return False
+        else:
+            seen[key] = val
+    return True
+
+
+def compose_weights(first: StencilWeights, second: StencilWeights) -> StencilWeights:
+    """Temporal fusion of two stencils (Section IV-A).
+
+    Applying ``first`` and then ``second`` to a grid equals applying one
+    stencil whose weight array is the full convolution of the two weight
+    arrays; its radius is the sum of the radii.  Fusing a small kernel
+    with itself (e.g. 3x Box-2D9P -> a 7x7 kernel) is how LoRAStencil
+    keeps TCU fragments busy for low-radius stencils.
+    """
+    if first.ndim != second.ndim:
+        raise ValueError(
+            f"cannot compose {first.ndim}D stencil with {second.ndim}D stencil"
+        )
+    from scipy.signal import convolve
+
+    arr = convolve(first.array, second.array, mode="full")
+    radius = first.radius + second.radius
+    if (
+        first.pattern.shape is Shape.STAR
+        and second.pattern.shape is Shape.STAR
+        and first.ndim == 1
+    ):
+        shape = Shape.STAR
+    else:
+        # composing any 2D/3D pair (even star with star) fills the box
+        shape = Shape.BOX
+    pattern = StencilPattern(shape, radius, first.ndim)
+    return StencilWeights(pattern, arr)

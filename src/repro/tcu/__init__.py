@@ -1,0 +1,45 @@
+"""Tensor Core Unit (TCU) simulator.
+
+A functional, counter-exact model of the NVIDIA A100's FP64 tensor core
+path as the paper uses it:
+
+* ``m8n8k4`` MMA — fragment A is 8x4, fragment B is 4x8, the accumulator
+  C/D is 8x8 (Equation 1 with m=8, n=8, k=4);
+* the PTX per-thread register ownership of each fragment (Fig. 6a),
+  which is what makes Butterfly Vector Swapping shuffle-free;
+* shared/global memories whose load/store *requests* are counted the way
+  Nsight Compute counts them for Fig. 10;
+* warp-level ``load_matrix_sync`` / ``mma_sync`` / ``store_matrix_sync``
+  plus costed inter-thread shuffles.
+
+Arithmetic is executed in real FP64 through the per-thread register file,
+so any algorithm run on this simulator produces numbers directly
+comparable with the reference stencil executors.
+"""
+
+from repro.tcu.counters import EventCounters
+from repro.tcu.layouts import (
+    FP64_FRAGMENT_SHAPES,
+    FragmentKind,
+    owner_of,
+    registers_per_thread,
+    thread_slots,
+)
+from repro.tcu.fragment import Fragment
+from repro.tcu.memory import GlobalMemory, SharedMemory
+from repro.tcu.warp import Warp
+from repro.tcu.device import Device
+
+__all__ = [
+    "EventCounters",
+    "FragmentKind",
+    "FP64_FRAGMENT_SHAPES",
+    "owner_of",
+    "thread_slots",
+    "registers_per_thread",
+    "Fragment",
+    "SharedMemory",
+    "GlobalMemory",
+    "Warp",
+    "Device",
+]

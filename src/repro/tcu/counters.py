@@ -1,0 +1,121 @@
+"""Hardware event counters.
+
+One :class:`EventCounters` instance plays the role Nsight Compute plays in
+the paper's evaluation: every simulated warp operation increments the
+matching counter, and the figure harnesses read the totals.
+
+Counting conventions (fixed repository-wide so models and measurements
+agree):
+
+* ``shared_load_requests`` — one per warp-level fragment load from shared
+  memory (this is the unit of Eq. 12/13 and Fig. 10's "load requests");
+* ``shared_store_requests`` — one per 32 FP64 elements stored to shared
+  memory (a warp stores 32 lanes per instruction);
+* ``shared_bank_conflicts`` — replay cycles caused by warp lanes hitting
+  the same shared-memory bank (degree - 1 per access, FP64 word-bank
+  model); counted for fidelity, priced at zero by the cost model since
+  both evaluated systems pad their layouts to avoid them;
+* ``mma_ops`` — one per ``mma_sync`` (each is 2*8*8*4 = 512 FLOPs);
+* ``shuffle_ops`` — one per warp-wide ``__shfl_sync`` instruction;
+* ``cuda_core_flops`` — scalar FP64 FLOPs executed outside the TCU;
+* ``global_load_bytes`` / ``global_store_bytes`` — DRAM traffic;
+* ``register_intermediate_bytes`` — bytes staged through registers during
+  global->shared copies (zero when ``cp.async`` is used, Section IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["EventCounters", "MMA_FLOPS"]
+
+#: FLOPs performed by one FP64 m8n8k4 MMA (multiply + add per output lane).
+MMA_FLOPS = 2 * 8 * 8 * 4
+
+
+@dataclass
+class EventCounters:
+    """Mutable bundle of simulated hardware event counts."""
+
+    mma_ops: int = 0
+    shared_load_requests: int = 0
+    shared_store_requests: int = 0
+    shared_bank_conflicts: int = 0
+    shuffle_ops: int = 0
+    register_moves: int = 0
+    cuda_core_flops: int = 0
+    global_load_bytes: int = 0
+    global_store_bytes: int = 0
+    register_intermediate_bytes: int = 0
+    async_copies: int = 0
+
+    # -- arithmetic -------------------------------------------------------
+    def __add__(self, other: "EventCounters") -> "EventCounters":
+        if not isinstance(other, EventCounters):
+            return NotImplemented
+        return EventCounters(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def __iadd__(self, other: "EventCounters") -> "EventCounters":
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def scaled(self, factor: float) -> "EventCounters":
+        """Counters multiplied by ``factor`` (used to scale a measured
+        tile footprint up to a full problem size).  Values are rounded to
+        the nearest integer."""
+        return EventCounters(
+            **{f.name: round(getattr(self, f.name) * factor) for f in fields(self)}
+        )
+
+    # -- derived ----------------------------------------------------------
+    @property
+    def shared_total_requests(self) -> int:
+        """Load + store shared-memory requests (Fig. 10's "total")."""
+        return self.shared_load_requests + self.shared_store_requests
+
+    @property
+    def tensor_core_flops(self) -> int:
+        return self.mma_ops * MMA_FLOPS
+
+    @property
+    def total_flops(self) -> int:
+        return self.tensor_core_flops + self.cuda_core_flops
+
+    @property
+    def dram_bytes(self) -> int:
+        return self.global_load_bytes + self.global_store_bytes
+
+    def arithmetic_intensity(self) -> float:
+        """FLOP per DRAM byte (Table III's "AI")."""
+        if self.dram_bytes == 0:
+            return float("inf") if self.total_flops else 0.0
+        return self.total_flops / self.dram_bytes
+
+    # -- bookkeeping --------------------------------------------------------
+    def snapshot(self) -> "EventCounters":
+        """Immutable copy of the current counts."""
+        return EventCounters(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def diff(self, earlier: "EventCounters") -> "EventCounters":
+        """Counters accumulated since ``earlier`` was snapshotted."""
+        return EventCounters(
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        """Counter values keyed by field name."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}

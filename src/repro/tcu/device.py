@@ -1,0 +1,49 @@
+"""Device: the top-level simulator handle.
+
+A :class:`Device` ties one :class:`~repro.tcu.counters.EventCounters`
+ledger to the memories and warps created from it, and tracks the peak
+shared-memory allocation (the quantity the occupancy model in
+:mod:`repro.perf.occupancy` consumes — ConvStencil's stencil2row
+matrices lose occupancy exactly here).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tcu.counters import EventCounters
+from repro.tcu.memory import GlobalMemory, SharedMemory
+from repro.tcu.warp import Warp
+
+__all__ = ["Device"]
+
+
+class Device:
+    """One simulated GPU context: counters + memory factories + warps."""
+
+    def __init__(self) -> None:
+        self.counters = EventCounters()
+        self.peak_shared_bytes = 0
+
+    def shared(self, shape: tuple[int, int], name: str = "smem") -> SharedMemory:
+        """Allocate a shared-memory tile (per thread block)."""
+        smem = SharedMemory(shape, self.counters, name=name)
+        self.peak_shared_bytes = max(self.peak_shared_bytes, smem.nbytes)
+        return smem
+
+    def global_array(self, array: np.ndarray, name: str = "gmem") -> GlobalMemory:
+        """Wrap an array as DRAM-resident."""
+        return GlobalMemory(array, self.counters, name=name)
+
+    def warp(self) -> Warp:
+        """A warp wired to this device's counters."""
+        return Warp(self.counters)
+
+    # -- measurement helpers ------------------------------------------------
+    def snapshot(self) -> EventCounters:
+        """Counter snapshot for later differencing."""
+        return self.counters.snapshot()
+
+    def events_since(self, snapshot: EventCounters) -> EventCounters:
+        """Events accumulated since ``snapshot`` was taken."""
+        return self.counters.diff(snapshot)

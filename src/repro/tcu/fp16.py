@@ -1,0 +1,90 @@
+"""FP16 tensor-core arithmetic (the TCStencil data path).
+
+TCStencil (ICS'22) predates FP64 tensor cores and runs on the FP16
+``m16n16k16`` MMA: operands are rounded to half precision, products are
+accumulated in FP32.  This module models exactly that numeric pipeline
+so the repository can quantify the accuracy gap the paper cites as a
+core limitation of TCStencil ("limited to FP16 precision", Section VI).
+
+Only the *numerics* are modelled here — FP16 performance accounting
+lives in :class:`repro.baselines.tcstencil.TCStencilMethod`'s analytic
+footprint (Section V-A's /4 convention).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["FP16_TILE", "fp16_mma", "fp16_matmul", "quantize_fp16"]
+
+#: edge of the FP16 fragment (m = n = k = 16)
+FP16_TILE = 16
+
+
+def quantize_fp16(x: np.ndarray) -> np.ndarray:
+    """Round to IEEE half precision (and back to float64 for compute).
+
+    Values beyond the FP16 range saturate to infinity, exactly as the
+    hardware cast does (the overflow is intentional, not an error).
+    """
+    with np.errstate(over="ignore"):
+        return np.asarray(x, dtype=np.float16).astype(np.float64)
+
+
+def fp16_mma(
+    a: np.ndarray,
+    b: np.ndarray,
+    acc: np.ndarray | None = None,
+) -> np.ndarray:
+    """One ``m16n16k16`` MMA: FP16 operands, FP32 accumulation.
+
+    ``a`` and ``b`` are rounded to half precision; each product term is
+    exact in FP32 (half x half fits), and the accumulation is performed
+    in single precision — the documented behaviour of the V100/A100
+    FP16 tensor core with FP32 accumulators.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != (FP16_TILE, FP16_TILE) or b.shape != (FP16_TILE, FP16_TILE):
+        raise ValueError(
+            f"fp16_mma expects {FP16_TILE}x{FP16_TILE} operands, got "
+            f"{a.shape} x {b.shape}"
+        )
+    with np.errstate(over="ignore"):
+        prod = (
+            np.asarray(a, dtype=np.float16).astype(np.float32)
+            @ np.asarray(b, dtype=np.float16).astype(np.float32)
+        )
+    if acc is not None:
+        prod = (prod.astype(np.float32) + np.asarray(acc, dtype=np.float32))
+    return prod.astype(np.float32)
+
+
+def fp16_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Tiled FP16 GEMM: ``a @ b`` through 16x16x16 MMAs.
+
+    Shapes must be multiples of 16.  Returns the FP32 accumulator
+    matrix (as float64 for downstream convenience, values FP32-exact).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2:
+        raise ValueError(f"inner dimensions differ: {a.shape} x {b.shape}")
+    if m % FP16_TILE or n % FP16_TILE or k % FP16_TILE:
+        raise ValueError(
+            f"shapes must be multiples of {FP16_TILE}, got {a.shape} x {b.shape}"
+        )
+    out = np.zeros((m, n), dtype=np.float32)
+    for i in range(0, m, FP16_TILE):
+        for j in range(0, n, FP16_TILE):
+            acc = np.zeros((FP16_TILE, FP16_TILE), dtype=np.float32)
+            for p in range(0, k, FP16_TILE):
+                acc = fp16_mma(
+                    a[i : i + FP16_TILE, p : p + FP16_TILE],
+                    b[p : p + FP16_TILE, j : j + FP16_TILE],
+                    acc,
+                )
+            out[i : i + FP16_TILE, j : j + FP16_TILE] = acc
+    return out.astype(np.float64)

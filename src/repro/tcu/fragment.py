@@ -1,0 +1,115 @@
+"""Fragments: warp-distributed matrix tiles.
+
+A :class:`Fragment` stores its elements *as the hardware does* — in a
+``(32, registers_per_thread)`` per-thread register file — and converts
+to/from the dense matrix view through the PTX ownership maps in
+:mod:`repro.tcu.layouts`.  Keeping the register file as the primary
+representation is what lets the simulator demonstrate (rather than merely
+assert) that Butterfly Vector Swapping moves no data between threads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tcu.layouts import (
+    FP64_FRAGMENT_SHAPES,
+    WARP_SIZE,
+    FragmentKind,
+    owner_of,
+    registers_per_thread,
+    thread_slots,
+)
+
+__all__ = ["Fragment"]
+
+
+def _gather_index(kind: FragmentKind) -> tuple[np.ndarray, np.ndarray]:
+    """Precomputed (thread, register) index arrays of fragment shape."""
+    rows, cols = FP64_FRAGMENT_SHAPES[kind]
+    threads = np.empty((rows, cols), dtype=np.int64)
+    regs = np.empty((rows, cols), dtype=np.int64)
+    for i in range(rows):
+        for j in range(cols):
+            t, r = owner_of(kind, i, j)
+            threads[i, j] = t
+            regs[i, j] = r
+    return threads, regs
+
+
+_INDEX_CACHE: dict[FragmentKind, tuple[np.ndarray, np.ndarray]] = {
+    kind: _gather_index(kind) for kind in FragmentKind
+}
+
+
+class Fragment:
+    """A warp-distributed FP64 matrix tile.
+
+    Attributes
+    ----------
+    kind:
+        The fragment's role (:class:`FragmentKind`).
+    registers:
+        ``(32, registers_per_thread(kind))`` float64 register file;
+        ``registers[t, r]`` is thread ``t``'s register ``r``.
+    """
+
+    __slots__ = ("kind", "registers")
+
+    def __init__(self, kind: FragmentKind, registers: np.ndarray | None = None):
+        self.kind = kind
+        nregs = registers_per_thread(kind)
+        if registers is None:
+            registers = np.zeros((WARP_SIZE, nregs), dtype=np.float64)
+        else:
+            registers = np.asarray(registers, dtype=np.float64)
+            if registers.shape != (WARP_SIZE, nregs):
+                raise ValueError(
+                    f"register file for {kind.name} must be "
+                    f"({WARP_SIZE}, {nregs}), got {registers.shape}"
+                )
+        self.registers = registers
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def from_matrix(cls, kind: FragmentKind, matrix: np.ndarray) -> "Fragment":
+        """Distribute a dense matrix into the per-thread register file."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        expected = FP64_FRAGMENT_SHAPES[kind]
+        if matrix.shape != expected:
+            raise ValueError(
+                f"{kind.name} fragment expects shape {expected}, got {matrix.shape}"
+            )
+        frag = cls(kind)
+        threads, regs = _INDEX_CACHE[kind]
+        frag.registers[threads.ravel(), regs.ravel()] = matrix.ravel()
+        return frag
+
+    # -- views ---------------------------------------------------------------
+    def to_matrix(self) -> np.ndarray:
+        """Materialize the dense matrix from the register file."""
+        threads, regs = _INDEX_CACHE[self.kind]
+        return self.registers[threads, regs].copy()
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return FP64_FRAGMENT_SHAPES[self.kind]
+
+    def element(self, row: int, col: int) -> float:
+        """One matrix element, read through its owner's register."""
+        t, r = owner_of(self.kind, row, col)
+        return float(self.registers[t, r])
+
+    def thread_view(self, thread: int) -> list[tuple[tuple[int, int], float]]:
+        """The (position, value) pairs held by one thread."""
+        return [
+            ((i, j), float(self.registers[thread, r]))
+            for r, (i, j) in enumerate(thread_slots(self.kind, thread))
+        ]
+
+    def copy(self) -> "Fragment":
+        """Independent copy of the register file."""
+        return Fragment(self.kind, self.registers.copy())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Fragment({self.kind.name}, {self.shape[0]}x{self.shape[1]})"

@@ -1,0 +1,96 @@
+"""Execution tracing for the TCU simulator.
+
+A :class:`TraceRecorder` attached to an
+:class:`~repro.tcu.counters.EventCounters` ledger records every warp
+operation in order, so tests (and humans) can verify *scheduling*
+properties the counters alone cannot express — e.g. that a tile's input
+fragments are loaded before any MMA touches them, or that BVS splits
+sit between the two gather phases.
+
+Tracing is opt-in and zero-cost when disabled: the hot paths call
+:func:`maybe_trace`, which is a no-op unless a recorder is installed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tcu.counters import EventCounters
+
+__all__ = ["TraceEvent", "TraceRecorder", "install", "uninstall", "maybe_trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded warp-level operation."""
+
+    index: int
+    op: str
+    detail: str = ""
+
+
+@dataclass
+class TraceRecorder:
+    """Ordered log of simulator operations."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(self, op: str, detail: str = "") -> None:
+        """Append one event."""
+        self.events.append(TraceEvent(index=len(self.events), op=op, detail=detail))
+
+    # -- queries -----------------------------------------------------------
+    def ops(self) -> list[str]:
+        """The op names in execution order."""
+        return [e.op for e in self.events]
+
+    def count(self, op: str) -> int:
+        """How many times ``op`` was recorded."""
+        return sum(1 for e in self.events if e.op == op)
+
+    def first_index(self, op: str) -> int:
+        """Index of the first ``op`` event (ValueError if absent)."""
+        for e in self.events:
+            if e.op == op:
+                return e.index
+        raise ValueError(f"no {op!r} event recorded")
+
+    def last_index(self, op: str) -> int:
+        """Index of the last ``op`` event (ValueError if absent)."""
+        idx = -1
+        for e in self.events:
+            if e.op == op:
+                idx = e.index
+        if idx < 0:
+            raise ValueError(f"no {op!r} event recorded")
+        return idx
+
+    def render(self, limit: int = 50) -> str:
+        """Human-readable listing of the first ``limit`` events."""
+        lines = [f"{e.index:>6}  {e.op:<16} {e.detail}" for e in self.events[:limit]]
+        if len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more")
+        return "\n".join(lines)
+
+
+#: recorder registry keyed by the id of the counters object
+_RECORDERS: dict[int, TraceRecorder] = {}
+
+
+def install(counters: EventCounters) -> TraceRecorder:
+    """Attach (and return) a recorder for operations on ``counters``."""
+    recorder = TraceRecorder()
+    _RECORDERS[id(counters)] = recorder
+    return recorder
+
+
+def uninstall(counters: EventCounters) -> None:
+    """Detach the recorder (subsequent operations are not recorded)."""
+    _RECORDERS.pop(id(counters), None)
+
+
+def maybe_trace(counters: EventCounters, op: str, detail: str = "") -> None:
+    """Record ``op`` if a recorder is installed for ``counters``."""
+    recorder = _RECORDERS.get(id(counters))
+    if recorder is not None:
+        recorder.record(op, detail)

@@ -1,0 +1,36 @@
+"""Numerical verification against analytic solutions.
+
+The test suite proves the engines equal the *discrete* reference
+operator; this package proves the whole stack solves the *continuous*
+physics: explicit heat-equation runs driven by LoRAStencil converge to
+the analytic solution at the scheme's theoretical order as the grid is
+refined (the classic method-of-exact-solutions study).
+"""
+
+from repro.validation.dispersion import (
+    amplification_grid,
+    is_von_neumann_stable,
+    max_amplification,
+    measured_mode_decay,
+    symbol,
+)
+from repro.validation.convergence import (
+    ConvergencePoint,
+    convergence_study,
+    estimated_order,
+    heat_analytic_solution,
+    heat_kernel_for,
+)
+
+__all__ = [
+    "ConvergencePoint",
+    "convergence_study",
+    "estimated_order",
+    "heat_analytic_solution",
+    "heat_kernel_for",
+    "symbol",
+    "amplification_grid",
+    "max_amplification",
+    "is_von_neumann_stable",
+    "measured_mode_decay",
+]

@@ -1,0 +1,36 @@
+"""Tests for the Section V-D occupancy comparison."""
+
+import pytest
+
+from repro.analysis.occupancy_model import compare_occupancy
+from repro.stencil.kernels import get_kernel
+
+
+class TestOccupancyComparison:
+    @pytest.fixture(scope="class")
+    def box49(self):
+        return compare_occupancy(get_kernel("Box-2D49P").weights)
+
+    def test_convstencil_uses_more_shared_memory(self, box49):
+        """The stencil2row matrices cost shared capacity (Section V-D)."""
+        assert box49.shared_ratio > 1.0
+        assert box49.conv_shared_bytes > box49.lora_shared_bytes
+
+    def test_lorastencil_hosts_more_blocks(self, box49):
+        assert box49.lora_blocks_per_sm > box49.conv_blocks_per_sm
+
+    def test_lorastencil_higher_occupancy(self, box49):
+        assert box49.lora_occupancy > box49.conv_occupancy
+
+    def test_occupancies_in_range(self, box49):
+        for occ in (box49.lora_occupancy, box49.conv_occupancy):
+            assert 0 < occ <= 1
+
+    def test_all_2d_kernels_same_direction(self):
+        for name in ("Heat-2D", "Box-2D9P", "Star-2D13P"):
+            c = compare_occupancy(get_kernel(name).weights, grid=(48, 48))
+            assert c.shared_ratio > 1.0, name
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError):
+            compare_occupancy(get_kernel("Heat-3D").weights)

@@ -1,0 +1,55 @@
+"""Tests for the analytic-footprint helpers."""
+
+import pytest
+
+from repro.baselines.analytic import analytic_counters, halo_read_factor
+
+
+class TestHaloReadFactor:
+    def test_square_block(self):
+        # (32+2)^2 / 32^2
+        assert halo_read_factor((32, 32), 1) == pytest.approx((34 / 32) ** 2)
+
+    def test_zero_radius(self):
+        assert halo_read_factor((16, 16), 0) == 1.0
+
+    def test_grows_with_radius(self):
+        factors = [halo_read_factor((32, 32), h) for h in range(4)]
+        assert factors == sorted(factors)
+
+    def test_small_blocks_pay_more(self):
+        assert halo_read_factor((8, 8), 2) > halo_read_factor((64, 64), 2)
+
+    def test_3d(self):
+        assert halo_read_factor((8, 8, 8), 1) == pytest.approx((10 / 8) ** 3)
+
+    def test_1d(self):
+        assert halo_read_factor((1024,), 4) == pytest.approx(1032 / 1024)
+
+
+class TestAnalyticCounters:
+    def test_scaling_with_points(self):
+        c = analytic_counters(1000, flops_per_point=2.0, mma_per_point=0.5)
+        assert c.cuda_core_flops == 2000
+        assert c.mma_ops == 500
+
+    def test_defaults_compulsory_traffic(self):
+        c = analytic_counters(100)
+        assert c.global_load_bytes == 1600  # 16 B/pt default read
+        assert c.global_store_bytes == 800  # 8 B/pt write
+
+    def test_ceil_rounding(self):
+        c = analytic_counters(3, shared_loads_per_point=0.4)
+        assert c.shared_load_requests == 2  # ceil(1.2)
+
+    def test_all_fields_nonnegative(self):
+        c = analytic_counters(
+            10,
+            flops_per_point=1,
+            mma_per_point=1,
+            shared_loads_per_point=1,
+            shared_stores_per_point=1,
+            shuffles_per_point=1,
+            register_bytes_per_point=1,
+        )
+        assert all(v >= 0 for v in c.as_dict().values())

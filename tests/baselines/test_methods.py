@@ -1,0 +1,116 @@
+"""Cross-method tests: functional exactness and footprint sanity."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.registry import BASELINE_METHODS, all_methods, get_method
+from repro.stencil.kernels import KERNELS, get_kernel
+from repro.stencil.reference import reference_apply
+
+ALL_KERNELS = list(KERNELS)
+ALL_METHODS = list(BASELINE_METHODS)
+
+
+class TestRegistry:
+    def test_paper_lineup_order(self):
+        assert ALL_METHODS == [
+            "cuDNN",
+            "AMOS",
+            "Brick",
+            "DRStencil",
+            "TCStencil",
+            "ConvStencil",
+            "LoRAStencil",
+        ]
+
+    def test_all_methods_instantiation(self):
+        methods = all_methods(get_kernel("Box-2D9P"))
+        assert [m.name for m in methods] == ALL_METHODS
+
+    def test_get_method_case_insensitive(self):
+        m = get_method("lorastencil", get_kernel("Heat-2D"))
+        assert m.name == "LoRAStencil"
+
+    def test_get_method_extra(self):
+        m = get_method("Naive-CUDA", get_kernel("Heat-2D"))
+        assert m.name == "Naive-CUDA"
+
+    def test_unknown_method(self):
+        with pytest.raises(KeyError):
+            get_method("MagicStencil", get_kernel("Heat-2D"))
+
+
+class TestFunctionalExactness:
+    """Every method computes the identical stencil (the paper compares
+    performance of mathematically equivalent systems)."""
+
+    @pytest.mark.parametrize("method_name", ALL_METHODS)
+    @pytest.mark.parametrize("kernel_name", ["Heat-1D", "Heat-2D", "Box-2D49P"])
+    def test_methods_match_reference(self, rng, method_name, kernel_name):
+        kernel = get_kernel(kernel_name)
+        method = get_method(method_name, kernel)
+        h = kernel.weights.radius
+        shape = {1: (64 + 2 * h,), 2: (16 + 2 * h, 20 + 2 * h)}[kernel.weights.ndim]
+        x = rng.normal(size=shape)
+        assert np.allclose(
+            method.apply(x), reference_apply(x, kernel.weights), atol=1e-12
+        )
+
+    @pytest.mark.parametrize("method_name", ALL_METHODS)
+    def test_methods_match_reference_3d(self, rng, method_name):
+        kernel = get_kernel("Heat-3D")
+        method = get_method(method_name, kernel)
+        x = rng.normal(size=(5, 9, 11))
+        assert np.allclose(
+            method.apply(x), reference_apply(x, kernel.weights), atol=1e-12
+        )
+
+
+class TestFootprints:
+    @pytest.mark.parametrize("method_name", ALL_METHODS)
+    def test_footprint_positive(self, method_name):
+        kernel = get_kernel("Heat-2D")
+        method = get_method(method_name, kernel)
+        fp = method.footprint((32, 32))
+        assert fp.points > 0
+        per_pt = fp.per_point()
+        # every method moves data and does work
+        assert per_pt["global_load_bytes"] > 0
+        assert per_pt["mma_ops"] + per_pt["cuda_core_flops"] > 0
+
+    @pytest.mark.parametrize("method_name", ALL_METHODS)
+    def test_traits_sane(self, method_name):
+        method = get_method(method_name, get_kernel("Heat-2D"))
+        t = method.traits()
+        assert 0 < t.tcu_efficiency <= 1
+        assert 0 < t.cuda_efficiency <= 1
+        assert 0 < t.dram_efficiency <= 1
+        assert 0 < t.smem_efficiency <= 1
+        assert t.launch_overhead >= 1
+        assert t.time_scale >= 1
+        assert t.fixed_time_s >= 0
+
+    def test_tcstencil_time_scale_is_4(self):
+        """Section V-A's FP16 -> FP64 convention."""
+        m = get_method("TCStencil", get_kernel("Heat-2D"))
+        assert m.traits().time_scale == 4.0
+
+    def test_only_tcu_methods_issue_mma(self):
+        kernel = get_kernel("Box-2D49P")
+        for name in ALL_METHODS:
+            m = get_method(name, kernel)
+            per_pt = m.footprint((32, 32)).per_point()
+            if m.uses_tensor_cores:
+                assert per_pt["mma_ops"] > 0, name
+            else:
+                assert per_pt["mma_ops"] == 0, name
+
+    def test_lorastencil_loads_fewest_fragments(self):
+        """The RDG claim at footprint level: fewest shared loads among
+        tensor-core methods."""
+        kernel = get_kernel("Box-2D49P")
+        loads = {}
+        for name in ("AMOS", "ConvStencil", "LoRAStencil"):
+            m = get_method(name, kernel)
+            loads[name] = m.footprint((32, 32)).per_point()["shared_load_requests"]
+        assert loads["LoRAStencil"] < loads["ConvStencil"] < loads["AMOS"]

@@ -1,0 +1,36 @@
+"""Tests for the optimization configuration ladder."""
+
+import pytest
+
+from repro.core.config import OptimizationConfig
+
+
+class TestConfig:
+    def test_defaults_all_on(self):
+        c = OptimizationConfig()
+        assert c.use_tensor_cores and c.use_bvs and c.use_async_copy
+
+    def test_labels(self):
+        assert OptimizationConfig(use_tensor_cores=False).label() == "RDG(CUDA)"
+        assert (
+            OptimizationConfig(use_bvs=False, use_async_copy=False).label()
+            == "RDG+TCU"
+        )
+        assert OptimizationConfig(use_async_copy=False).label() == "RDG+TCU+BVS"
+        assert OptimizationConfig().label() == "RDG+TCU+BVS+AC"
+
+    def test_breakdown_levels_are_cumulative(self):
+        levels = OptimizationConfig.breakdown_levels()
+        assert len(levels) == 4
+        assert not levels[0].use_tensor_cores
+        assert levels[1].use_tensor_cores and not levels[1].use_bvs
+        assert levels[2].use_bvs and not levels[2].use_async_copy
+        assert levels[3] == OptimizationConfig()
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            OptimizationConfig().use_bvs = False
+
+    def test_distinct_labels(self):
+        labels = [c.label() for c in OptimizationConfig.breakdown_levels()]
+        assert len(set(labels)) == 4

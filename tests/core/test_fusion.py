@@ -1,0 +1,100 @@
+"""Tests for temporal kernel fusion (Section IV-A)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fusion import FusedKernel, fragment_waste, fuse_kernel, fusion_saving
+from repro.stencil.kernels import get_kernel
+from repro.stencil.reference import reference_iterate
+from repro.stencil.weights import radially_symmetric_weights
+
+
+class TestFuseKernel:
+    def test_radius_multiplies(self):
+        fk = fuse_kernel(get_kernel("Box-2D9P").weights, 3)
+        assert fk.radius == 3
+        assert fk.times == 3
+
+    def test_identity_fusion(self, rng):
+        w = radially_symmetric_weights(1, 2, rng=rng)
+        fk = fuse_kernel(w, 1)
+        assert np.allclose(fk.fused.array, w.array)
+
+    def test_invalid_times(self):
+        with pytest.raises(ValueError):
+            fuse_kernel(get_kernel("Box-2D9P").weights, 0)
+
+    @pytest.mark.parametrize("times", [2, 3])
+    def test_fusion_exact_periodic(self, rng, times):
+        """k fused steps == k sequential steps under periodic boundary."""
+        w = get_kernel("Box-2D9P").weights
+        fk = fuse_kernel(w, times)
+        x = rng.normal(size=(20, 20))
+        seq = reference_iterate(x, w, times, boundary="periodic")
+        fused = reference_iterate(x, fk.fused, 1, boundary="periodic")
+        assert np.allclose(seq, fused)
+
+    def test_fusion_exact_interior(self, rng):
+        """With constant boundary, the deep interior (further than the
+        fused radius from any edge) still matches."""
+        w = get_kernel("Box-2D9P").weights
+        fk = fuse_kernel(w, 3)
+        x = rng.normal(size=(24, 24))
+        seq = reference_iterate(x, w, 3)
+        fused = reference_iterate(x, fk.fused, 1)
+        assert np.allclose(seq[3:-3, 3:-3], fused[3:-3, 3:-3])
+
+    def test_fused_preserves_radial_symmetry(self, rng):
+        from repro.stencil.weights import is_radially_symmetric
+
+        fk = fuse_kernel(get_kernel("Box-2D9P").weights, 3)
+        assert is_radially_symmetric(fk.fused)
+
+    def test_fused_kernel_runs_through_pma(self, rng):
+        """The 3x-fused Box-2D9P is the paper's 7x7 working example —
+        it must take the pyramidal route."""
+        from repro.core.lowrank import decompose
+
+        fk = fuse_kernel(get_kernel("Box-2D9P").weights, 3)
+        d = decompose(fk.fused.as_matrix())
+        assert d.method == "pma"
+        assert d.max_error(fk.fused.as_matrix()) < 1e-12
+
+    def test_steps_for(self):
+        fk = fuse_kernel(get_kernel("Box-2D9P").weights, 3)
+        assert fk.steps_for(9) == 3
+        with pytest.raises(ValueError):
+            fk.steps_for(10)
+
+    def test_3d_fusion(self, rng):
+        w = get_kernel("Box-3D27P").weights
+        fk = fuse_kernel(w, 2)
+        x = rng.normal(size=(10, 10, 10))
+        seq = reference_iterate(x, w, 2, boundary="periodic")
+        fused = reference_iterate(x, fk.fused, 1, boundary="periodic")
+        assert np.allclose(seq, fused)
+
+
+class TestWasteModel:
+    def test_paper_numbers(self):
+        """Section IV-A: Box-2D9P wastes 156 of 256 window elements;
+        3x fusion leaves 60; saving = 96/156 ~ 61.54%."""
+        assert fragment_waste(1) == 156
+        assert fragment_waste(3) == 60
+        assert fusion_saving(1, 3) == pytest.approx(96 / 156)
+        assert fusion_saving(1, 3) == pytest.approx(0.6154, abs=1e-4)
+
+    def test_radius4_fills_window(self):
+        assert fragment_waste(4) == 0
+        assert fusion_saving(1, 4) == 1.0
+
+    def test_waste_monotonic(self):
+        waits = [fragment_waste(h) for h in range(5)]
+        assert waits == sorted(waits, reverse=True)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            fragment_waste(-1)
+
+    def test_zero_waste_saving_is_zero(self):
+        assert fusion_saving(4, 2) == 0.0

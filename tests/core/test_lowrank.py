@@ -1,0 +1,232 @@
+"""Tests for PMA / SVD low-rank decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.core.lowrank import (
+    Decomposition,
+    PivotError,
+    Rank1Term,
+    decompose,
+    pyramidal_decompose,
+    svd_decompose,
+)
+from repro.stencil.kernels import get_kernel
+from repro.stencil.weights import radially_symmetric_weights
+
+
+class TestRank1Term:
+    def test_matrix_is_outer_product(self, rng):
+        u, v = rng.normal(size=3), rng.normal(size=3)
+        t = Rank1Term(u=u, v=v, size=3, pad=0)
+        assert np.allclose(t.matrix(), np.outer(u, v))
+
+    def test_matrix_is_rank_one(self, rng):
+        t = Rank1Term(u=rng.normal(size=5), v=rng.normal(size=5), size=5, pad=1)
+        assert np.linalg.matrix_rank(t.matrix()) == 1
+
+    def test_embedded_pyramid_position(self, rng):
+        t = Rank1Term(u=rng.normal(size=3), v=rng.normal(size=3), size=3, pad=2)
+        emb = t.embedded(7)
+        assert emb.shape == (7, 7)
+        assert np.all(emb[:2, :] == 0) and np.all(emb[-2:, :] == 0)
+        assert np.allclose(emb[2:5, 2:5], t.matrix())
+
+    def test_embedded_too_small_rejected(self, rng):
+        t = Rank1Term(u=rng.normal(size=5), v=rng.normal(size=5), size=5, pad=2)
+        with pytest.raises(ValueError):
+            t.embedded(7)
+
+    def test_scalar_term(self):
+        t = Rank1Term(u=np.array([3.0]), v=np.array([2.0]), size=1, pad=3)
+        assert t.is_scalar
+        assert t.scalar_weight == 6.0
+
+    def test_scalar_weight_requires_scalar(self, rng):
+        t = Rank1Term(u=rng.normal(size=3), v=rng.normal(size=3), size=3, pad=0)
+        with pytest.raises(ValueError):
+            _ = t.scalar_weight
+
+    def test_even_size_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Rank1Term(u=rng.normal(size=4), v=rng.normal(size=4), size=4, pad=0)
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Rank1Term(u=rng.normal(size=3), v=rng.normal(size=5), size=3, pad=0)
+
+    def test_radius(self, rng):
+        t = Rank1Term(u=rng.normal(size=7), v=rng.normal(size=7), size=7, pad=0)
+        assert t.radius == 3
+
+
+class TestPyramidal:
+    @pytest.mark.parametrize("h", [1, 2, 3, 4, 5])
+    def test_exact_reconstruction(self, rng, h):
+        w = radially_symmetric_weights(h, 2, rng=rng).as_matrix()
+        d = pyramidal_decompose(w)
+        assert d.max_error(w) < 1e-12
+
+    @pytest.mark.parametrize("h", [1, 2, 3, 4])
+    def test_term_count_at_most_h_plus_1(self, rng, h):
+        w = radially_symmetric_weights(h, 2, rng=rng).as_matrix()
+        d = pyramidal_decompose(w)
+        assert len(d.terms) <= h + 1
+
+    def test_pyramid_sizes_decrease_by_two(self, rng):
+        w = radially_symmetric_weights(3, 2, rng=rng).as_matrix()
+        d = pyramidal_decompose(w)
+        sizes = [t.size for t in d.terms]
+        assert sizes == [7, 5, 3, 1]
+
+    def test_pads_increase(self, rng):
+        w = radially_symmetric_weights(3, 2, rng=rng).as_matrix()
+        d = pyramidal_decompose(w)
+        assert [t.pad for t in d.terms] == [0, 1, 2, 3]
+
+    def test_each_term_is_rank_one(self, rng):
+        w = radially_symmetric_weights(3, 2, rng=rng).as_matrix()
+        for t in pyramidal_decompose(w).matrix_terms:
+            assert np.linalg.matrix_rank(t.matrix()) == 1
+
+    def test_first_term_shares_border_with_w(self, rng):
+        """Fig. 5: C1 has the same first/last rows and columns as W."""
+        w = radially_symmetric_weights(3, 2, rng=rng).as_matrix()
+        c1 = pyramidal_decompose(w).terms[0].matrix()
+        assert np.allclose(c1[0, :], w[0, :])
+        assert np.allclose(c1[-1, :], w[-1, :])
+        assert np.allclose(c1[:, 0], w[:, 0])
+        assert np.allclose(c1[:, -1], w[:, -1])
+
+    def test_terms_are_radially_symmetric(self, rng):
+        """Radial symmetry of u and v makes every C_i radially symmetric."""
+        w = radially_symmetric_weights(3, 2, rng=rng).as_matrix()
+        for t in pyramidal_decompose(w).matrix_terms:
+            m = t.matrix()
+            assert np.allclose(m, np.flipud(m))
+            assert np.allclose(m, np.fliplr(m))
+
+    def test_asymmetric_matrix_rejected(self, rng):
+        w = rng.normal(size=(5, 5))
+        with pytest.raises(PivotError):
+            pyramidal_decompose(w)
+
+    def test_zero_pivot_with_nonzero_ring_rejected(self):
+        w = np.array(
+            [
+                [0.0, 1.0, 0.0],
+                [1.0, 2.0, 1.0],
+                [0.0, 1.0, 0.0],
+            ]
+        )
+        with pytest.raises(PivotError):
+            pyramidal_decompose(w)
+
+    def test_zero_border_ring_skipped(self, rng):
+        """A smaller kernel embedded in a larger matrix decomposes
+        without emitting terms for the empty rings."""
+        inner = radially_symmetric_weights(1, 2, rng=rng).as_matrix()
+        w = np.zeros((7, 7))
+        w[2:5, 2:5] = inner
+        d = pyramidal_decompose(w)
+        assert d.max_error(w) < 1e-12
+        assert all(t.pad >= 2 for t in d.terms)
+
+    def test_even_side_rejected(self):
+        with pytest.raises(ValueError):
+            pyramidal_decompose(np.ones((4, 4)))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            pyramidal_decompose(np.ones((3, 5)))
+
+    def test_scalar_apex_weight(self):
+        """Fig. 5's C4 is the 1x1 residue; checked on Box-2D49P."""
+        w = get_kernel("Box-2D49P").weights.as_matrix()
+        d = pyramidal_decompose(w)
+        assert d.terms[-1].is_scalar
+        partial = sum(t.embedded(7) for t in d.matrix_terms)
+        assert d.terms[-1].scalar_weight == pytest.approx(w[3, 3] - partial[3, 3])
+
+
+class TestSVD:
+    def test_exact_reconstruction_generic(self, rng):
+        w = rng.normal(size=(5, 5))
+        d = svd_decompose(w)
+        assert d.max_error(w) < 1e-10
+
+    def test_rank_matches_numpy(self, rng):
+        w = rng.normal(size=(2, 5)).T @ rng.normal(size=(2, 5))
+        d = svd_decompose(w)
+        assert len(d.terms) == np.linalg.matrix_rank(w)
+
+    def test_star_kernel(self):
+        w = get_kernel("Star-2D13P").weights.as_matrix()
+        d = svd_decompose(w)
+        assert d.max_error(w) < 1e-12
+        assert len(d.terms) == 2
+
+    def test_terms_full_size(self, rng):
+        w = rng.normal(size=(5, 5))
+        for t in svd_decompose(w).terms:
+            assert t.size == 5 and t.pad == 0
+
+    def test_1x1(self):
+        d = svd_decompose(np.array([[4.0]]))
+        assert len(d.terms) == 1
+        assert d.terms[0].scalar_weight == 4.0
+
+    def test_1x1_zero(self):
+        d = svd_decompose(np.array([[0.0]]))
+        assert len(d.terms) == 0
+
+    def test_zero_matrix(self):
+        d = svd_decompose(np.zeros((5, 5)))
+        assert len(d.terms) == 0
+        assert d.max_error(np.zeros((5, 5))) == 0.0
+
+
+class TestDispatch:
+    def test_radially_symmetric_uses_pma(self, rng):
+        w = radially_symmetric_weights(2, 2, rng=rng).as_matrix()
+        assert decompose(w).method == "pma"
+
+    def test_star_falls_back_to_svd(self):
+        w = get_kernel("Star-2D13P").weights.as_matrix()
+        assert decompose(w).method == "svd"
+
+    def test_generic_falls_back_to_svd(self, rng):
+        assert decompose(rng.normal(size=(5, 5))).method == "svd"
+
+    def test_pma_has_fewer_or_equal_matrix_terms(self, rng):
+        """PMA exploits symmetry: its pyramid never needs more matrix
+        terms than the SVD rank."""
+        for h in (1, 2, 3):
+            w = radially_symmetric_weights(h, 2, rng=rng).as_matrix()
+            pma = pyramidal_decompose(w)
+            svd = svd_decompose(w)
+            assert len(pma.matrix_terms) <= max(len(svd.terms), 1)
+
+    def test_matrix_vs_scalar_partition(self, rng):
+        w = radially_symmetric_weights(3, 2, rng=rng).as_matrix()
+        d = decompose(w)
+        matrix_ids = {id(t) for t in d.matrix_terms}
+        scalar_ids = {id(t) for t in d.scalar_terms}
+        assert matrix_ids | scalar_ids == {id(t) for t in d.terms}
+        assert not matrix_ids & scalar_ids
+
+
+class TestDecompositionContainer:
+    def test_rank_property(self, rng):
+        w = radially_symmetric_weights(2, 2, rng=rng).as_matrix()
+        d = decompose(w)
+        assert d.rank == len(d.terms)
+
+    def test_reconstruct_shape(self, rng):
+        w = radially_symmetric_weights(2, 2, rng=rng).as_matrix()
+        assert decompose(w).reconstruct().shape == (5, 5)
+
+    def test_decomposition_is_frozen(self, rng):
+        d = decompose(radially_symmetric_weights(1, 2, rng=rng).as_matrix())
+        with pytest.raises(AttributeError):
+            d.method = "other"

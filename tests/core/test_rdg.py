@@ -1,0 +1,144 @@
+"""Tests for the Residual Dimension Gathering tile engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OptimizationConfig
+from repro.core.lowrank import decompose
+from repro.core.rdg import OUT_TILE, RDGTileCompute
+from repro.stencil.kernels import get_kernel
+from repro.stencil.reference import reference_apply
+from repro.stencil.weights import radially_symmetric_weights
+from repro.tcu.device import Device
+
+
+def _tile_setup(rng, h, w_matrix, config=None):
+    """Build a device + shared window and the expected reference tile."""
+    tile = RDGTileCompute(decompose(w_matrix), h, config)
+    device = Device()
+    warp = device.warp()
+    smem = device.shared((tile.k_rows, tile.w_cols))
+    window = rng.normal(size=(tile.k_rows, tile.w_cols))
+    smem.data[:] = window
+    return tile, device, warp, smem, window
+
+
+class TestGeometry:
+    @pytest.mark.parametrize("h,k,w", [(1, 12, 16), (2, 12, 16), (3, 16, 16), (4, 16, 16)])
+    def test_window_alignment(self, rng, h, k, w):
+        wm = radially_symmetric_weights(h, 2, rng=rng).as_matrix()
+        tile = RDGTileCompute(decompose(wm), h)
+        assert tile.k_rows == k
+        assert tile.w_cols == w
+
+    def test_paper_counts_h3(self, rng):
+        """The 7x7 worked example: 8 fragment loads, 12 MMA per term per
+        tile, 36 MMA total for the rank-3+scalar pyramid."""
+        wm = get_kernel("Box-2D49P").weights.as_matrix()
+        tile = RDGTileCompute(decompose(wm), 3)
+        assert tile.fragment_loads_per_tile == 8
+        assert tile.mma_per_tile == 36
+
+    def test_radius_mismatch_rejected(self, rng):
+        wm = radially_symmetric_weights(2, 2, rng=rng).as_matrix()
+        with pytest.raises(ValueError):
+            RDGTileCompute(decompose(wm), 3)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("h", [1, 2, 3, 4])
+    def test_tile_matches_reference(self, rng, h):
+        wm = radially_symmetric_weights(h, 2, rng=rng)
+        tile, device, warp, smem, window = _tile_setup(rng, h, wm.as_matrix())
+        out = tile.compute_tile(warp, smem, 0, 0)
+        ref = reference_apply(window[: OUT_TILE + 2 * h, : OUT_TILE + 2 * h], wm)
+        assert np.allclose(out, ref[:OUT_TILE, :OUT_TILE])
+
+    def test_tile_at_offset(self, rng):
+        h = 1
+        wm = radially_symmetric_weights(h, 2, rng=rng)
+        tile = RDGTileCompute(decompose(wm.as_matrix()), h)
+        device = Device()
+        warp = device.warp()
+        smem = device.shared((tile.k_rows + 8, tile.w_cols + 8))
+        window = rng.normal(size=smem.shape)
+        smem.data[:] = window
+        out = tile.compute_tile(warp, smem, 8, 8)
+        ref = reference_apply(window[8 : 8 + 10, 8 : 8 + 10], wm)
+        assert np.allclose(out, ref)
+
+    def test_star_kernel_via_svd(self, rng):
+        wm = get_kernel("Star-2D13P").weights
+        tile, device, warp, smem, window = _tile_setup(rng, 3, wm.as_matrix())
+        out = tile.compute_tile(warp, smem, 0, 0)
+        ref = reference_apply(window[:14, :14], wm)
+        assert np.allclose(out, ref)
+
+    def test_without_bvs_same_result(self, rng):
+        h = 3
+        wm = radially_symmetric_weights(h, 2, rng=rng)
+        cfg = OptimizationConfig(use_bvs=False, use_async_copy=False)
+        tile, device, warp, smem, window = _tile_setup(rng, h, wm.as_matrix(), cfg)
+        out = tile.compute_tile(warp, smem, 0, 0)
+        ref = reference_apply(window[:14, :14], wm)
+        assert np.allclose(out, ref)
+
+    def test_cuda_path_same_result(self, rng):
+        h = 2
+        wm = radially_symmetric_weights(h, 2, rng=rng)
+        cfg = OptimizationConfig(use_tensor_cores=False)
+        tile, device, warp, smem, window = _tile_setup(rng, h, wm.as_matrix(), cfg)
+        out = tile.compute_tile(warp, smem, 0, 0)
+        ref = reference_apply(window[:12, :12], wm)
+        assert np.allclose(out, ref)
+
+
+class TestCounters:
+    def test_input_fragments_loaded_once_per_tile(self, rng):
+        """PMA reuse: fragment loads don't scale with the term count."""
+        h = 3
+        wm = radially_symmetric_weights(h, 2, rng=rng)
+        tile, device, warp, smem, _ = _tile_setup(rng, h, wm.as_matrix())
+        tile.compute_tile(warp, smem, 0, 0)
+        # 8 fragment loads + 2 scalar-tile requests for the pyramid apex
+        assert device.counters.shared_load_requests == 8 + 2
+
+    def test_mma_count_matches_model(self, rng):
+        h = 3
+        wm = radially_symmetric_weights(h, 2, rng=rng)
+        tile, device, warp, smem, _ = _tile_setup(rng, h, wm.as_matrix())
+        tile.compute_tile(warp, smem, 0, 0)
+        assert device.counters.mma_ops == tile.mma_per_tile
+
+    def test_bvs_eliminates_shuffles(self, rng):
+        h = 3
+        wm = radially_symmetric_weights(h, 2, rng=rng)
+        tile, device, warp, smem, _ = _tile_setup(rng, h, wm.as_matrix())
+        tile.compute_tile(warp, smem, 0, 0)
+        assert device.counters.shuffle_ops == 0
+
+    def test_naive_split_costs_shuffles(self, rng):
+        h = 3
+        wm = radially_symmetric_weights(h, 2, rng=rng)
+        cfg = OptimizationConfig(use_bvs=False)
+        tile, device, warp, smem, _ = _tile_setup(rng, h, wm.as_matrix(), cfg)
+        tile.compute_tile(warp, smem, 0, 0)
+        # 3 matrix terms x 2 column blocks x 6 shuffles per split
+        assert device.counters.shuffle_ops == 36
+
+    def test_cuda_path_no_mma(self, rng):
+        h = 2
+        wm = radially_symmetric_weights(h, 2, rng=rng)
+        cfg = OptimizationConfig(use_tensor_cores=False)
+        tile, device, warp, smem, _ = _tile_setup(rng, h, wm.as_matrix(), cfg)
+        tile.compute_tile(warp, smem, 0, 0)
+        assert device.counters.mma_ops == 0
+        assert device.counters.cuda_core_flops > 0
+
+    def test_scalar_term_uses_cuda_cores(self, rng):
+        h = 1
+        wm = radially_symmetric_weights(h, 2, rng=rng)
+        tile, device, warp, smem, _ = _tile_setup(rng, h, wm.as_matrix())
+        tile.compute_tile(warp, smem, 0, 0)
+        if tile.decomposition.scalar_terms:
+            assert device.counters.cuda_core_flops == 128  # one 8x8 axpy

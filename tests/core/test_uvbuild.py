@@ -1,0 +1,93 @@
+"""Tests for banded U/V construction and the butterfly order."""
+
+import numpy as np
+import pytest
+
+from repro.core.uvbuild import build_u_matrix, build_v_matrix, butterfly_row_order
+
+
+class TestBuildU:
+    def test_band_structure(self, rng):
+        u = rng.normal(size=3)
+        mat = build_u_matrix(u, 4, 8, offset=1)
+        for p in range(4):
+            assert np.array_equal(mat[p, p + 1 : p + 4], u)
+        assert np.count_nonzero(mat) <= 4 * 3
+
+    def test_each_row_shifts_right(self, rng):
+        u = rng.normal(size=5)
+        mat = build_u_matrix(u, 8, 16)
+        for p in range(1, 8):
+            assert np.array_equal(mat[p, p:], mat[p - 1, p - 1 : -1])
+
+    def test_does_not_fit_rejected(self, rng):
+        with pytest.raises(ValueError):
+            build_u_matrix(rng.normal(size=5), 8, 10)
+
+    def test_vector_required(self, rng):
+        with pytest.raises(ValueError):
+            build_u_matrix(rng.normal(size=(3, 3)), 8, 16)
+
+    def test_vertical_gather_semantics(self, rng):
+        """Row p of U @ X collects sum_t u[t] X[p + off + t]."""
+        u = rng.normal(size=3)
+        x = rng.normal(size=(8, 5))
+        mat = build_u_matrix(u, 4, 8, offset=2)
+        out = mat @ x
+        for p in range(4):
+            expected = sum(u[t] * x[p + 2 + t] for t in range(3))
+            assert np.allclose(out[p], expected)
+
+
+class TestBuildV:
+    def test_band_structure(self, rng):
+        v = rng.normal(size=3)
+        mat = build_v_matrix(v, 8, 4, offset=1)
+        for q in range(4):
+            assert np.array_equal(mat[q + 1 : q + 4, q], v)
+
+    def test_horizontal_gather_semantics(self, rng):
+        v = rng.normal(size=3)
+        t = rng.normal(size=(5, 8))
+        mat = build_v_matrix(v, 8, 4, offset=2)
+        out = t @ mat
+        for q in range(4):
+            expected = sum(v[s] * t[:, q + 2 + s] for s in range(3))
+            assert np.allclose(out[:, q], expected)
+
+    def test_v_is_u_transposed_relation(self, rng):
+        """Eq. 6 is the transpose structure of Eq. 5."""
+        vec = rng.normal(size=5)
+        u_mat = build_u_matrix(vec, 8, 16, offset=1)
+        v_mat = build_v_matrix(vec, 16, 8, offset=1)
+        assert np.array_equal(v_mat, u_mat.T)
+
+    def test_does_not_fit_rejected(self, rng):
+        with pytest.raises(ValueError):
+            build_v_matrix(rng.normal(size=5), 10, 8)
+
+
+class TestButterflyOrder:
+    def test_single_block(self):
+        assert list(butterfly_row_order(8)) == [0, 2, 4, 6, 1, 3, 5, 7]
+
+    def test_two_blocks(self):
+        order = list(butterfly_row_order(16))
+        assert order[:8] == [0, 2, 4, 6, 1, 3, 5, 7]
+        assert order[8:] == [8, 10, 12, 14, 9, 11, 13, 15]
+
+    def test_is_permutation(self):
+        for rows in (8, 16, 32):
+            assert sorted(butterfly_row_order(rows)) == list(range(rows))
+
+    def test_non_multiple_of_8_rejected(self):
+        with pytest.raises(ValueError):
+            butterfly_row_order(12)
+
+    def test_permutation_invariance_of_product(self, rng):
+        """Eq. 17 at matrix scale: permuting T columns and V rows by the
+        same order leaves T @ V unchanged."""
+        t = rng.normal(size=(8, 16))
+        v = rng.normal(size=(16, 8))
+        order = butterfly_row_order(16)
+        assert np.allclose(t @ v, t[:, order] @ v[order, :])

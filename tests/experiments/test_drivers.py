@@ -1,0 +1,158 @@
+"""Tests for the figure/table experiment drivers.
+
+These use reduced kernel sets / grids so they stay fast; the benchmark
+harness runs the full versions.
+"""
+
+import pytest
+
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.paper import PAPER
+from repro.experiments.report import format_table
+from repro.experiments.table3 import run_table3
+
+
+@pytest.fixture(scope="module")
+def fig8_small():
+    return run_fig8(kernels=["Heat-2D", "Box-2D49P"])
+
+
+class TestFig8:
+    def test_rows_complete(self, fig8_small):
+        assert len(fig8_small.rows) == 2 * 7
+
+    def test_lora_beats_all_on_2d(self, fig8_small):
+        """The headline claim on the 2D kernels."""
+        for kernel in ("Heat-2D", "Box-2D49P"):
+            lora = fig8_small.perf(kernel, "LoRAStencil")
+            for row in fig8_small.by_kernel(kernel):
+                if row.method != "LoRAStencil":
+                    assert lora > row.gstencil_per_s, (kernel, row.method)
+
+    def test_speedup_normalized_to_floor(self, fig8_small):
+        for kernel in ("Heat-2D", "Box-2D49P"):
+            speedups = [r.speedup for r in fig8_small.by_kernel(kernel)]
+            assert min(speedups) == pytest.approx(1.0)
+
+    def test_convstencil_beats_cudnn(self, fig8_small):
+        """Every stencil-specialized method outperforms cuDNN (Sec V-B)."""
+        for kernel in ("Heat-2D", "Box-2D49P"):
+            assert fig8_small.perf(kernel, "ConvStencil") > fig8_small.perf(
+                kernel, "cuDNN"
+            )
+
+    def test_table_rows_renderable(self, fig8_small):
+        text = format_table(fig8_small.table_rows(), "fig8")
+        assert "LoRAStencil" in text and "Heat-2D" in text
+
+    def test_missing_pair_raises(self, fig8_small):
+        with pytest.raises(KeyError):
+            fig8_small.perf("Heat-3D", "LoRAStencil")
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig9(sizes=(512, 10240), measure_grid=(64, 64))
+
+    def test_four_configs(self, result):
+        assert len(result.configs()) == 4
+
+    def test_monotone_in_size(self, result):
+        """Perf grows (or saturates) with input size — the Fig. 9 shape."""
+        for cfg in result.configs():
+            assert result.perf(cfg, 10240) >= result.perf(cfg, 512)
+
+    def test_each_optimization_helps(self, result):
+        cfgs = result.configs()
+        for before, after in zip(cfgs, cfgs[1:]):
+            assert result.gain(after, before, 10240) > 1.0
+
+    def test_paper_gains_at_large_size(self):
+        """Calibration targets: 2.14x (TCU), 4.00x (BVS), 1.297x (AC)."""
+        res = run_fig9(sizes=(10240,))
+        cfgs = res.configs()
+        assert res.gain(cfgs[1], cfgs[0], 10240) == pytest.approx(
+            PAPER["fig9_tcu_gain"], rel=0.1
+        )
+        assert res.gain(cfgs[2], cfgs[1], 10240) == pytest.approx(
+            PAPER["fig9_bvs_gain"], rel=0.1
+        )
+        assert res.gain(cfgs[3], cfgs[2], 10240) == pytest.approx(
+            PAPER["fig9_async_copy_gain"], rel=0.1
+        )
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # the two 2D kernels keep this test quick
+        return run_fig10(kernels=("Star-2D13P", "Box-2D49P"))
+
+    def test_rows(self, result):
+        assert len(result.rows) == 4
+
+    def test_lora_fewer_requests_everywhere(self, result):
+        for kernel in ("Star-2D13P", "Box-2D49P"):
+            assert result.ratio(kernel, "loads") < 1.0
+            assert result.ratio(kernel, "stores") < 1.0
+            assert result.ratio(kernel, "total") < 1.0
+
+    def test_box2d49p_load_ratio_near_eq14(self, result):
+        """Eq. 14 predicts RDG loads ~ 1/3.25 of ConvStencil's; the
+        measured ratio adds only the pyramid-apex scalar reads."""
+        assert result.ratio("Box-2D49P", "loads") == pytest.approx(
+            1 / 3.25, rel=0.3
+        )
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table3(kernels=("Box-2D49P",))
+
+    def test_lora_higher_ct_2d(self, result):
+        """Table III direction on Box-2D49P."""
+        lora = result.row("Box-2D49P", "LoRAStencil")
+        conv = result.row("Box-2D49P", "ConvStencil")
+        assert lora.ct_pct > conv.ct_pct
+
+    def test_lora_higher_ai_2d(self, result):
+        assert result.ai_ratio("Box-2D49P") > 1.0
+
+    def test_ai_ratio_near_paper(self, result):
+        paper = PAPER["table3"]["Box-2D49P"]
+        paper_ratio = paper["LoRAStencil"]["ai"] / paper["ConvStencil"]["ai"]
+        assert result.ai_ratio("Box-2D49P") == pytest.approx(paper_ratio, rel=0.35)
+
+
+class TestPaperRegistry:
+    def test_required_keys(self):
+        for key in (
+            "fig8_mean_speedup",
+            "fig9_bvs_gain",
+            "fig10_load_ratio",
+            "table3",
+            "eq14_ratio_h3",
+            "fusion_waste_saving",
+        ):
+            assert key in PAPER
+
+    def test_mean_speedups_ordered(self):
+        """cuDNN slowest ... ConvStencil closest."""
+        ms = PAPER["fig8_mean_speedup"]
+        assert ms["cuDNN"] > ms["AMOS"] > ms["Brick"] > ms["DRStencil"]
+        assert ms["DRStencil"] > ms["TCStencil"] > ms["ConvStencil"]
+
+
+class TestReport:
+    def test_empty(self):
+        assert format_table([]) == ""
+
+    def test_alignment(self):
+        text = format_table([["a", "bb"], ["ccc", "d"]])
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("a")

@@ -1,0 +1,68 @@
+"""Tests for footprint caching and the Fig. 9 utilization model."""
+
+import pytest
+
+from repro.baselines.lorastencil import LoRAStencilMethod
+from repro.core.config import OptimizationConfig
+from repro.experiments.fig9 import _utilization
+from repro.experiments.footprints import cached_footprint, clear_cache
+from repro.perf.machine import A100
+from repro.stencil.kernels import get_kernel
+
+
+class TestFootprintCache:
+    def setup_method(self):
+        clear_cache()
+
+    def teardown_method(self):
+        clear_cache()
+
+    def test_cache_returns_same_object(self):
+        m = LoRAStencilMethod(get_kernel("Heat-2D"))
+        a = cached_footprint(m, (32, 32))
+        b = cached_footprint(m, (32, 32))
+        assert a is b
+
+    def test_cache_distinguishes_grids(self):
+        m = LoRAStencilMethod(get_kernel("Heat-2D"))
+        a = cached_footprint(m, (32, 32))
+        b = cached_footprint(m, (40, 40))
+        assert a is not b
+
+    def test_cache_distinguishes_configs(self):
+        """The Fig. 9 regression: different optimization levels of the
+        same method must not share cache entries."""
+        k = get_kernel("Box-2D9P")
+        full = LoRAStencilMethod(k)
+        no_bvs = LoRAStencilMethod(k, config=OptimizationConfig(use_bvs=False))
+        a = cached_footprint(full, (32, 32))
+        b = cached_footprint(no_bvs, (32, 32))
+        assert a is not b
+        assert a.counters.shuffle_ops == 0
+        assert b.counters.shuffle_ops > 0
+
+    def test_cache_distinguishes_kernels(self):
+        a = cached_footprint(LoRAStencilMethod(get_kernel("Heat-2D")), (32, 32))
+        b = cached_footprint(LoRAStencilMethod(get_kernel("Box-2D9P")), (32, 32))
+        assert a is not b
+
+
+class TestUtilization:
+    def test_full_gpu_saturates_to_one(self):
+        # a 10240^2 grid launches ~51k blocks: far beyond one wave
+        assert _utilization(10240 * 10240, 16 * 1024, A100) > 0.95
+
+    def test_tiny_grid_underutilizes(self):
+        assert _utilization(256 * 256, 16 * 1024, A100) < 0.2
+
+    def test_monotone_in_points(self):
+        utils = [
+            _utilization(n * n, 16 * 1024, A100)
+            for n in (256, 512, 1024, 2048, 8192)
+        ]
+        assert all(a <= b + 1e-12 for a, b in zip(utils, utils[1:]))
+
+    def test_bounded(self):
+        for n in (64, 1000, 100_000):
+            u = _utilization(n, 16 * 1024, A100)
+            assert 0 < u <= 1

@@ -1,0 +1,121 @@
+"""Tests for result serialization and the sustained-run driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.driver import SimulationDriver
+from repro.experiments.fig8 import Fig8Result, Fig8Row
+from repro.experiments.fig10 import Fig10Result, Fig10Row
+from repro.experiments.io import load_result, save_result
+from repro.stencil.kernels import get_kernel
+from repro.stencil.reference import reference_iterate
+
+
+class TestResultIO:
+    def test_fig8_round_trip(self, tmp_path):
+        res = Fig8Result(
+            rows=[
+                Fig8Row("Heat-2D", "LoRAStencil", 100.0, 10.0),
+                Fig8Row("Heat-2D", "cuDNN", 10.0, 1.0),
+            ]
+        )
+        path = save_result(res, tmp_path / "fig8.json")
+        again = load_result(path)
+        assert again.rows == res.rows
+        assert again.perf("Heat-2D", "LoRAStencil") == 100.0
+
+    def test_fig10_round_trip(self, tmp_path):
+        res = Fig10Result(
+            rows=[
+                Fig10Row("Box-2D49P", "ConvStencil", 100.0, 50.0),
+                Fig10Row("Box-2D49P", "LoRAStencil", 30.0, 25.0),
+            ]
+        )
+        again = load_result(save_result(res, tmp_path / "fig10.json"))
+        assert again.ratio("Box-2D49P", "loads") == pytest.approx(0.3)
+
+    def test_unsupported_type_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_result({"not": "a result"}, tmp_path / "x.json")
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text('{"kind": "fig99", "rows": []}')
+        with pytest.raises(ValueError):
+            load_result(p)
+
+    def test_fig9_round_trip(self, tmp_path):
+        from repro.experiments.fig9 import Fig9Result, Fig9Row
+
+        res = Fig9Result(rows=[Fig9Row("RDG+TCU", 1024, 33.5)])
+        again = load_result(save_result(res, tmp_path / "fig9.json"))
+        assert again.perf("RDG+TCU", 1024) == 33.5
+
+    def test_table3_round_trip(self, tmp_path):
+        from repro.experiments.table3 import Table3Result, Table3Row
+
+        res = Table3Result(
+            rows=[
+                Table3Row("Box-2D49P", "LoRAStencil", 86.0, 15.3),
+                Table3Row("Box-2D49P", "ConvStencil", 45.8, 8.4),
+            ]
+        )
+        again = load_result(save_result(res, tmp_path / "t3.json"))
+        assert again.ai_ratio("Box-2D49P") == pytest.approx(15.3 / 8.4)
+
+    def test_real_driver_output_round_trips(self, tmp_path):
+        from repro.experiments.fig8 import run_fig8
+
+        res = run_fig8(kernels=["Heat-2D"], methods=["cuDNN", "LoRAStencil"])
+        again = load_result(save_result(res, tmp_path / "fig8.json"))
+        assert again.rows == res.rows
+
+
+class TestSimulationDriver:
+    def test_trajectory_matches_reference(self, rng):
+        k = get_kernel("Box-2D9P")
+        driver = SimulationDriver(k.weights)
+        x0 = rng.normal(size=(16, 16))
+        report = driver.run(x0, 4)
+        ref = reference_iterate(x0, k.weights, 4)
+        assert np.allclose(report.final, ref, atol=1e-10)
+
+    def test_counters_accumulate_across_steps(self, rng):
+        k = get_kernel("Box-2D9P")
+        driver = SimulationDriver(k.weights)
+        x0 = rng.normal(size=(16, 16))
+        one = driver.run(x0, 1)
+        three = driver.run(x0, 3)
+        assert three.counters.mma_ops == 3 * one.counters.mma_ops
+        assert three.point_steps == 3 * one.point_steps
+
+    def test_peak_shared_tracked(self, rng):
+        k = get_kernel("Box-2D49P")
+        report = SimulationDriver(k.weights).run(rng.normal(size=(16, 16)), 1)
+        assert report.peak_shared_bytes > 0
+
+    def test_sustained_gstencil_positive(self, rng):
+        from repro.baselines.base import MethodTraits
+
+        k = get_kernel("Box-2D9P")
+        report = SimulationDriver(k.weights).run(rng.normal(size=(16, 16)), 2)
+        assert report.sustained_gstencil(MethodTraits()) > 0
+
+    def test_zero_steps(self, rng):
+        k = get_kernel("Box-2D9P")
+        x0 = rng.normal(size=(12, 12))
+        report = SimulationDriver(k.weights).run(x0, 0)
+        assert np.array_equal(report.final, x0)
+        assert report.counters.mma_ops == 0
+
+    def test_periodic_boundary(self, rng):
+        k = get_kernel("Heat-2D")
+        driver = SimulationDriver(k.weights, boundary="periodic")
+        x0 = rng.normal(size=(16, 16))
+        report = driver.run(x0, 3)
+        ref = reference_iterate(x0, k.weights, 3, boundary="periodic")
+        assert np.allclose(report.final, ref, atol=1e-10)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationDriver(get_kernel("Heat-3D").weights)

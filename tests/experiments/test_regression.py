@@ -1,0 +1,40 @@
+"""Regression pinning: fresh measurements must equal the shipped snapshot."""
+
+import pytest
+
+from repro.experiments.regression import (
+    SNAPSHOT_PATH,
+    collect_snapshot,
+    compare,
+    load_snapshot,
+)
+
+
+class TestSnapshot:
+    def test_snapshot_shipped(self):
+        assert SNAPSHOT_PATH.exists()
+
+    def test_covers_all_pairs(self):
+        pinned = load_snapshot()
+        assert len(pinned) == 8 * 2  # Table II kernels x {LoRA, Conv}
+
+    @pytest.mark.slow
+    def test_measurements_match_pinned_exactly(self):
+        """The heart of the pin: simulator counters are deterministic,
+        so any drift is a real behavioural change."""
+        problems = compare(collect_snapshot(), load_snapshot())
+        assert not problems, "\n".join(problems)
+
+    def test_compare_detects_drift(self):
+        pinned = load_snapshot()
+        mutated = {k: {"points": v["points"], "counters": dict(v["counters"])}
+                   for k, v in pinned.items()}
+        key = next(iter(mutated))
+        mutated[key]["counters"]["mma_ops"] += 1
+        problems = compare(mutated, pinned)
+        assert len(problems) == 1 and "mma_ops" in problems[0]
+
+    def test_compare_detects_missing(self):
+        pinned = load_snapshot()
+        partial = dict(list(pinned.items())[:-1])
+        assert any("missing" in p for p in compare(partial, pinned))

@@ -1,0 +1,59 @@
+"""Tests for the SVG chart emitter."""
+
+import pytest
+
+from repro.experiments.svg import grouped_bar_chart, line_chart
+
+
+class TestGroupedBars:
+    def test_well_formed(self):
+        svg = grouped_bar_chart(
+            ["a", "b"], {"m1": [1.0, 2.0], "m2": [3.0, 4.0]}, title="t"
+        )
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert svg.count("<rect") == 4 + 2  # bars + legend swatches
+
+    def test_labels_escaped(self):
+        svg = grouped_bar_chart(["<k>"], {"a&b": [1.0]})
+        assert "&lt;k&gt;" in svg
+        assert "a&amp;b" in svg
+        assert "<k>" not in svg
+
+    def test_values_in_tooltips(self):
+        svg = grouped_bar_chart(["g"], {"m": [42.5]})
+        assert "42.50" in svg
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["a", "b"], {"m": [1.0]})
+
+    def test_zero_values_ok(self):
+        svg = grouped_bar_chart(["a"], {"m": [0.0]})
+        assert "<svg" in svg
+
+
+class TestLineChart:
+    def test_well_formed(self):
+        svg = line_chart([1.0, 10.0, 100.0], {"s": [1.0, 2.0, 3.0]}, log_x=True)
+        assert svg.startswith("<svg")
+        assert svg.count("<polyline") == 1
+
+    def test_multiple_series(self):
+        svg = line_chart(
+            [1.0, 2.0], {"a": [1.0, 2.0], "b": [2.0, 1.0], "c": [0.5, 0.5]}
+        )
+        assert svg.count("<polyline") == 3
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart([1.0], {"s": [1.0, 2.0]})
+
+    def test_log_x_monotone_pixels(self):
+        """Log scaling keeps points ordered left to right."""
+        svg = line_chart([1.0, 10.0, 100.0], {"s": [1.0, 1.0, 1.0]}, log_x=True)
+        poly = svg.split('<polyline points="')[1].split('"')[0]
+        xs = [float(p.split(",")[0]) for p in poly.split()]
+        assert xs == sorted(xs)
+        # log spacing: equal pixel gaps for equal ratios
+        assert xs[1] - xs[0] == pytest.approx(xs[2] - xs[1], abs=0.5)

@@ -1,0 +1,44 @@
+"""Tests for the grid-size sweep driver."""
+
+import pytest
+
+from repro.experiments.sweep import run_size_sweep
+
+
+class TestSizeSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_size_sweep("Heat-2D", sizes=(256, 1024, 10240))
+
+    def test_all_points_present(self, result):
+        assert len(result.rows) == 2 * 3
+        assert result.methods() == ["ConvStencil", "LoRAStencil"]
+        assert result.sizes() == [256, 1024, 10240]
+
+    def test_monotone_saturation(self, result):
+        for m in result.methods():
+            perfs = [result.perf(m, s) for s in result.sizes()]
+            assert perfs == sorted(perfs)
+
+    def test_utilization_bounds(self, result):
+        for r in result.rows:
+            assert 0 < r.utilization <= 1
+
+    def test_speedup_series(self, result):
+        series = result.speedup_series("LoRAStencil", "ConvStencil")
+        assert len(series) == 3
+        assert all(ratio > 0 for _, ratio in series)
+
+    def test_missing_point_raises(self, result):
+        with pytest.raises(KeyError):
+            result.perf("LoRAStencil", 999)
+
+    def test_custom_methods(self):
+        res = run_size_sweep(
+            "Heat-2D", methods=("cuDNN", "LoRAStencil"), sizes=(1024,)
+        )
+        assert res.perf("LoRAStencil", 1024) > res.perf("cuDNN", 1024)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            run_size_sweep("Heat-3D")

@@ -1,0 +1,87 @@
+"""The thesis test: the paper's headline claims, checked in one place.
+
+The benchmark harness regenerates the full artifacts; this module keeps
+the claims under ``pytest tests/`` so they are exercised on every test
+run (using reduced kernel subsets where the full sweep is expensive).
+"""
+
+import pytest
+
+from repro.experiments import PAPER, run_fig8, run_fig9, run_fig10, run_table3
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return run_fig8()
+
+
+class TestHeadlineClaims:
+    def test_lorastencil_wins_every_kernel(self, fig8):
+        """Abstract: "outperforms state-of-the-arts"."""
+        for kernel in {r.kernel for r in fig8.rows}:
+            lora = fig8.perf(kernel, "LoRAStencil")
+            for method in PAPER["fig8_mean_speedup"]:
+                assert lora >= fig8.perf(kernel, method), (kernel, method)
+
+    def test_max_speedup_over_convstencil(self, fig8):
+        """Abstract: "up to a 2.16x speedup"."""
+        _, mx = fig8.minmax_lora_speedup_over("ConvStencil")
+        assert mx == pytest.approx(PAPER["fig8_convstencil_speedup_max"], rel=0.15)
+
+    @pytest.mark.parametrize("method", list(PAPER["fig8_mean_speedup"]))
+    def test_mean_speedups_within_10pct(self, fig8, method):
+        """Section V-B's six mean-speedup sentences."""
+        mean = fig8.mean_lora_speedup_over(method)
+        assert mean == pytest.approx(PAPER["fig8_mean_speedup"][method], rel=0.10)
+
+    def test_3d_gap_most_pronounced(self, fig8):
+        """Section V-B: "in 3D, the performance improvement is
+        particularly pronounced" (vs ConvStencil)."""
+        gap_3d = max(
+            fig8.lora_speedup_over("ConvStencil", k)
+            for k in ("Heat-3D", "Box-3D27P")
+        )
+        gap_2d = max(
+            fig8.lora_speedup_over("ConvStencil", k)
+            for k in ("Heat-2D", "Box-2D9P", "Star-2D13P", "Box-2D49P")
+        )
+        assert gap_3d > gap_2d
+
+    def test_fig9_breakdown_factors(self):
+        """Section V-C: 2.14x TCU, 4.00x BVS, +29.7% async copy."""
+        res = run_fig9(sizes=(10240,))
+        cfgs = res.configs()
+        assert res.gain(cfgs[1], cfgs[0], 10240) == pytest.approx(2.14, rel=0.1)
+        assert res.gain(cfgs[2], cfgs[1], 10240) == pytest.approx(4.00, rel=0.1)
+        assert res.gain(cfgs[3], cfgs[2], 10240) == pytest.approx(1.297, rel=0.1)
+
+    def test_fig10_store_ratio(self):
+        """Section V-D: LoRAStencil stores = 47.0% of ConvStencil's
+        (2D kernels are enough to land near the paper's mean)."""
+        res = run_fig10(kernels=("Star-2D13P", "Box-2D49P"))
+        assert res.mean_ratio("stores") == pytest.approx(0.47, rel=0.35)
+        assert res.mean_ratio("loads") < 0.5
+
+    def test_table3_2d_directions(self):
+        """Section V-D: LoRAStencil's CT and AI both higher on 2D."""
+        res = run_table3(kernels=("Box-2D49P",))
+        lora = res.row("Box-2D49P", "LoRAStencil")
+        conv = res.row("Box-2D49P", "ConvStencil")
+        assert lora.ct_pct > conv.ct_pct
+        assert lora.ai > conv.ai
+        assert lora.ct_pct == pytest.approx(86.42, abs=3.0)
+
+    def test_eq14_and_eq16_constants(self):
+        """Section III's analysis numbers, exactly."""
+        from repro.analysis import memory_ratio, mma_ratio, redundancy_eliminated
+
+        assert memory_ratio(3) == pytest.approx(3.25)
+        assert memory_ratio(4) == pytest.approx(4.2)
+        assert redundancy_eliminated(3) == pytest.approx(0.6923, abs=1e-4)
+        assert mma_ratio(3) == pytest.approx(36 / 26)
+
+    def test_fusion_saving(self):
+        """Section IV-A: 61.54% of wasted window elements removed."""
+        from repro.core.fusion import fusion_saving
+
+        assert fusion_saving(1, 3) == pytest.approx(96 / 156)

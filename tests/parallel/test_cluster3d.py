@@ -1,0 +1,80 @@
+"""Tests for the 3D pencil-decomposed cluster."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.cluster3d import SimulatedCluster3D
+from repro.stencil.kernels import get_kernel
+from repro.stencil.reference import reference_iterate
+
+
+class TestCluster3D:
+    @pytest.mark.parametrize("mesh", [(1, 1), (2, 2), (2, 3)])
+    @pytest.mark.parametrize("boundary", ["constant", "periodic"])
+    def test_trajectory_matches_reference(self, rng, mesh, boundary):
+        w = get_kernel("Heat-3D").weights
+        x = rng.normal(size=(6, 12, 18))
+        cluster = SimulatedCluster3D(w, x.shape, mesh, boundary=boundary)
+        out = cluster.run(x, 3)
+        ref = reference_iterate(x, w, 3, boundary=boundary)
+        assert np.allclose(out, ref, atol=1e-10)
+
+    def test_box_kernel(self, rng):
+        w = get_kernel("Box-3D27P").weights
+        x = rng.normal(size=(5, 10, 14))
+        cluster = SimulatedCluster3D(w, x.shape, (2, 2))
+        out = cluster.run(x, 2)
+        ref = reference_iterate(x, w, 2)
+        assert np.allclose(out, ref, atol=1e-10)
+
+    def test_scatter_gather_round_trip(self, rng):
+        w = get_kernel("Heat-3D").weights
+        x = rng.normal(size=(4, 8, 12))
+        cluster = SimulatedCluster3D(w, x.shape, (2, 3))
+        assert np.array_equal(cluster.gather(cluster.scatter(x)), x)
+
+    def test_pencils_keep_z_whole(self, rng):
+        w = get_kernel("Heat-3D").weights
+        cluster = SimulatedCluster3D(w, (6, 12, 12), (2, 2))
+        blocks = cluster.scatter(rng.normal(size=(6, 12, 12)))
+        for block in blocks.values():
+            assert block.shape[0] == 6
+
+    def test_halo_bytes_scale_with_depth(self):
+        w = get_kernel("Heat-3D").weights
+        shallow = SimulatedCluster3D(w, (4, 16, 16), (2, 2))
+        deep = SimulatedCluster3D(w, (16, 16, 16), (2, 2))
+        assert deep.bytes_per_exchange(0) > shallow.bytes_per_exchange(0)
+        # proportional to padded depth
+        ratio = deep.bytes_per_exchange(0) / shallow.bytes_per_exchange(0)
+        assert ratio == pytest.approx((16 + 2) / (4 + 2))
+
+    def test_single_device_no_traffic(self):
+        w = get_kernel("Heat-3D").weights
+        cluster = SimulatedCluster3D(w, (4, 8, 8), (1, 1))
+        assert cluster.bytes_per_exchange(0) == 0
+
+    def test_exchanged_bytes_accumulate(self, rng):
+        w = get_kernel("Heat-3D").weights
+        x = rng.normal(size=(4, 8, 8))
+        cluster = SimulatedCluster3D(w, x.shape, (2, 2))
+        cluster.run(x, 2)
+        assert cluster.exchanged_bytes == 2 * sum(
+            cluster.bytes_per_exchange(s.rank) for s in cluster.part.subdomains
+        )
+
+    def test_2d_weights_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedCluster3D(get_kernel("Heat-2D").weights, (4, 8, 8), (1, 1))
+
+    def test_bad_boundary_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedCluster3D(
+                get_kernel("Heat-3D").weights, (4, 8, 8), (1, 1), boundary="edge"
+            )
+
+    def test_field_shape_checked(self, rng):
+        w = get_kernel("Heat-3D").weights
+        cluster = SimulatedCluster3D(w, (4, 8, 8), (1, 1))
+        with pytest.raises(ValueError):
+            cluster.scatter(rng.normal(size=(4, 8, 9)))

@@ -1,0 +1,64 @@
+"""Tests for grid partitioning."""
+
+import pytest
+
+from repro.parallel.decomposition import partition
+
+
+class TestPartition:
+    def test_covers_grid_exactly(self):
+        part = partition((40, 56), (2, 3))
+        cells = sum(s.shape[0] * s.shape[1] for s in part.subdomains)
+        assert cells == 40 * 56
+
+    def test_no_overlap(self):
+        part = partition((17, 23), (3, 2))
+        seen = set()
+        for sub in part.subdomains:
+            for i in range(sub.row_slice.start, sub.row_slice.stop):
+                for j in range(sub.col_slice.start, sub.col_slice.stop):
+                    assert (i, j) not in seen
+                    seen.add((i, j))
+        assert len(seen) == 17 * 23
+
+    def test_uneven_split_balanced(self):
+        part = partition((10, 10), (3, 3))
+        sizes = [s.shape for s in part.subdomains]
+        rows = {sh[0] for sh in sizes}
+        assert rows <= {3, 4}
+
+    def test_ranks_sequential(self):
+        part = partition((8, 8), (2, 2))
+        assert [s.rank for s in part.subdomains] == [0, 1, 2, 3]
+
+    def test_at_lookup(self):
+        part = partition((8, 8), (2, 2))
+        assert part.at(1, 0).rank == 2
+        assert part.at(1, 1).mesh_pos == (1, 1)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            partition((2, 8), (4, 1))
+
+    def test_bad_mesh_rejected(self):
+        with pytest.raises(ValueError):
+            partition((8, 8), (0, 2))
+
+
+class TestNeighbors:
+    def test_interior_neighbor(self):
+        part = partition((9, 9), (3, 3))
+        centre = part.at(1, 1)
+        assert part.neighbor(centre, -1, 0, periodic=False) == part.at(0, 1)
+        assert part.neighbor(centre, 0, 1, periodic=False) == part.at(1, 2)
+
+    def test_edge_without_periodic(self):
+        part = partition((9, 9), (3, 3))
+        corner = part.at(0, 0)
+        assert part.neighbor(corner, -1, 0, periodic=False) is None
+
+    def test_edge_with_periodic_wraps(self):
+        part = partition((9, 9), (3, 3))
+        corner = part.at(0, 0)
+        assert part.neighbor(corner, -1, 0, periodic=True) == part.at(2, 0)
+        assert part.neighbor(corner, 0, -1, periodic=True) == part.at(0, 2)

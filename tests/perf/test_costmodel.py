@@ -1,0 +1,115 @@
+"""Tests for the roofline cost model."""
+
+import pytest
+
+from repro.baselines.base import FootprintScale, MethodTraits
+from repro.perf.costmodel import cost_breakdown, gstencil_per_second, time_per_point
+from repro.perf.machine import A100
+from repro.tcu.counters import EventCounters
+
+
+def _fp(**kw) -> FootprintScale:
+    return FootprintScale(counters=EventCounters(**kw), points=kw.pop("points", 1) and 1)
+
+
+class TestTerms:
+    def test_tcu_term(self):
+        fp = FootprintScale(EventCounters(mma_ops=1000), points=1000)
+        t = MethodTraits(tcu_efficiency=0.5)
+        bd = cost_breakdown(fp, t)
+        assert bd.t_tcu == pytest.approx(512 / (A100.tcu_peak_flops * 0.5))
+
+    def test_cuda_term(self):
+        fp = FootprintScale(EventCounters(cuda_core_flops=970), points=1)
+        t = MethodTraits(cuda_efficiency=1.0)
+        bd = cost_breakdown(fp, t)
+        assert bd.t_cuda == pytest.approx(970 / A100.cuda_peak_flops)
+
+    def test_dram_term(self):
+        fp = FootprintScale(
+            EventCounters(global_load_bytes=100, global_store_bytes=50), points=1
+        )
+        bd = cost_breakdown(fp, MethodTraits(dram_efficiency=1.0))
+        assert bd.t_dram == pytest.approx(150 / A100.dram_bandwidth)
+
+    def test_smem_term(self):
+        fp = FootprintScale(
+            EventCounters(shared_load_requests=3, shared_store_requests=1), points=1
+        )
+        bd = cost_breakdown(fp, MethodTraits(smem_efficiency=1.0))
+        assert bd.t_smem == pytest.approx(4 * 256 / A100.smem_bandwidth)
+
+    def test_shuffle_term(self):
+        fp = FootprintScale(EventCounters(shuffle_ops=10), points=1)
+        bd = cost_breakdown(fp, MethodTraits())
+        assert bd.t_shuffle == pytest.approx(10 * A100.shuffle_stall_s)
+
+    def test_register_term(self):
+        fp = FootprintScale(EventCounters(register_intermediate_bytes=1430), points=1)
+        bd = cost_breakdown(fp, MethodTraits())
+        assert bd.t_reg == pytest.approx(1430 / A100.register_staging_bw)
+
+    def test_fixed_term(self):
+        fp = FootprintScale(EventCounters(), points=1)
+        bd = cost_breakdown(fp, MethodTraits(fixed_time_s=5e-11))
+        assert bd.total == pytest.approx(5e-11)
+
+
+class TestComposition:
+    def test_roofline_max(self):
+        """Compute and memory overlap: total = max of the two."""
+        fp = FootprintScale(
+            EventCounters(mma_ops=1, global_load_bytes=10_000), points=1
+        )
+        t = MethodTraits(tcu_efficiency=1.0, dram_efficiency=1.0)
+        bd = cost_breakdown(fp, t)
+        assert bd.total == pytest.approx(max(bd.t_compute, bd.t_memory))
+
+    def test_shuffles_serialize_with_tcu(self):
+        fp = FootprintScale(EventCounters(mma_ops=1, shuffle_ops=5), points=1)
+        bd = cost_breakdown(fp, MethodTraits())
+        assert bd.t_compute == pytest.approx(bd.t_tcu + bd.t_shuffle)
+
+    def test_memory_terms_additive(self):
+        fp = FootprintScale(
+            EventCounters(
+                global_load_bytes=100,
+                shared_load_requests=1,
+                register_intermediate_bytes=100,
+            ),
+            points=1,
+        )
+        bd = cost_breakdown(fp, MethodTraits())
+        assert bd.t_memory == pytest.approx(bd.t_dram + bd.t_smem + bd.t_reg)
+
+    def test_overhead_multiplies(self):
+        fp = FootprintScale(EventCounters(mma_ops=10), points=1)
+        t1 = cost_breakdown(fp, MethodTraits(launch_overhead=1.0)).total
+        t2 = cost_breakdown(fp, MethodTraits(launch_overhead=2.0)).total
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_time_scale_multiplies(self):
+        fp = FootprintScale(EventCounters(mma_ops=10), points=1)
+        t1 = cost_breakdown(fp, MethodTraits(time_scale=1.0)).total
+        t4 = cost_breakdown(fp, MethodTraits(time_scale=4.0)).total
+        assert t4 == pytest.approx(4 * t1)
+
+    def test_bound_labels(self):
+        comp = FootprintScale(EventCounters(mma_ops=100), points=1)
+        mem = FootprintScale(EventCounters(global_load_bytes=10**6), points=1)
+        assert cost_breakdown(comp, MethodTraits()).bound == "tcu"
+        assert cost_breakdown(mem, MethodTraits()).bound == "memory"
+
+
+class TestHelpers:
+    def test_gstencil_inverse_of_time(self):
+        fp = FootprintScale(EventCounters(mma_ops=100), points=100)
+        t = MethodTraits()
+        g = gstencil_per_second(fp, t)
+        assert g == pytest.approx(1.0 / time_per_point(fp, t) / 1e9)
+
+    def test_faster_traits_give_more_gstencils(self):
+        fp = FootprintScale(EventCounters(mma_ops=100), points=100)
+        slow = gstencil_per_second(fp, MethodTraits(tcu_efficiency=0.3))
+        fast = gstencil_per_second(fp, MethodTraits(tcu_efficiency=0.9))
+        assert fast > slow

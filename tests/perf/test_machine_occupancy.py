@@ -1,0 +1,53 @@
+"""Tests for the machine description and occupancy model."""
+
+import pytest
+
+from repro.perf.machine import A100, MachineSpec
+from repro.perf.occupancy import blocks_per_sm, occupancy_factor
+
+
+class TestA100:
+    def test_datasheet_values(self):
+        assert A100.tcu_peak_flops == 19.5e12
+        assert A100.dram_bandwidth == pytest.approx(1.935e12)
+        assert A100.num_sms == 108
+        assert A100.smem_capacity == 164 * 1024
+
+    def test_smem_request_bytes(self):
+        assert A100.bytes_per_smem_request == 256
+
+    def test_custom_machine(self):
+        m = MachineSpec(
+            name="toy",
+            tcu_peak_flops=1e12,
+            cuda_peak_flops=1e12,
+            dram_bandwidth=1e11,
+            smem_bandwidth=1e12,
+            issue_rate=1e11,
+            num_sms=4,
+            smem_capacity=1024,
+            shuffle_stall_s=1e-9,
+            register_staging_bw=1e11,
+        )
+        assert m.num_sms == 4
+
+
+class TestOccupancy:
+    def test_blocks_per_sm(self):
+        assert blocks_per_sm(A100.smem_capacity) == 1
+        assert blocks_per_sm(A100.smem_capacity // 4) == 4
+
+    def test_zero_bytes_full_occupancy(self):
+        assert occupancy_factor(0) == 1.0
+
+    def test_occupancy_decreases_with_footprint(self):
+        small = occupancy_factor(8 * 1024)
+        big = occupancy_factor(80 * 1024)
+        assert small > big
+
+    def test_occupancy_capped_at_one(self):
+        assert occupancy_factor(1) == 1.0
+
+    def test_oversized_block(self):
+        assert blocks_per_sm(A100.smem_capacity + 1) == 0
+        assert occupancy_factor(A100.smem_capacity + 1) == 0.0

@@ -1,0 +1,61 @@
+"""Tests for the evaluation metrics (Eq. 18, Table III quantities)."""
+
+import pytest
+
+from repro.baselines.base import FootprintScale, MethodTraits
+from repro.perf.metrics import arithmetic_intensity, compute_throughput_pct, gstencils
+from repro.tcu.counters import EventCounters
+
+
+class TestGStencils:
+    def test_eq18(self):
+        # T * prod(N) / (t * 1e9)
+        assert gstencils(10, (1000, 1000), 1.0) == pytest.approx(0.01)
+
+    def test_1d(self):
+        assert gstencils(10_000, (10_240_000,), 1000.0) == pytest.approx(0.1024)
+
+    def test_zero_time_rejected(self):
+        with pytest.raises(ValueError):
+            gstencils(1, (10,), 0.0)
+
+
+class TestArithmeticIntensity:
+    def test_flops_per_byte(self):
+        fp = FootprintScale(
+            EventCounters(mma_ops=1, global_load_bytes=256, global_store_bytes=256),
+            points=1,
+        )
+        assert arithmetic_intensity(fp) == pytest.approx(1.0)
+
+    def test_cuda_flops_count(self):
+        fp = FootprintScale(
+            EventCounters(cuda_core_flops=100, global_load_bytes=50), points=1
+        )
+        assert arithmetic_intensity(fp) == pytest.approx(2.0)
+
+    def test_no_traffic(self):
+        fp = FootprintScale(EventCounters(mma_ops=1), points=1)
+        assert arithmetic_intensity(fp) == float("inf")
+
+
+class TestComputeThroughput:
+    def test_tcu_bound_equals_efficiency(self):
+        """A purely TCU-bound method achieves exactly its calibrated
+        efficiency as CT%."""
+        fp = FootprintScale(EventCounters(mma_ops=1000), points=1000)
+        traits = MethodTraits(tcu_efficiency=0.86)
+        assert compute_throughput_pct(fp, traits) == pytest.approx(86.0)
+
+    def test_memory_bound_lowers_ct(self):
+        fp = FootprintScale(
+            EventCounters(mma_ops=10, global_load_bytes=10**5), points=1
+        )
+        traits = MethodTraits(tcu_efficiency=0.86)
+        assert compute_throughput_pct(fp, traits) < 86.0
+
+    def test_cuda_core_variant(self):
+        fp = FootprintScale(EventCounters(cuda_core_flops=1000), points=1)
+        traits = MethodTraits(cuda_efficiency=0.5)
+        ct = compute_throughput_pct(fp, traits, tensor_cores=False)
+        assert ct == pytest.approx(50.0)

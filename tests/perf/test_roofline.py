@@ -1,0 +1,62 @@
+"""Tests for the roofline analysis module."""
+
+import pytest
+
+from repro.baselines.base import FootprintScale, MethodTraits
+from repro.perf.machine import A100
+from repro.perf.roofline import ridge_intensity, roofline_point
+from repro.tcu.counters import EventCounters
+
+
+def _fp(mma=0, flops=0, load_b=0, store_b=0, points=1):
+    return FootprintScale(
+        EventCounters(
+            mma_ops=mma,
+            cuda_core_flops=flops,
+            global_load_bytes=load_b,
+            global_store_bytes=store_b,
+        ),
+        points=points,
+    )
+
+
+class TestRidge:
+    def test_tcu_ridge(self):
+        assert ridge_intensity() == pytest.approx(19.5e12 / 1.935e12)
+
+    def test_cuda_ridge_lower(self):
+        assert ridge_intensity(tensor_cores=False) < ridge_intensity()
+
+
+class TestRooflinePoint:
+    def test_bandwidth_bound_classification(self):
+        fp = _fp(mma=1, load_b=10_000)
+        pt = roofline_point(fp, MethodTraits())
+        assert pt.bound == "bandwidth"
+        assert pt.attainable_flops < pt.peak_flops
+
+    def test_compute_bound_classification(self):
+        fp = _fp(mma=1000, load_b=8)
+        pt = roofline_point(fp, MethodTraits())
+        assert pt.bound == "compute"
+        assert pt.attainable_flops == pt.peak_flops
+
+    def test_achieved_never_exceeds_attainable(self):
+        for mma, load in [(1, 8), (100, 8), (1, 10_000)]:
+            pt = roofline_point(_fp(mma=mma, load_b=load), MethodTraits())
+            assert pt.achieved_flops <= pt.attainable_flops * 1.0001
+
+    def test_roof_efficiency_range(self):
+        pt = roofline_point(_fp(mma=10, load_b=100), MethodTraits())
+        assert 0 < pt.roof_efficiency <= 1
+
+    def test_infinite_ai_without_traffic(self):
+        pt = roofline_point(_fp(mma=5), MethodTraits())
+        assert pt.arithmetic_intensity == float("inf")
+        assert pt.bound == "compute"
+
+    def test_cuda_peak_used_for_non_tcu(self):
+        pt = roofline_point(
+            _fp(flops=1000, load_b=8), MethodTraits(), tensor_cores=False
+        )
+        assert pt.peak_flops == A100.cuda_peak_flops

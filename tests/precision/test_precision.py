@@ -1,0 +1,89 @@
+"""Tests for the FP16 TCStencil pipeline and error-growth analysis."""
+
+import numpy as np
+import pytest
+
+from repro.precision import TCStencilFP16, precision_sweep
+from repro.stencil.kernels import get_kernel
+from repro.stencil.reference import reference_apply
+from repro.stencil.weights import box_weights
+
+
+class TestTCStencilFP16:
+    @pytest.mark.parametrize("name", ["Heat-2D", "Box-2D9P", "Box-2D49P"])
+    def test_approximates_reference(self, rng, name):
+        """FP16-correct: error present, but at half-precision scale."""
+        w = get_kernel(name).weights
+        eng = TCStencilFP16(w)
+        x = rng.normal(size=(30 + 2 * w.radius, 41 + 2 * w.radius))
+        out = eng.apply(x)
+        ref = reference_apply(x, w)
+        err = np.abs(out - ref).max()
+        assert 0 < err < 5e-3  # genuine FP16 rounding, not a bug
+
+    def test_far_better_than_garbage(self, rng):
+        w = get_kernel("Box-2D9P").weights
+        eng = TCStencilFP16(w)
+        x = rng.normal(size=(20, 20))
+        out = eng.apply(x)
+        ref = reference_apply(x, w)
+        assert np.linalg.norm(out - ref) < 1e-2 * np.linalg.norm(ref)
+
+    def test_passes_property(self):
+        assert TCStencilFP16(get_kernel("Box-2D49P").weights).passes == 7
+        assert TCStencilFP16(get_kernel("Heat-2D").weights).passes == 3
+
+    def test_shape_handling(self, rng):
+        w = get_kernel("Box-2D9P").weights
+        eng = TCStencilFP16(w)
+        x = rng.normal(size=(19, 23))  # deliberately unaligned
+        assert eng.apply(x).shape == (17, 21)
+
+    def test_exact_for_fp16_exact_data(self, rng):
+        """Inputs and weights representable in FP16 with small products:
+        the pipeline is then exact, proving error comes only from
+        quantization."""
+        vals = rng.integers(-2, 3, size=(3, 3)).astype(np.float64) * 0.25
+        w = box_weights(1, 2, values=vals)
+        x = rng.integers(-4, 5, size=(18, 18)).astype(np.float64) * 0.5
+        out = TCStencilFP16(w).apply(x)
+        assert np.array_equal(out, reference_apply(x, w))
+
+    def test_rejects_bad_shapes(self, rng):
+        with pytest.raises(ValueError):
+            TCStencilFP16(np.ones((4, 4)))
+        eng = TCStencilFP16(get_kernel("Box-2D9P").weights)
+        with pytest.raises(ValueError):
+            eng.apply(rng.normal(size=10))
+
+
+class TestPrecisionSweep:
+    def test_points_per_checkpoint(self):
+        pts = precision_sweep(
+            get_kernel("Heat-2D").weights, grid_shape=(32, 32), steps=(1, 3, 5)
+        )
+        assert [p.step for p in pts] == [1, 3, 5]
+
+    def test_errors_at_fp16_scale(self):
+        pts = precision_sweep(
+            get_kernel("Heat-2D").weights, grid_shape=(32, 32), steps=(1, 8)
+        )
+        for p in pts:
+            assert 1e-6 < p.max_abs_err < 1e-2
+            assert p.rel_l2_err > 0
+
+    def test_error_nonvanishing_over_time(self):
+        """The FP16 trajectory keeps a persistent gap from FP64."""
+        pts = precision_sweep(
+            get_kernel("Box-2D9P").weights, grid_shape=(32, 32), steps=(1, 16)
+        )
+        assert pts[-1].rel_l2_err > 0.25 * pts[0].rel_l2_err
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError):
+            precision_sweep(get_kernel("Heat-3D").weights)
+
+    def test_deterministic(self):
+        a = precision_sweep(get_kernel("Heat-2D").weights, steps=(2,), seed=7)
+        b = precision_sweep(get_kernel("Heat-2D").weights, steps=(2,), seed=7)
+        assert a == b

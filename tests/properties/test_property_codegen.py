@@ -1,0 +1,64 @@
+"""Property-based tests for the CUDA emitter and tile programs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen import generate_cuda_kernel
+from repro.core.lowrank import decompose
+from repro.core.rdg import RDGTileCompute
+from repro.stencil.reference import reference_apply
+from repro.stencil.weights import radially_symmetric_weights
+from repro.tcu.device import Device
+from repro.tcu.program import (
+    build_tile_program,
+    execute_program,
+    schedule_prefetch,
+)
+
+
+@st.composite
+def radial_weights(draw):
+    h = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return radially_symmetric_weights(h, 2, rng=np.random.default_rng(seed))
+
+
+class TestCodegenProperties:
+    @given(radial_weights())
+    @settings(max_examples=25, deadline=None)
+    def test_structural_invariants(self, w):
+        src = generate_cuda_kernel(w)
+        tile = RDGTileCompute(decompose(w.as_matrix()), w.radius)
+        assert src.mma_calls == tile.mma_per_tile
+        assert src.x_fragment_loads == tile.fragment_loads_per_tile
+        assert src.source.count("wmma::mma_sync") == src.mma_calls
+        assert src.source.count("{") == src.source.count("}")
+        assert "__shfl_sync" not in src.source  # BVS default
+
+    @given(radial_weights())
+    @settings(max_examples=15, deadline=None)
+    def test_every_weight_vector_embedded(self, w):
+        src = generate_cuda_kernel(w)
+        d = decompose(w.as_matrix())
+        for ti in range(len(d.matrix_terms)):
+            assert f"U{ti}_K0" in src.source
+            assert f"V{ti}_W0_LO" in src.source
+
+
+class TestProgramProperties:
+    @given(radial_weights(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=12, deadline=None)
+    def test_program_matches_reference(self, w, seed):
+        h = w.radius
+        tile = RDGTileCompute(decompose(w.as_matrix()), h)
+        device = Device()
+        warp = device.warp()
+        smem = device.shared((tile.k_rows, tile.w_cols))
+        rng = np.random.default_rng(seed)
+        smem.data[:] = rng.normal(size=smem.shape)
+        program = schedule_prefetch(build_tile_program(tile))
+        out = execute_program(program, warp, smem, 0, 0)
+        ref = reference_apply(smem.data[: 8 + 2 * h, : 8 + 2 * h], w)
+        scale = max(1.0, np.abs(ref).max())
+        assert np.abs(out - ref[:8, :8]).max() < 1e-10 * scale

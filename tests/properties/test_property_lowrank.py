@@ -1,0 +1,92 @@
+"""Property-based tests (hypothesis) for the low-rank machinery."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lowrank import decompose, pyramidal_decompose, svd_decompose
+from repro.stencil.weights import radially_symmetric_weights
+
+
+@st.composite
+def radial_matrices(draw):
+    """Random radially symmetric weight matrices of radius 1..4."""
+    h = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    return radially_symmetric_weights(h, 2, rng=rng).as_matrix(), h
+
+
+@st.composite
+def generic_matrices(draw):
+    """Random dense odd-sided matrices (entries bounded away from huge)."""
+    h = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-2.0, 2.0, size=(2 * h + 1, 2 * h + 1))
+
+
+class TestPMAProperties:
+    @given(radial_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_exact_reconstruction(self, wm_h):
+        w, _ = wm_h
+        d = pyramidal_decompose(w)
+        assert d.max_error(w) < 1e-10 * max(1.0, np.abs(w).max())
+
+    @given(radial_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_term_budget(self, wm_h):
+        """Eq. 15: at most h+1 terms, sizes 2h+1, 2h-1, ..., strictly
+        decreasing, pads strictly increasing."""
+        w, h = wm_h
+        d = pyramidal_decompose(w)
+        assert len(d.terms) <= h + 1
+        sizes = [t.size for t in d.terms]
+        assert sizes == sorted(sizes, reverse=True)
+        assert all(s % 2 == 1 for s in sizes)
+        pads = [t.pad for t in d.terms]
+        assert pads == sorted(pads)
+
+    @given(radial_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_matrix_terms_rank_one(self, wm_h):
+        w, _ = wm_h
+        for t in pyramidal_decompose(w).matrix_terms:
+            assert np.linalg.matrix_rank(t.matrix(), tol=1e-9) == 1
+
+    @given(radial_matrices(), st.floats(min_value=0.25, max_value=4.0))
+    @settings(max_examples=25, deadline=None)
+    def test_scaling_equivariance(self, wm_h, alpha):
+        """decompose(a*W) reconstructs a*W."""
+        w, _ = wm_h
+        d = pyramidal_decompose(alpha * w)
+        assert d.max_error(alpha * w) < 1e-9 * max(1.0, np.abs(alpha * w).max())
+
+
+class TestSVDProperties:
+    @given(generic_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_exact_reconstruction(self, w):
+        d = svd_decompose(w)
+        assert d.max_error(w) < 1e-9
+
+    @given(generic_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_term_count_is_rank(self, w):
+        d = svd_decompose(w)
+        assert len(d.terms) == np.linalg.matrix_rank(w, tol=1e-9)
+
+
+class TestDispatchProperties:
+    @given(generic_matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_decompose_always_reconstructs(self, w):
+        d = decompose(w)
+        assert d.max_error(w) < 1e-9
+
+    @given(radial_matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_radial_always_pma(self, wm_h):
+        w, _ = wm_h
+        assert decompose(w).method == "pma"

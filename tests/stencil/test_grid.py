@@ -1,0 +1,94 @@
+"""Tests for grids, halos and boundary conditions."""
+
+import numpy as np
+import pytest
+
+from repro.stencil.grid import Grid
+
+
+class TestConstruction:
+    def test_interior_copied(self):
+        x = np.ones((4, 4))
+        g = Grid(x, 1)
+        x[0, 0] = 99.0
+        assert g.interior[0, 0] == 1.0
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Grid(np.ones(4), -1)
+
+    def test_unknown_boundary_rejected(self):
+        with pytest.raises(ValueError):
+            Grid(np.ones(4), 1, boundary="dirichlet-ish")
+
+    def test_shape_and_ndim(self):
+        g = Grid(np.ones((3, 5)), 2)
+        assert g.shape == (3, 5)
+        assert g.ndim == 2
+
+
+class TestPadding:
+    def test_constant_zero_halo(self):
+        g = Grid(np.ones((2, 2)), 1)
+        p = g.padded()
+        assert p.shape == (4, 4)
+        assert p[0, 0] == 0.0
+        assert p[1, 1] == 1.0
+
+    def test_constant_value_halo(self):
+        g = Grid(np.ones((2, 2)), 1, boundary="constant", constant_value=7.0)
+        assert g.padded()[0, 0] == 7.0
+
+    def test_periodic_halo(self):
+        g = Grid(np.arange(4.0), 1, boundary="periodic")
+        p = g.padded()
+        assert p[0] == 3.0
+        assert p[-1] == 0.0
+
+    def test_reflect_halo(self):
+        g = Grid(np.arange(4.0), 1, boundary="reflect")
+        p = g.padded()
+        assert p[0] == 1.0
+
+    def test_edge_halo(self):
+        g = Grid(np.arange(4.0), 1, boundary="edge")
+        p = g.padded()
+        assert p[0] == 0.0
+        assert p[-1] == 3.0
+
+    def test_zero_radius(self):
+        g = Grid(np.arange(4.0), 0)
+        assert np.array_equal(g.padded(), np.arange(4.0))
+
+
+class TestStepping:
+    def test_step_applies_function(self):
+        g = Grid(np.ones((2, 2)), 1)
+        g.step(lambda p: 2 * p[1:-1, 1:-1])
+        assert np.all(g.interior == 2.0)
+
+    def test_step_shape_mismatch_rejected(self):
+        g = Grid(np.ones((2, 2)), 1)
+        with pytest.raises(ValueError):
+            g.step(lambda p: p)  # returns padded shape
+
+    def test_run_iterations(self):
+        g = Grid(np.ones(3), 1)
+        out = g.run(lambda p: 2 * p[1:-1], 3)
+        assert np.all(out == 8.0)
+
+    def test_run_zero_iterations(self):
+        g = Grid(np.ones(3), 1)
+        out = g.run(lambda p: 2 * p[1:-1], 0)
+        assert np.all(out == 1.0)
+
+    def test_run_negative_rejected(self):
+        g = Grid(np.ones(3), 1)
+        with pytest.raises(ValueError):
+            g.run(lambda p: p[1:-1], -1)
+
+    def test_copy_independent(self):
+        g = Grid(np.ones(3), 1)
+        c = g.copy()
+        g.step(lambda p: 2 * p[1:-1])
+        assert np.all(c.interior == 1.0)

@@ -1,0 +1,90 @@
+"""Tests for the Table II benchmark kernel zoo."""
+
+import numpy as np
+import pytest
+
+from repro.stencil.kernels import KERNELS, get_kernel, list_kernels
+from repro.stencil.patterns import Shape
+from repro.stencil.weights import is_radially_symmetric
+
+PAPER_TABLE_II = {
+    "Heat-1D": (3, (10_240_000,), 10_000, (1024,)),
+    "1D5P": (5, (10_240_000,), 10_000, (1024,)),
+    "Heat-2D": (5, (10_240, 10_240), 10_240, (32, 64)),
+    "Box-2D9P": (9, (10_240, 10_240), 10_240, (32, 64)),
+    "Star-2D13P": (13, (10_240, 10_240), 10_240, (32, 64)),
+    "Box-2D49P": (49, (10_240, 10_240), 10_240, (32, 64)),
+    "Heat-3D": (7, (1024, 1024, 1024), 1024, (8, 64)),
+    "Box-3D27P": (27, (1024, 1024, 1024), 1024, (8, 64)),
+}
+
+
+class TestTableII:
+    def test_all_eight_kernels_present(self):
+        assert list_kernels() == list(PAPER_TABLE_II)
+
+    @pytest.mark.parametrize("name", list(PAPER_TABLE_II))
+    def test_points(self, name):
+        assert get_kernel(name).points == PAPER_TABLE_II[name][0]
+
+    @pytest.mark.parametrize("name", list(PAPER_TABLE_II))
+    def test_problem_size(self, name):
+        assert get_kernel(name).problem_size == PAPER_TABLE_II[name][1]
+
+    @pytest.mark.parametrize("name", list(PAPER_TABLE_II))
+    def test_iterations(self, name):
+        assert get_kernel(name).iterations == PAPER_TABLE_II[name][2]
+
+    @pytest.mark.parametrize("name", list(PAPER_TABLE_II))
+    def test_blocking(self, name):
+        assert get_kernel(name).blocking == PAPER_TABLE_II[name][3]
+
+
+class TestKernelProperties:
+    @pytest.mark.parametrize("name", list(PAPER_TABLE_II))
+    def test_all_kernels_radially_symmetric(self, name):
+        """Every zoo kernel satisfies the Section II-C symmetry."""
+        assert is_radially_symmetric(get_kernel(name).weights)
+
+    def test_star_shapes(self):
+        for name in ("Heat-1D", "1D5P", "Heat-2D", "Star-2D13P", "Heat-3D"):
+            assert get_kernel(name).pattern.shape is Shape.STAR
+
+    def test_box_shapes(self):
+        for name in ("Box-2D9P", "Box-2D49P", "Box-3D27P"):
+            assert get_kernel(name).pattern.shape is Shape.BOX
+
+    def test_heat_kernels_conserve_mass(self):
+        """Explicit heat steps have weights summing to 1."""
+        for name in ("Heat-1D", "Heat-2D", "Heat-3D"):
+            total = float(get_kernel(name).weights.array.sum())
+            assert total == pytest.approx(1.0)
+
+    def test_2d_weight_rank_bound(self):
+        for name in ("Box-2D9P", "Box-2D49P", "Star-2D13P", "Heat-2D"):
+            k = get_kernel(name)
+            assert k.weights.matrix_rank() <= k.weights.radius + 1
+
+    def test_grid_points(self):
+        k = get_kernel("Heat-2D")
+        assert k.grid_points == 10_240 * 10_240
+
+    def test_small_problem_caps_axes(self):
+        k = get_kernel("Heat-3D")
+        assert k.small_problem(32) == (32, 32, 32)
+
+    def test_case_insensitive_lookup(self):
+        assert get_kernel("box-2d49p").name == "Box-2D49P"
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError):
+            get_kernel("Box-4D100P")
+
+    def test_kernels_registry_is_consistent(self):
+        for name, k in KERNELS.items():
+            assert k.name == name
+            assert len(k.problem_size) == k.weights.ndim
+
+    def test_weights_are_finite(self):
+        for k in KERNELS.values():
+            assert np.all(np.isfinite(k.weights.array))

@@ -1,0 +1,121 @@
+"""Tests for stencil dependence patterns."""
+
+import numpy as np
+import pytest
+
+from repro.stencil.patterns import Shape, StencilPattern
+
+
+class TestConstruction:
+    def test_box_2d(self):
+        p = StencilPattern(Shape.BOX, 1, 2)
+        assert p.side == 3
+        assert p.num_points == 9
+
+    def test_star_2d(self):
+        p = StencilPattern(Shape.STAR, 1, 2)
+        assert p.num_points == 5
+
+    def test_star_radius3_2d_is_13_points(self):
+        assert StencilPattern(Shape.STAR, 3, 2).num_points == 13
+
+    def test_box_radius3_2d_is_49_points(self):
+        assert StencilPattern(Shape.BOX, 3, 2).num_points == 49
+
+    def test_box_3d(self):
+        assert StencilPattern(Shape.BOX, 1, 3).num_points == 27
+
+    def test_star_3d(self):
+        assert StencilPattern(Shape.STAR, 1, 3).num_points == 7
+
+    def test_1d_star_equals_box(self):
+        star = StencilPattern(Shape.STAR, 2, 1)
+        box = StencilPattern(Shape.BOX, 2, 1)
+        assert star.num_points == box.num_points == 5
+        assert star.offsets() == box.offsets()
+
+    @pytest.mark.parametrize("radius", [0, -1, -5])
+    def test_invalid_radius_rejected(self, radius):
+        with pytest.raises(ValueError):
+            StencilPattern(Shape.BOX, radius, 2)
+
+    @pytest.mark.parametrize("ndim", [0, -2])
+    def test_invalid_ndim_rejected(self, ndim):
+        with pytest.raises(ValueError):
+            StencilPattern(Shape.BOX, 1, ndim)
+
+    def test_frozen(self):
+        p = StencilPattern(Shape.BOX, 1, 2)
+        with pytest.raises(AttributeError):
+            p.radius = 2
+
+
+class TestOffsets:
+    def test_box_offsets_count(self):
+        p = StencilPattern(Shape.BOX, 2, 2)
+        assert len(p.offsets()) == 25
+
+    def test_star_offsets_count(self):
+        p = StencilPattern(Shape.STAR, 2, 3)
+        assert len(p.offsets()) == 13
+
+    def test_offsets_bounded_by_radius(self):
+        p = StencilPattern(Shape.BOX, 3, 2)
+        for off in p.offsets():
+            assert all(abs(o) <= 3 for o in off)
+
+    def test_star_offsets_single_axis(self):
+        p = StencilPattern(Shape.STAR, 2, 3)
+        for off in p.offsets():
+            assert sum(1 for o in off if o != 0) <= 1
+
+    def test_centre_always_included(self):
+        for shape in Shape:
+            for ndim in (1, 2, 3):
+                p = StencilPattern(shape, 1, ndim)
+                assert (0,) * ndim in p.offsets()
+
+    def test_offsets_unique(self):
+        p = StencilPattern(Shape.STAR, 3, 2)
+        offs = p.offsets()
+        assert len(offs) == len(set(offs))
+
+    def test_offsets_sorted(self):
+        p = StencilPattern(Shape.BOX, 1, 2)
+        assert p.offsets() == sorted(p.offsets())
+
+
+class TestMask:
+    def test_box_mask_full(self):
+        p = StencilPattern(Shape.BOX, 1, 2)
+        assert p.mask().all()
+
+    def test_star_mask_cross(self):
+        p = StencilPattern(Shape.STAR, 1, 2)
+        m = p.mask()
+        expected = np.array(
+            [[False, True, False], [True, True, True], [False, True, False]]
+        )
+        assert np.array_equal(m, expected)
+
+    def test_mask_count_matches_num_points(self):
+        for shape in Shape:
+            for radius in (1, 2, 3):
+                for ndim in (1, 2, 3):
+                    p = StencilPattern(shape, radius, ndim)
+                    assert int(p.mask().sum()) == p.num_points
+
+
+class TestLabels:
+    @pytest.mark.parametrize(
+        "shape,radius,ndim,label",
+        [
+            (Shape.BOX, 1, 2, "Box-2D9P"),
+            (Shape.BOX, 3, 2, "Box-2D49P"),
+            (Shape.STAR, 3, 2, "Star-2D13P"),
+            (Shape.STAR, 1, 3, "Star-3D7P"),
+            (Shape.BOX, 1, 3, "Box-3D27P"),
+        ],
+    )
+    def test_label(self, shape, radius, ndim, label):
+        assert StencilPattern(shape, radius, ndim).label() == label

@@ -1,0 +1,109 @@
+"""Tests for the reference stencil executors."""
+
+import numpy as np
+import pytest
+
+from repro.stencil.kernels import get_kernel
+from repro.stencil.reference import (
+    reference_apply,
+    reference_apply_naive,
+    reference_iterate,
+)
+from repro.stencil.weights import box_weights, star_weights
+
+
+class TestNaiveVsVectorized:
+    @pytest.mark.parametrize("radius", [1, 2, 3])
+    def test_2d_box_agreement(self, rng, radius):
+        w = box_weights(radius, 2, rng=rng)
+        x = rng.normal(size=(10 + 2 * radius, 13 + 2 * radius))
+        assert np.allclose(reference_apply_naive(x, w), reference_apply(x, w))
+
+    def test_1d_agreement(self, rng):
+        w = star_weights(2, 1, rng=rng)
+        x = rng.normal(size=30)
+        assert np.allclose(reference_apply_naive(x, w), reference_apply(x, w))
+
+    def test_3d_agreement(self, rng):
+        w = box_weights(1, 3, rng=rng)
+        x = rng.normal(size=(6, 7, 8))
+        assert np.allclose(reference_apply_naive(x, w), reference_apply(x, w))
+
+    def test_star_agreement(self, rng):
+        w = star_weights(3, 2, rng=rng)
+        x = rng.normal(size=(20, 20))
+        assert np.allclose(reference_apply_naive(x, w), reference_apply(x, w))
+
+
+class TestSemantics:
+    def test_output_shape(self, rng):
+        w = box_weights(2, 2, rng=rng)
+        x = rng.normal(size=(14, 17))
+        assert reference_apply(x, w).shape == (10, 13)
+
+    def test_identity_kernel(self, rng):
+        vals = np.zeros((3, 3))
+        vals[1, 1] = 1.0
+        w = box_weights(1, 2, values=vals)
+        x = rng.normal(size=(8, 8))
+        assert np.allclose(reference_apply(x, w), x[1:-1, 1:-1])
+
+    def test_shift_kernel(self, rng):
+        vals = np.zeros((3, 3))
+        vals[0, 1] = 1.0  # reads the row above
+        w = box_weights(1, 2, values=vals)
+        x = rng.normal(size=(8, 8))
+        assert np.allclose(reference_apply(x, w), x[0:-2, 1:-1])
+
+    def test_linearity(self, rng):
+        w = box_weights(1, 2, rng=rng)
+        x = rng.normal(size=(8, 8))
+        y = rng.normal(size=(8, 8))
+        assert np.allclose(
+            reference_apply(x + 2 * y, w),
+            reference_apply(x, w) + 2 * reference_apply(y, w),
+        )
+
+    def test_constant_field_scales_by_weight_sum(self, rng):
+        w = box_weights(1, 2, rng=rng)
+        x = np.full((8, 8), 3.0)
+        out = reference_apply(x, w)
+        assert np.allclose(out, 3.0 * w.array.sum())
+
+    def test_dim_mismatch_rejected(self, rng):
+        w = box_weights(1, 2, rng=rng)
+        with pytest.raises(ValueError):
+            reference_apply(rng.normal(size=8), w)
+
+    def test_too_small_input_rejected(self, rng):
+        w = box_weights(3, 2, rng=rng)
+        with pytest.raises(ValueError):
+            reference_apply(rng.normal(size=(4, 4)), w)
+
+
+class TestIterate:
+    def test_heat_decays_toward_zero_with_cold_boundary(self, rng):
+        k = get_kernel("Heat-2D")
+        x = np.abs(rng.normal(size=(12, 12)))
+        out = reference_iterate(x, k.weights, 200)
+        assert np.abs(out).max() < np.abs(x).max()
+
+    def test_heat_conserves_mass_with_periodic_boundary(self, rng):
+        k = get_kernel("Heat-2D")
+        x = rng.normal(size=(12, 12))
+        out = reference_iterate(x, k.weights, 10, boundary="periodic")
+        assert out.sum() == pytest.approx(x.sum())
+
+    def test_zero_iterations_is_identity(self, rng):
+        k = get_kernel("Heat-2D")
+        x = rng.normal(size=(8, 8))
+        assert np.allclose(reference_iterate(x, k.weights, 0), x)
+
+    def test_iteration_composes(self, rng):
+        k = get_kernel("Box-2D9P")
+        x = rng.normal(size=(10, 10))
+        once_then_once = reference_iterate(
+            reference_iterate(x, k.weights, 1), k.weights, 1
+        )
+        twice = reference_iterate(x, k.weights, 2)
+        assert np.allclose(once_then_once, twice)

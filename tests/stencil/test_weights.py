@@ -1,0 +1,180 @@
+"""Tests for stencil weight containers and generators."""
+
+import numpy as np
+import pytest
+
+from repro.stencil.patterns import Shape, StencilPattern
+from repro.stencil.weights import (
+    StencilWeights,
+    box_weights,
+    compose_weights,
+    is_radially_symmetric,
+    radially_symmetric_weights,
+    star_weights,
+)
+
+
+class TestStencilWeights:
+    def test_shape_validation(self):
+        pattern = StencilPattern(Shape.BOX, 1, 2)
+        with pytest.raises(ValueError):
+            StencilWeights(pattern, np.zeros((5, 5)))
+
+    def test_as_matrix_requires_2d(self):
+        w = box_weights(1, 3)
+        with pytest.raises(ValueError):
+            w.as_matrix()
+
+    def test_as_vector_requires_1d(self):
+        w = box_weights(1, 2)
+        with pytest.raises(ValueError):
+            w.as_vector()
+
+    def test_planes_requires_3d(self):
+        w = box_weights(1, 2)
+        with pytest.raises(ValueError):
+            w.planes()
+
+    def test_planes_count_and_content(self):
+        w = box_weights(2, 3)
+        planes = w.planes()
+        assert len(planes) == 5
+        for i, p in enumerate(planes):
+            assert np.array_equal(p, w.array[i])
+
+    def test_float64_coercion(self):
+        pattern = StencilPattern(Shape.BOX, 1, 1)
+        w = StencilWeights(pattern, np.array([1, 2, 3], dtype=np.int32))
+        assert w.array.dtype == np.float64
+
+    def test_scaled(self):
+        w = box_weights(1, 2)
+        assert np.allclose(w.scaled(2.0).array, 2.0 * w.array)
+
+    def test_equality_and_hash(self):
+        a = box_weights(1, 2, values=np.ones((3, 3)))
+        b = box_weights(1, 2, values=np.ones((3, 3)))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        a = box_weights(1, 2, values=np.ones((3, 3)))
+        b = box_weights(1, 2, values=2 * np.ones((3, 3)))
+        assert a != b
+
+    def test_nonzero_count_star(self):
+        w = star_weights(2, 2)
+        assert w.nonzero_count() == 9  # star-2D9P
+
+
+class TestGenerators:
+    def test_box_weights_dense(self, rng):
+        w = box_weights(2, 2, rng=rng)
+        assert w.nonzero_count() == 25
+
+    def test_box_weights_explicit_values(self):
+        vals = np.arange(9.0).reshape(3, 3)
+        w = box_weights(1, 2, values=vals)
+        assert np.array_equal(w.array, vals)
+
+    def test_star_weights_zero_off_axis(self, rng):
+        w = star_weights(1, 2, rng=rng)
+        assert w.array[0, 0] == 0.0
+        assert w.array[2, 2] == 0.0
+        assert w.array[1, 1] != 0.0
+
+    def test_star_weights_axis_values_placed(self):
+        axis = np.array([[1.0, 2.0], [3.0, 4.0]])
+        w = star_weights(1, 2, axis_values=axis, center=9.0)
+        # axis 0 = rows: offsets -1, +1
+        assert w.array[0, 1] == 1.0
+        assert w.array[2, 1] == 2.0
+        assert w.array[1, 0] == 3.0
+        assert w.array[1, 2] == 4.0
+        assert w.array[1, 1] == 9.0
+
+    def test_star_weights_bad_axis_shape(self):
+        with pytest.raises(ValueError):
+            star_weights(1, 2, axis_values=np.ones((2, 3)))
+
+    def test_radially_symmetric_is_symmetric(self, rng):
+        for radius in (1, 2, 3):
+            w = radially_symmetric_weights(radius, 2, rng=rng)
+            assert is_radially_symmetric(w)
+
+    def test_radially_symmetric_3d(self, rng):
+        w = radially_symmetric_weights(1, 3, rng=rng)
+        assert is_radially_symmetric(w)
+
+    def test_radially_symmetric_explicit_classes(self):
+        classes = {(0, 0): 1.0, (0, 1): 2.0, (1, 1): 3.0}
+        w = radially_symmetric_weights(1, 2, class_values=classes)
+        expected = np.array([[3.0, 2.0, 3.0], [2.0, 1.0, 2.0], [3.0, 2.0, 3.0]])
+        assert np.array_equal(w.array, expected)
+
+    def test_radially_symmetric_matrix_is_flip_symmetric(self, rng):
+        w = radially_symmetric_weights(3, 2, rng=rng).as_matrix()
+        assert np.allclose(w, np.flipud(w))
+        assert np.allclose(w, np.fliplr(w))
+        assert np.allclose(w, w.T)
+
+    def test_radial_rank_bound(self, rng):
+        """Section II-C: rank(W) <= h + 1 for radially symmetric W."""
+        for h in (1, 2, 3, 4):
+            w = radially_symmetric_weights(h, 2, rng=rng)
+            assert w.matrix_rank() <= h + 1
+
+    def test_generic_box_not_radially_symmetric(self, rng):
+        w = box_weights(2, 2, rng=rng)
+        assert not is_radially_symmetric(w)
+
+
+class TestCompose:
+    def test_compose_radius_adds(self, rng):
+        a = box_weights(1, 2, rng=rng)
+        b = box_weights(2, 2, rng=rng)
+        assert compose_weights(a, b).radius == 3
+
+    def test_compose_dim_mismatch(self, rng):
+        a = box_weights(1, 1, rng=rng)
+        b = box_weights(1, 2, rng=rng)
+        with pytest.raises(ValueError):
+            compose_weights(a, b)
+
+    def test_compose_matches_two_reference_steps_periodic(self, rng):
+        from repro.stencil.reference import reference_iterate
+
+        a = box_weights(1, 2, rng=rng)
+        c = compose_weights(a, a)
+        x = rng.normal(size=(16, 16))
+        two_steps = reference_iterate(x, a, 2, boundary="periodic")
+        one_composed = reference_iterate(x, c, 1, boundary="periodic")
+        assert np.allclose(two_steps, one_composed)
+
+    def test_compose_1d(self, rng):
+        from repro.stencil.reference import reference_iterate
+
+        a = star_weights(1, 1, rng=rng)
+        c = compose_weights(a, a)
+        assert c.radius == 2
+        x = rng.normal(size=32)
+        assert np.allclose(
+            reference_iterate(x, a, 2, boundary="periodic"),
+            reference_iterate(x, c, 1, boundary="periodic"),
+        )
+
+    def test_compose_preserves_radial_symmetry(self, rng):
+        a = radially_symmetric_weights(1, 2, rng=rng)
+        c = compose_weights(a, a)
+        assert is_radially_symmetric(c)
+
+    def test_compose_3d(self, rng):
+        from repro.stencil.reference import reference_iterate
+
+        a = radially_symmetric_weights(1, 3, rng=rng)
+        c = compose_weights(a, a)
+        x = rng.normal(size=(8, 8, 8))
+        assert np.allclose(
+            reference_iterate(x, a, 2, boundary="periodic"),
+            reference_iterate(x, c, 1, boundary="periodic"),
+        )

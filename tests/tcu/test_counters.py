@@ -1,0 +1,71 @@
+"""Tests for hardware event counters."""
+
+import pytest
+
+from repro.tcu.counters import MMA_FLOPS, EventCounters
+
+
+class TestArithmetic:
+    def test_mma_flops_constant(self):
+        assert MMA_FLOPS == 2 * 8 * 8 * 4 == 512
+
+    def test_add(self):
+        a = EventCounters(mma_ops=2, shared_load_requests=3)
+        b = EventCounters(mma_ops=5, shuffle_ops=1)
+        c = a + b
+        assert c.mma_ops == 7
+        assert c.shared_load_requests == 3
+        assert c.shuffle_ops == 1
+
+    def test_iadd(self):
+        a = EventCounters(mma_ops=2)
+        a += EventCounters(mma_ops=3)
+        assert a.mma_ops == 5
+
+    def test_scaled(self):
+        a = EventCounters(mma_ops=10, global_load_bytes=100)
+        s = a.scaled(2.5)
+        assert s.mma_ops == 25
+        assert s.global_load_bytes == 250
+
+    def test_diff(self):
+        a = EventCounters(mma_ops=10)
+        early = a.snapshot()
+        a.mma_ops += 7
+        assert a.diff(early).mma_ops == 7
+
+    def test_snapshot_is_decoupled(self):
+        a = EventCounters(mma_ops=1)
+        snap = a.snapshot()
+        a.mma_ops = 99
+        assert snap.mma_ops == 1
+
+    def test_reset(self):
+        a = EventCounters(mma_ops=4, shuffle_ops=2)
+        a.reset()
+        assert a.mma_ops == 0 and a.shuffle_ops == 0
+
+
+class TestDerived:
+    def test_shared_total(self):
+        a = EventCounters(shared_load_requests=3, shared_store_requests=4)
+        assert a.shared_total_requests == 7
+
+    def test_tensor_core_flops(self):
+        assert EventCounters(mma_ops=3).tensor_core_flops == 3 * 512
+
+    def test_total_flops(self):
+        a = EventCounters(mma_ops=1, cuda_core_flops=100)
+        assert a.total_flops == 612
+
+    def test_arithmetic_intensity(self):
+        a = EventCounters(mma_ops=1, global_load_bytes=128, global_store_bytes=128)
+        assert a.arithmetic_intensity() == pytest.approx(2.0)
+
+    def test_ai_zero_bytes(self):
+        assert EventCounters(mma_ops=1).arithmetic_intensity() == float("inf")
+        assert EventCounters().arithmetic_intensity() == 0.0
+
+    def test_as_dict_round_trip(self):
+        a = EventCounters(mma_ops=2, async_copies=1)
+        assert EventCounters(**a.as_dict()) == a

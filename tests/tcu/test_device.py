@@ -1,0 +1,50 @@
+"""Tests for the Device simulator handle."""
+
+import numpy as np
+
+from repro.tcu.device import Device
+
+
+class TestDevice:
+    def test_shared_counters_wired(self):
+        d = Device()
+        smem = d.shared((8, 8))
+        smem.read_fragment(0, 0, (4, 8))
+        assert d.counters.shared_load_requests == 1
+
+    def test_global_counters_wired(self, rng):
+        d = Device()
+        g = d.global_array(rng.normal(size=(8, 8)))
+        g.read((slice(0, 2), slice(0, 2)))
+        assert d.counters.global_load_bytes == 32
+
+    def test_peak_shared_tracking(self):
+        d = Device()
+        d.shared((8, 8))
+        assert d.peak_shared_bytes == 64 * 8
+        d.shared((16, 16))
+        assert d.peak_shared_bytes == 256 * 8
+        d.shared((4, 4))  # smaller does not reduce the peak
+        assert d.peak_shared_bytes == 256 * 8
+
+    def test_events_since(self):
+        d = Device()
+        smem = d.shared((8, 8))
+        snap = d.snapshot()
+        smem.read_fragment(0, 0, (4, 8))
+        smem.write_tile(0, 0, np.ones((4, 4)))
+        diff = d.events_since(snap)
+        assert diff.shared_load_requests == 1
+        assert diff.shared_store_requests == 1
+
+    def test_warp_shares_counters(self, rng):
+        d = Device()
+        w1, w2 = d.warp(), d.warp()
+        from repro.tcu.fragment import Fragment
+        from repro.tcu.layouts import FragmentKind
+
+        fa = Fragment.from_matrix(FragmentKind.A, rng.normal(size=(8, 4)))
+        fb = Fragment.from_matrix(FragmentKind.B, rng.normal(size=(4, 8)))
+        w1.mma_sync(fa, fb)
+        w2.mma_sync(fa, fb)
+        assert d.counters.mma_ops == 2

@@ -1,0 +1,76 @@
+"""Tests for the FP16 tensor-core arithmetic model."""
+
+import numpy as np
+import pytest
+
+from repro.tcu.fp16 import FP16_TILE, fp16_matmul, fp16_mma, quantize_fp16
+
+
+class TestQuantize:
+    def test_representable_values_exact(self):
+        x = np.array([0.5, 1.0, -2.0, 0.25, 1024.0])
+        assert np.array_equal(quantize_fp16(x), x)
+
+    def test_rounding_error_bounded(self, rng):
+        x = rng.normal(size=100)
+        err = np.abs(quantize_fp16(x) - x)
+        # half precision: ~2^-11 relative
+        assert np.all(err <= np.abs(x) * 2**-10 + 1e-12)
+
+    def test_overflow_to_inf(self):
+        assert np.isinf(quantize_fp16(np.array([1e6]))[0])
+
+
+class TestMMA:
+    def test_shapes_checked(self, rng):
+        with pytest.raises(ValueError):
+            fp16_mma(rng.normal(size=(8, 8)), rng.normal(size=(16, 16)))
+
+    def test_exact_for_representable_inputs(self, rng):
+        """Small integers are FP16-exact; products accumulate exactly in
+        FP32 for this magnitude."""
+        a = rng.integers(-4, 5, size=(16, 16)).astype(np.float64)
+        b = rng.integers(-4, 5, size=(16, 16)).astype(np.float64)
+        assert np.array_equal(fp16_mma(a, b), a @ b)
+
+    def test_rounding_visible_for_generic_inputs(self, rng):
+        a = rng.normal(size=(16, 16))
+        b = rng.normal(size=(16, 16))
+        err = np.abs(fp16_mma(a, b) - a @ b).max()
+        assert 0 < err < 0.05
+
+    def test_accumulator_added(self, rng):
+        a = rng.integers(-2, 3, size=(16, 16)).astype(np.float64)
+        b = rng.integers(-2, 3, size=(16, 16)).astype(np.float64)
+        c = rng.integers(-2, 3, size=(16, 16)).astype(np.float64)
+        assert np.array_equal(fp16_mma(a, b, c), a @ b + c)
+
+    def test_returns_float32(self, rng):
+        out = fp16_mma(rng.normal(size=(16, 16)), rng.normal(size=(16, 16)))
+        assert out.dtype == np.float32
+
+
+class TestMatmul:
+    def test_matches_mma_tiling(self, rng):
+        a = rng.normal(size=(32, 48))
+        b = rng.normal(size=(48, 16))
+        out = fp16_matmul(a, b)
+        # same numerics as an FP16 GEMM: compare against blockwise fp16
+        err = np.abs(out - a @ b).max()
+        assert 0 < err < 0.2
+
+    def test_exact_small_integers(self, rng):
+        a = rng.integers(-3, 4, size=(16, 32)).astype(np.float64)
+        b = rng.integers(-3, 4, size=(32, 16)).astype(np.float64)
+        assert np.array_equal(fp16_matmul(a, b), a @ b)
+
+    def test_alignment_required(self, rng):
+        with pytest.raises(ValueError):
+            fp16_matmul(rng.normal(size=(15, 16)), rng.normal(size=(16, 16)))
+
+    def test_inner_dim_checked(self, rng):
+        with pytest.raises(ValueError):
+            fp16_matmul(rng.normal(size=(16, 16)), rng.normal(size=(32, 16)))
+
+    def test_tile_constant(self):
+        assert FP16_TILE == 16

@@ -1,0 +1,77 @@
+"""Golden-value regression anchors for the fragment layer.
+
+Hand-computed expectations for tiny deterministic inputs — if a layout
+or MMA detail regresses, these fail with exact values rather than a
+property violation.
+"""
+
+import numpy as np
+
+from repro.tcu.counters import EventCounters
+from repro.tcu.fragment import Fragment
+from repro.tcu.layouts import FragmentKind
+from repro.tcu.warp import Warp
+
+
+def _iota(shape):
+    return np.arange(np.prod(shape), dtype=np.float64).reshape(shape)
+
+
+class TestGoldenLayouts:
+    def test_a_fragment_register_file(self):
+        frag = Fragment.from_matrix(FragmentKind.A, _iota((8, 4)))
+        # thread t holds A[t//4][t%4] = t
+        assert np.array_equal(frag.registers[:, 0], np.arange(32.0))
+
+    def test_b_fragment_register_file(self):
+        frag = Fragment.from_matrix(FragmentKind.B, _iota((4, 8)))
+        # thread t holds B[t%4][t//4] = (t%4)*8 + t//4
+        expected = np.array([(t % 4) * 8 + t // 4 for t in range(32)], dtype=float)
+        assert np.array_equal(frag.registers[:, 0], expected)
+
+    def test_acc_fragment_register_file(self):
+        frag = Fragment.from_matrix(FragmentKind.ACC, _iota((8, 8)))
+        # thread t: R0 = C[t//4][2(t%4)] = 8*(t//4) + 2*(t%4)
+        r0 = np.array([8 * (t // 4) + 2 * (t % 4) for t in range(32)], dtype=float)
+        assert np.array_equal(frag.registers[:, 0], r0)
+        assert np.array_equal(frag.registers[:, 1], r0 + 1)
+
+    def test_golden_mma(self):
+        """A tiny exactly-representable MMA with a hand-checked corner."""
+        a = np.zeros((8, 4))
+        a[0, :] = [1.0, 2.0, 3.0, 4.0]
+        b = np.zeros((4, 8))
+        b[:, 0] = [10.0, 20.0, 30.0, 40.0]
+        c = np.full((8, 8), 5.0)
+        warp = Warp(EventCounters())
+        d = warp.mma_sync(
+            Fragment.from_matrix(FragmentKind.A, a),
+            Fragment.from_matrix(FragmentKind.B, b),
+            Fragment.from_matrix(FragmentKind.ACC, c),
+        )
+        out = d.to_matrix()
+        # (1*10 + 2*20 + 3*30 + 4*40) + 5 = 300 + 5
+        assert out[0, 0] == 305.0
+        assert out[0, 1] == 5.0
+        assert out[7, 7] == 5.0
+
+    def test_golden_bvs_registers(self):
+        """After BVS, thread 0's even fragment holds C[0][0] and its odd
+        fragment holds C[0][1] — the Fig. 6(b) picture."""
+        warp = Warp(EventCounters())
+        acc = Fragment.from_matrix(FragmentKind.ACC, _iota((8, 8)))
+        even, odd = warp.split_accumulator_bvs(acc)
+        assert even.registers[0, 0] == 0.0  # C[0][0]
+        assert odd.registers[0, 0] == 1.0  # C[0][1]
+        assert even.registers[31, 0] == 62.0  # C[7][6]
+        assert odd.registers[31, 0] == 63.0  # C[7][7]
+
+    def test_golden_naive_shuffle_plan(self):
+        """The naive split's exact shuffle budget: 3 instructions per
+        half, 24 element moves per half."""
+        counters = EventCounters()
+        warp = Warp(counters)
+        acc = Fragment.from_matrix(FragmentKind.ACC, _iota((8, 8)))
+        warp.split_accumulator_naive(acc)
+        assert counters.shuffle_ops == 6
+        assert counters.register_moves == 48

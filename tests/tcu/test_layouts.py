@@ -1,0 +1,102 @@
+"""Tests for the PTX m8n8k4 FP64 fragment layouts."""
+
+import pytest
+
+from repro.tcu.layouts import (
+    FP64_FRAGMENT_SHAPES,
+    WARP_SIZE,
+    FragmentKind,
+    owner_of,
+    registers_per_thread,
+    thread_slots,
+)
+
+
+class TestShapes:
+    def test_fragment_shapes(self):
+        assert FP64_FRAGMENT_SHAPES[FragmentKind.A] == (8, 4)
+        assert FP64_FRAGMENT_SHAPES[FragmentKind.B] == (4, 8)
+        assert FP64_FRAGMENT_SHAPES[FragmentKind.ACC] == (8, 8)
+
+    def test_registers_per_thread(self):
+        assert registers_per_thread(FragmentKind.A) == 1
+        assert registers_per_thread(FragmentKind.B) == 1
+        assert registers_per_thread(FragmentKind.ACC) == 2
+
+
+class TestOwnership:
+    @pytest.mark.parametrize("kind", list(FragmentKind))
+    def test_every_element_owned_once(self, kind):
+        rows, cols = FP64_FRAGMENT_SHAPES[kind]
+        seen = set()
+        for i in range(rows):
+            for j in range(cols):
+                owner = owner_of(kind, i, j)
+                assert owner not in seen
+                seen.add(owner)
+        assert len(seen) == rows * cols
+
+    @pytest.mark.parametrize("kind", list(FragmentKind))
+    def test_owner_thread_in_warp(self, kind):
+        rows, cols = FP64_FRAGMENT_SHAPES[kind]
+        for i in range(rows):
+            for j in range(cols):
+                t, r = owner_of(kind, i, j)
+                assert 0 <= t < WARP_SIZE
+                assert 0 <= r < registers_per_thread(kind)
+
+    @pytest.mark.parametrize("kind", list(FragmentKind))
+    def test_slots_invert_ownership(self, kind):
+        for t in range(WARP_SIZE):
+            for r, (i, j) in enumerate(thread_slots(kind, t)):
+                assert owner_of(kind, i, j) == (t, r)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(IndexError):
+            owner_of(FragmentKind.A, 8, 0)
+        with pytest.raises(IndexError):
+            owner_of(FragmentKind.B, 0, 8)
+        with pytest.raises(IndexError):
+            thread_slots(FragmentKind.A, 32)
+
+
+class TestPaperLayout:
+    """The specific facts of Fig. 6(a)."""
+
+    def test_thread0_holds_first_two_acc_elements(self):
+        assert owner_of(FragmentKind.ACC, 0, 0) == (0, 0)
+        assert owner_of(FragmentKind.ACC, 0, 1) == (0, 1)
+
+    def test_acc_r0_registers_are_even_columns(self):
+        for i in range(8):
+            for j in range(0, 8, 2):
+                _, reg = owner_of(FragmentKind.ACC, i, j)
+                assert reg == 0
+
+    def test_acc_r1_registers_are_odd_columns(self):
+        for i in range(8):
+            for j in range(1, 8, 2):
+                _, reg = owner_of(FragmentKind.ACC, i, j)
+                assert reg == 1
+
+    def test_a_fragment_row_major_groups(self):
+        assert owner_of(FragmentKind.A, 0, 0) == (0, 0)
+        assert owner_of(FragmentKind.A, 0, 3) == (3, 0)
+        assert owner_of(FragmentKind.A, 7, 3) == (31, 0)
+
+    def test_b_fragment_column_major_groups(self):
+        assert owner_of(FragmentKind.B, 0, 0) == (0, 0)
+        assert owner_of(FragmentKind.B, 3, 0) == (3, 0)
+        assert owner_of(FragmentKind.B, 3, 7) == (31, 0)
+
+    def test_bvs_alignment_invariant(self):
+        """The theorem behind BVS: the owner of ``C[i][2j]`` (register R0)
+        is exactly the thread that owns slot ``(i, j)`` of a fragment A,
+        and likewise ``C[i][2j+1]`` (R1)."""
+        for i in range(8):
+            for j in range(4):
+                a_thread, _ = owner_of(FragmentKind.A, i, j)
+                even_thread, even_reg = owner_of(FragmentKind.ACC, i, 2 * j)
+                odd_thread, odd_reg = owner_of(FragmentKind.ACC, i, 2 * j + 1)
+                assert even_thread == a_thread and even_reg == 0
+                assert odd_thread == a_thread and odd_reg == 1

@@ -1,0 +1,132 @@
+"""Tests for the simulated shared/global memories and request counting."""
+
+import numpy as np
+import pytest
+
+from repro.tcu.counters import EventCounters
+from repro.tcu.memory import GlobalMemory, SharedMemory
+
+
+@pytest.fixture
+def counters():
+    return EventCounters()
+
+
+@pytest.fixture
+def smem(counters):
+    return SharedMemory((16, 16), counters)
+
+
+@pytest.fixture
+def gmem(counters, rng):
+    return GlobalMemory(rng.normal(size=(32, 32)), counters)
+
+
+class TestSharedLoads:
+    def test_fragment_read_counts_one_request(self, smem, counters):
+        smem.read_fragment(0, 0, (4, 8))
+        assert counters.shared_load_requests == 1
+
+    def test_fragment_read_content(self, smem):
+        smem.data[:] = np.arange(256).reshape(16, 16)
+        tile = smem.read_fragment(2, 3, (4, 8))
+        assert np.array_equal(tile, smem.data[2:6, 3:11])
+
+    def test_fragment_read_returns_copy(self, smem):
+        tile = smem.read_fragment(0, 0, (4, 8))
+        tile[:] = 99.0
+        assert not np.any(smem.data == 99.0)
+
+    def test_out_of_bounds_rejected(self, smem):
+        with pytest.raises(IndexError):
+            smem.read_fragment(14, 0, (4, 8))
+
+    def test_scalar_tile_counts_by_lanes(self, smem, counters):
+        smem.read_scalar_tile(0, 0, (8, 8))
+        assert counters.shared_load_requests == 2  # 64 elements / 32 lanes
+
+    def test_strided_read(self, counters):
+        smem = SharedMemory((1, 64), counters)
+        smem.data[0] = np.arange(64.0)
+        tile = smem.read_fragment_strided(2, (4, 8), col_stride=8)
+        # element (r, q) = flat[2 + 8q + r]
+        expected = 2 + 8 * np.arange(8)[None, :] + np.arange(4)[:, None]
+        assert np.array_equal(tile, expected)
+        assert counters.shared_load_requests == 1
+
+    def test_strided_read_bounds(self, counters):
+        smem = SharedMemory((1, 16), counters)
+        with pytest.raises(IndexError):
+            smem.read_fragment_strided(0, (4, 8), col_stride=8)
+
+    def test_view_read(self, counters):
+        smem = SharedMemory((1, 64), counters)
+        smem.data[0] = np.arange(64.0)
+        tile = smem.read_fragment_view(start=1, shape=(8, 4), row_stride=7)
+        expected = 1 + 7 * np.arange(8)[:, None] + np.arange(4)[None, :]
+        assert np.array_equal(tile, expected)
+        assert counters.shared_load_requests == 1
+
+    def test_view_read_bounds(self, counters):
+        smem = SharedMemory((1, 32), counters)
+        with pytest.raises(IndexError):
+            smem.read_fragment_view(start=0, shape=(8, 4), row_stride=7)
+
+
+class TestSharedStores:
+    def test_store_counts_per_32_elements(self, smem, counters):
+        smem.write_tile(0, 0, np.ones((8, 8)))
+        assert counters.shared_store_requests == 2
+
+    def test_small_store_counts_one(self, smem, counters):
+        smem.write_tile(0, 0, np.ones((2, 2)))
+        assert counters.shared_store_requests == 1
+
+    def test_store_via_registers_charges_bytes(self, smem, counters):
+        smem.write_tile(0, 0, np.ones((4, 4)), via_registers=True)
+        assert counters.register_intermediate_bytes == 16 * 8
+
+    def test_store_async_path_charges_nothing(self, smem, counters):
+        smem.write_tile(0, 0, np.ones((4, 4)), via_registers=False)
+        assert counters.register_intermediate_bytes == 0
+
+    def test_store_bounds(self, smem):
+        with pytest.raises(IndexError):
+            smem.write_tile(10, 10, np.ones((8, 8)))
+
+    def test_store_content(self, smem):
+        smem.write_tile(1, 2, np.full((3, 3), 5.0))
+        assert np.all(smem.data[1:4, 2:5] == 5.0)
+
+
+class TestGlobalMemory:
+    def test_read_counts_bytes(self, gmem, counters):
+        gmem.read((slice(0, 4), slice(0, 8)))
+        assert counters.global_load_bytes == 4 * 8 * 8
+
+    def test_write_counts_bytes(self, gmem, counters):
+        gmem.write((slice(0, 2), slice(0, 2)), np.ones((2, 2)))
+        assert counters.global_store_bytes == 4 * 8
+
+    def test_write_shape_mismatch(self, gmem):
+        with pytest.raises(IndexError):
+            gmem.write((slice(0, 2), slice(0, 2)), np.ones((3, 3)))
+
+    def test_copy_to_shared_sync_charges_registers(self, gmem, smem, counters):
+        gmem.copy_to_shared((slice(0, 4), slice(0, 4)), smem)
+        assert counters.register_intermediate_bytes == 16 * 8
+        assert counters.async_copies == 0
+
+    def test_copy_to_shared_async(self, gmem, smem, counters):
+        gmem.copy_to_shared((slice(0, 4), slice(0, 4)), smem, use_async=True)
+        assert counters.register_intermediate_bytes == 0
+        assert counters.async_copies == 1
+
+    def test_copy_places_data(self, gmem, smem):
+        gmem.copy_to_shared((slice(0, 4), slice(0, 4)), smem, row=2, col=3)
+        assert np.array_equal(smem.data[2:6, 3:7], gmem.data[0:4, 0:4])
+
+    def test_copy_requires_2d(self, counters, smem, rng):
+        g3 = GlobalMemory(rng.normal(size=(4, 4, 4)), counters)
+        with pytest.raises(ValueError):
+            g3.copy_to_shared((slice(0, 2), slice(0, 2), slice(0, 2)), smem)

@@ -1,0 +1,175 @@
+"""Tests for tile programs and schedules."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OptimizationConfig
+from repro.core.lowrank import decompose
+from repro.core.rdg import RDGTileCompute
+from repro.stencil.reference import reference_apply
+from repro.stencil.weights import radially_symmetric_weights
+from repro.tcu.device import Device
+from repro.tcu.program import (
+    build_tile_program,
+    execute_program,
+    load_use_distance,
+    schedule_prefetch,
+    validate_schedule,
+)
+
+
+def _setup(rng, h=3, config=None, tile_shape=(8, 8)):
+    w = radially_symmetric_weights(h, 2, rng=rng)
+    tile = RDGTileCompute(
+        decompose(w.as_matrix()), h, config,
+        out_rows=tile_shape[0], out_cols=tile_shape[1],
+    )
+    device = Device()
+    warp = device.warp()
+    smem = device.shared((tile.k_rows, tile.w_cols))
+    window = rng.normal(size=smem.shape)
+    smem.data[:] = window
+    return w, tile, device, warp, smem, window
+
+
+class TestBuild:
+    def test_ssa_property(self, rng):
+        _, tile, *_ = _setup(rng)
+        program = build_tile_program(tile)
+        program.writers()  # raises on double writes
+
+    def test_canonical_is_valid(self, rng):
+        _, tile, *_ = _setup(rng)
+        validate_schedule(build_tile_program(tile))
+
+    def test_instruction_counts(self, rng):
+        _, tile, *_ = _setup(rng)
+        program = build_tile_program(tile)
+        ops = [i.op for i in program.instrs]
+        assert ops.count("load_x") == tile.fragment_loads_per_tile
+        assert ops.count("mma") + ops.count("mma2") == tile.mma_per_tile
+        assert ops.count("split") == len(tile.decomposition.matrix_terms) * (
+            tile.w_cols // 8
+        )
+
+    def test_cuda_config_rejected(self, rng):
+        w = radially_symmetric_weights(1, 2, rng=rng)
+        tile = RDGTileCompute(
+            decompose(w.as_matrix()), 1, OptimizationConfig(use_tensor_cores=False)
+        )
+        with pytest.raises(ValueError):
+            build_tile_program(tile)
+
+
+class TestExecution:
+    @pytest.mark.parametrize("h", [1, 2, 3])
+    def test_matches_reference(self, rng, h):
+        w, tile, device, warp, smem, window = _setup(rng, h=h)
+        program = build_tile_program(tile)
+        out = execute_program(program, warp, smem, 0, 0)
+        ref = reference_apply(window[: 8 + 2 * h, : 8 + 2 * h], w)
+        assert np.allclose(out, ref[:8, :8], atol=1e-12)
+
+    def test_matches_eager_compute_tile(self, rng):
+        w, tile, device, warp, smem, _ = _setup(rng)
+        program = build_tile_program(tile)
+        out_prog = execute_program(program, warp, smem, 0, 0)
+        out_eager = tile.compute_tile(warp, smem, 0, 0)
+        assert np.array_equal(out_prog, out_eager)
+
+    def test_event_counts_match_eager(self, rng):
+        w, tile, _, _, _, window = _setup(rng)
+        d1, d2 = Device(), Device()
+        s1 = d1.shared((tile.k_rows, tile.w_cols)); s1.data[:] = window
+        s2 = d2.shared((tile.k_rows, tile.w_cols)); s2.data[:] = window
+        execute_program(build_tile_program(tile), d1.warp(), s1, 0, 0)
+        tile.compute_tile(d2.warp(), s2, 0, 0)
+        assert d1.counters.as_dict() == d2.counters.as_dict()
+
+    def test_multi_accumulator_tile(self, rng):
+        w, tile, device, warp, smem, window = _setup(rng, h=2, tile_shape=(16, 16))
+        out = execute_program(build_tile_program(tile), warp, smem, 0, 0)
+        ref = reference_apply(window[: 16 + 4, : 16 + 4], w)
+        assert np.allclose(out, ref[:16, :16], atol=1e-12)
+
+    def test_no_bvs_program(self, rng):
+        w, tile, device, warp, smem, window = _setup(
+            rng, h=2, config=OptimizationConfig(use_bvs=False)
+        )
+        out = execute_program(build_tile_program(tile), warp, smem, 0, 0)
+        ref = reference_apply(window[:12, :12], w)
+        assert np.allclose(out, ref[:8, :8], atol=1e-12)
+        assert device.counters.shuffle_ops > 0
+
+
+class TestScheduling:
+    def test_prefetch_preserves_semantics(self, rng):
+        w, tile, device, warp, smem, _ = _setup(rng)
+        base = build_tile_program(tile)
+        pre = schedule_prefetch(base)
+        out_a = execute_program(base, warp, smem, 0, 0)
+        out_b = execute_program(pre, warp, smem, 0, 0)
+        assert np.array_equal(out_a, out_b)
+
+    def test_prefetch_increases_load_use_distance(self, rng):
+        """The point of pipelining: more slack between a load and its
+        first consumer.  (The canonical program already loads everything
+        up front, so measure against a load-late variant.)"""
+        _, tile, *_ = _setup(rng)
+        base = build_tile_program(tile)
+        # a deliberately lazy schedule: sink each load right before its
+        # first use
+        lazy_instrs = [i for i in base.instrs if i.op != "load_x"]
+        for load in [i for i in base.instrs if i.op == "load_x"]:
+            first = next(
+                idx
+                for idx, ins in enumerate(lazy_instrs)
+                if load.dst[0] in ins.srcs
+            )
+            lazy_instrs.insert(first, load)
+        from repro.tcu.program import TileProgram
+
+        lazy = TileProgram(tile=tile, instrs=lazy_instrs)
+        validate_schedule(lazy)
+        assert load_use_distance(schedule_prefetch(lazy)) > load_use_distance(lazy)
+
+    def test_invalid_schedule_detected(self, rng):
+        _, tile, *_ = _setup(rng)
+        program = build_tile_program(tile)
+        # move the first load after its first consumer
+        from repro.tcu.program import TileProgram
+
+        bad = TileProgram(
+            tile=tile, instrs=program.instrs[1:] + [program.instrs[0]]
+        )
+        with pytest.raises(ValueError):
+            validate_schedule(bad)
+
+    def test_random_valid_schedules_agree(self, rng):
+        """Any dependence-respecting topological order gives the same
+        numeric answer (list scheduling freedom is real)."""
+        w, tile, device, warp, smem, _ = _setup(rng, h=1)
+        base = build_tile_program(tile)
+        expected = execute_program(base, warp, smem, 0, 0)
+        for seed in range(3):
+            shuffled = _random_topological(base, np.random.default_rng(seed))
+            out = execute_program(shuffled, warp, smem, 0, 0)
+            assert np.allclose(out, expected, atol=1e-12)
+
+
+def _random_topological(program, rng):
+    """Random dependence-respecting permutation of a program."""
+    from repro.tcu.program import TileProgram
+
+    remaining = list(program.instrs)
+    written: set[str] = set()
+    out = []
+    while remaining:
+        ready = [i for i in remaining if all(s in written for s in i.srcs)]
+        pick = ready[rng.integers(len(ready))]
+        remaining.remove(pick)
+        written.update(pick.dst)
+        out.append(pick)
+    result = TileProgram(tile=program.tile, instrs=out)
+    validate_schedule(result)
+    return result

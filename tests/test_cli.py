@@ -1,0 +1,128 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _best_mesh, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for cmd in ("kernels", "fig9", "fig10", "table3"):
+            assert parser.parse_args([cmd]).command == cmd
+
+    def test_run_args(self):
+        args = build_parser().parse_args(["run", "Box-2D9P", "--size", "32"])
+        assert args.kernel == "Box-2D9P"
+        assert args.size == 32
+
+
+class TestCommands:
+    def test_kernels(self, capsys):
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "Box-2D49P" in out and "10240x10240" in out
+
+    def test_decompose_2d(self, capsys):
+        assert main(["decompose", "Box-2D49P"]) == 0
+        out = capsys.readouterr().out
+        assert "method=pma" in out and "1x1 apex" in out
+
+    def test_decompose_3d(self, capsys):
+        assert main(["decompose", "Heat-3D"]) == 0
+        out = capsys.readouterr().out
+        assert "CUDA cores" in out and "plane 1" in out
+
+    def test_decompose_1d(self, capsys):
+        assert main(["decompose", "Heat-1D"]) == 0
+        assert "1D" in capsys.readouterr().out
+
+    def test_run(self, capsys):
+        assert main(["run", "Box-2D49P", "--size", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "mma_ops" in out and "arithmetic intensity" in out
+
+    def test_fig8_subset(self, capsys):
+        assert main(["fig8", "--kernels", "Heat-2D"]) == 0
+        out = capsys.readouterr().out
+        assert "LoRAStencil" in out and "Heat-2D" in out
+
+    def test_fig8_best_flag(self, capsys):
+        assert main(["fig8", "--kernels", "Box-2D9P", "--best"]) == 0
+        assert "LoRAStencil-Best" in capsys.readouterr().out
+
+    def test_precision(self, capsys):
+        assert main(["precision", "Heat-2D", "--steps", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "FP16" in out
+
+    def test_precision_rejects_3d(self, capsys):
+        assert main(["precision", "Heat-3D"]) == 2
+
+    def test_scaling(self, capsys):
+        assert main(["scaling", "--size", "512", "--devices", "1", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "2x2" in out
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError):
+            main(["decompose", "NoSuchKernel"])
+
+
+class TestNewCommands:
+    def test_autotune(self, capsys):
+        assert main(["autotune", "Heat-2D"]) == 0
+        out = capsys.readouterr().out
+        assert "best: fusion=" in out
+
+    def test_autotune_rejects_non_2d(self, capsys):
+        assert main(["autotune", "Heat-1D"]) == 2
+
+    def test_convergence(self, capsys):
+        assert main(["convergence", "--resolutions", "8", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "observed order" in out
+
+    def test_codegen_stdout(self, capsys):
+        assert main(["codegen", "Box-2D9P"]) == 0
+        out = capsys.readouterr().out
+        assert "wmma::mma_sync" in out
+
+    def test_codegen_no_bvs(self, capsys):
+        assert main(["codegen", "Box-2D9P", "--no-bvs"]) == 0
+        assert "__shfl_sync" in capsys.readouterr().out
+
+    def test_codegen_to_file(self, capsys, tmp_path):
+        out_file = tmp_path / "kernel.cu"
+        assert main(["codegen", "Heat-3D", "--output", str(out_file)]) == 0
+        assert "axpy_plane_kernel" in out_file.read_text()
+
+    def test_codegen_1d(self, capsys):
+        assert main(["codegen", "Heat-1D"]) == 0
+        assert "Section IV-C" in capsys.readouterr().out
+
+    def test_trace(self, capsys):
+        assert main(["trace", "Box-2D49P", "--limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "load_matrix" in out and "warp ops" in out
+
+    def test_trace_rejects_non_2d(self, capsys):
+        assert main(["trace", "Heat-1D"]) == 2
+
+    def test_verify(self, capsys):
+        assert main(["verify"]) == 0
+        out = capsys.readouterr().out
+        assert "all engines exact" in out
+        assert out.count("ok") >= 8 * 7
+
+
+class TestBestMesh:
+    @pytest.mark.parametrize(
+        "n,mesh", [(1, (1, 1)), (4, (2, 2)), (6, (2, 3)), (8, (2, 4)), (7, (1, 7))]
+    )
+    def test_most_square_factorization(self, n, mesh):
+        assert _best_mesh(n) == mesh

@@ -1,0 +1,115 @@
+"""Tests for von Neumann symbol analysis."""
+
+import numpy as np
+import pytest
+
+from repro.stencil.kernels import get_kernel
+from repro.stencil.weights import box_weights
+from repro.validation.dispersion import (
+    amplification_grid,
+    is_von_neumann_stable,
+    max_amplification,
+    measured_mode_decay,
+    symbol,
+)
+
+
+class TestSymbol:
+    def test_zero_wavevector_is_weight_sum(self):
+        w = get_kernel("Heat-2D").weights
+        g = symbol(w, (0.0, 0.0))
+        assert g == pytest.approx(w.array.sum())
+
+    def test_heat2d_closed_form(self):
+        """Heat-2D symbol: 1 - 4a + 2a cos(kx) + 2a cos(ky)."""
+        w = get_kernel("Heat-2D").weights
+        a = 0.125
+        for kx, ky in [(0.5, 1.0), (np.pi, 0.0), (2.0, 2.0)]:
+            expected = 1 - 4 * a + 2 * a * np.cos(kx) + 2 * a * np.cos(ky)
+            assert symbol(w, (kx, ky)) == pytest.approx(expected, abs=1e-12)
+
+    def test_symmetric_kernel_real_symbol(self):
+        """Radially symmetric weights give a real symbol."""
+        w = get_kernel("Box-2D49P").weights
+        g = symbol(w, (0.7, -1.3))
+        assert abs(g.imag) < 1e-12
+
+    def test_dimension_checked(self):
+        with pytest.raises(ValueError):
+            symbol(get_kernel("Heat-2D").weights, (1.0,))
+
+    def test_1d_symbol(self):
+        w = get_kernel("Heat-1D").weights
+        a = 0.125
+        assert symbol(w, (np.pi,)) == pytest.approx(1 - 4 * a)
+
+
+class TestStability:
+    def test_heat_kernels_stable(self):
+        """The zoo's Heat kernels satisfy the CFL condition."""
+        for name in ("Heat-1D", "Heat-2D"):
+            assert is_von_neumann_stable(get_kernel(name).weights)
+
+    def test_heat3d_stable(self):
+        assert is_von_neumann_stable(get_kernel("Heat-3D").weights, samples=17)
+
+    def test_amplifying_kernel_detected(self):
+        """Box-2D49P's weights sum to ~4.4: unstable as a timestepper
+        (the FP16 overflow finding's root cause)."""
+        w = get_kernel("Box-2D49P").weights
+        assert not is_von_neumann_stable(w)
+        assert max_amplification(w) == pytest.approx(w.array.sum(), rel=1e-6)
+
+    def test_unstable_heat_ratio(self):
+        """r > 1/4 breaks the 2D CFL bound."""
+        from repro.validation.convergence import heat_kernel_for
+
+        stable = heat_kernel_for(0.25)
+        assert is_von_neumann_stable(stable)
+        # manually build r = 0.3 (heat_kernel_for refuses it)
+        from repro.stencil.weights import star_weights
+
+        r = 0.3
+        unstable = star_weights(
+            1, 2, axis_values=np.full((2, 2), r), center=1 - 4 * r
+        )
+        assert not is_von_neumann_stable(unstable)
+
+    def test_amplification_grid_shape(self):
+        g = amplification_grid(get_kernel("Heat-2D").weights, samples=9)
+        assert g.shape == (9, 9)
+        assert np.all(g >= 0)
+
+
+class TestMeasuredDecay:
+    def test_prediction_matches_engine_2d(self):
+        """The engine's measured per-step decay of a resolvable mode
+        equals |g(k)| — PDE theory meets the tensorized executor."""
+        w = get_kernel("Heat-2D").weights
+        k = (2 * np.pi * 3 / 32, 2 * np.pi * 5 / 32)
+        predicted, measured = measured_mode_decay(w, k, grid=32, steps=4)
+        assert measured == pytest.approx(predicted, rel=1e-6)
+
+    def test_prediction_matches_engine_1d(self):
+        w = get_kernel("Heat-1D").weights
+        k = (2 * np.pi * 4 / 64,)
+        predicted, measured = measured_mode_decay(w, k, grid=64, steps=4)
+        assert measured == pytest.approx(predicted, rel=1e-6)
+
+    def test_prediction_matches_engine_3d(self):
+        w = get_kernel("Heat-3D").weights
+        k = (2 * np.pi / 16,) * 3
+        predicted, measured = measured_mode_decay(w, k, grid=16, steps=3)
+        assert measured == pytest.approx(predicted, rel=1e-6)
+
+    def test_unresolvable_mode_rejected(self):
+        w = get_kernel("Heat-2D").weights
+        with pytest.raises(ValueError):
+            measured_mode_decay(w, (0.1234, 0.0), grid=16)
+
+    def test_generic_kernel_decay(self, rng):
+        """Works for arbitrary (asymmetric) kernels too; |g| may exceed 1."""
+        w = box_weights(1, 2, rng=rng)
+        k = (2 * np.pi * 2 / 24, 2 * np.pi * 1 / 24)
+        predicted, measured = measured_mode_decay(w, k, grid=24, steps=3)
+        assert measured == pytest.approx(predicted, rel=1e-6)
