@@ -14,8 +14,7 @@ import numpy as np
 from repro.baselines.base import FootprintScale
 from repro.baselines.convstencil import ConvStencil2D, ConvStencilMethod
 from repro.baselines.lorastencil import LoRAStencilMethod
-from repro.core.engine2d import LoRAStencil2D
-from repro.core.engine3d import LoRAStencil3D
+from repro.runtime import compile as compile_stencil
 from repro.experiments.report import format_table
 from repro.perf.costmodel import gstencil_per_second
 from repro.stencil.extended import EXTENDED_KERNELS, get_extended_kernel
@@ -42,11 +41,9 @@ def test_extended_zoo_comparison(benchmark, write_result):
             h = k.weights.radius
             if k.weights.ndim == 1:
                 from repro.baselines.convstencil import ConvStencil1D
-                from repro.core.engine1d import LoRAStencil1D
-
                 x = rng.normal(size=4096 + 2 * h)
                 ref = reference_apply(x, k.weights)
-                out, cnt = LoRAStencil1D(k.weights).apply_simulated(x)
+                out, cnt = compile_stencil(k.weights).apply_simulated(x)
                 assert np.abs(out - ref).max() < 1e-10
                 lora_g = _gst(cnt, LoRAStencilMethod(k), 4096)
                 out, cnt = ConvStencil1D(k.weights).apply_simulated(x)
@@ -55,8 +52,7 @@ def test_extended_zoo_comparison(benchmark, write_result):
             else:
                 x = rng.normal(size=tuple(s + 2 * h for s in GRID_2D))
                 ref = reference_apply(x, k.weights)
-                lora_eng = LoRAStencil2D(k.weights.as_matrix())
-                out, cnt = lora_eng.apply_simulated(x)
+                out, cnt = compile_stencil(k.weights).apply_simulated(x)
                 assert np.abs(out - ref).max() < 1e-9
                 lora_g = _gst(cnt, LoRAStencilMethod(k), GRID_2D[0] * GRID_2D[1])
                 conv_eng = ConvStencil2D(k.weights.as_matrix())
@@ -73,8 +69,7 @@ def test_extended_zoo_comparison(benchmark, write_result):
             k = get_extended_kernel(name)
             h = k.weights.radius
             x = rng.normal(size=tuple(s + 2 * h for s in GRID_3D))
-            eng = LoRAStencil3D(k.weights)
-            out, cnt = eng.apply_simulated(x)
+            out, cnt = compile_stencil(k.weights).apply_simulated(x)
             ref = reference_apply(x, k.weights)
             assert np.abs(out - ref).max() < 1e-9
             g = _gst(cnt, LoRAStencilMethod(k), int(np.prod(GRID_3D)))

@@ -6,8 +6,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.engine2d import LoRAStencil2D
 from repro.core.fusion import fragment_waste, fuse_kernel, fusion_saving
+from repro.runtime import compile as compile_stencil
 from repro.experiments.report import format_table
 from repro.stencil.kernels import get_kernel
 
@@ -41,8 +41,8 @@ def test_fused_sweep_vs_three_unfused(benchmark, write_result):
     radius-1 sweeps covering the same three timesteps."""
     k = get_kernel("Box-2D9P")
     fk = fuse_kernel(k.weights, 3)
-    fused = LoRAStencil2D(fk.fused.as_matrix())
-    base = LoRAStencil2D(k.weights.as_matrix())
+    fused = compile_stencil(fk.fused)
+    base = compile_stencil(k.weights)
     rng = np.random.default_rng(0)
     x = rng.normal(size=(512, 512))
 

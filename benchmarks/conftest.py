@@ -19,6 +19,13 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_configure(config) -> None:
+    """Silence the engine deprecation shims (see tests/conftest.py)."""
+    config.addinivalue_line(
+        "filterwarnings", r"ignore:.*repro\.compile.*:DeprecationWarning"
+    )
+
+
 @pytest.fixture(scope="session")
 def results_dir() -> pathlib.Path:
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -1,25 +1,45 @@
 """repro — a full reproduction of *LoRAStencil: Low-Rank Adaptation of
 Stencil Computation on Tensor Cores* (SC 2024).
 
-Public API tour:
+Public API tour — compile once, execute many:
 
 >>> import numpy as np
->>> from repro import get_kernel, LoRAStencil2D, reference_apply
->>> kernel = get_kernel("Box-2D49P")
->>> engine = LoRAStencil2D(kernel.weights.as_matrix())
->>> x = np.random.default_rng(0).normal(size=(70, 70))
->>> out = engine.apply(x)                       # functional fast path
->>> out_sim, events = engine.apply_simulated(x)  # warp-level TCU simulation
->>> bool(np.allclose(out, reference_apply(x, kernel.weights)))
+>>> import repro
+>>> kernel = repro.get_kernel("Box-2D49P")
+>>> stencil = repro.compile(kernel.weights)     # cached StencilPlan
+>>> x = np.random.default_rng(0).normal(size=(64, 64))
+>>> out = stencil.apply_grid(x)                 # pads internally
+>>> padded = np.pad(x, stencil.radius)
+>>> out_sim, events = stencil.apply_simulated(padded)  # TCU simulation
+>>> bool(np.allclose(out_sim, repro.reference_apply(padded, kernel.weights)))
 True
+
+:func:`repro.compile` derives the PMA/SVD decomposition, banded gather
+matrices, BVS permutation and block schedule once per distinct
+``(weights, config, tile_shape, dtype)`` and memoizes the resulting
+:class:`~repro.runtime.plan.StencilPlan` in a content-addressed
+:class:`~repro.runtime.cache.PlanCache`.  The returned
+:class:`~repro.runtime.facade.CompiledStencil` executes single grids,
+vectorized batches (:meth:`apply_batch`) and sharded simulated sweeps
+with merged event counters.
 
 Subpackages: :mod:`repro.stencil` (substrate), :mod:`repro.tcu`
 (tensor-core simulator), :mod:`repro.core` (RDG/PMA/BVS engines),
+:mod:`repro.runtime` (plans, plan cache, batched/sharded execution),
 :mod:`repro.baselines` (the Fig. 8 line-up), :mod:`repro.perf`
 (A100 cost model), :mod:`repro.analysis` (Eq. 12-16 closed forms),
 :mod:`repro.experiments` (figure/table drivers).
+
+Direct engine construction (``LoRAStencil2D(...)``) still works but is
+deprecated in favour of :func:`repro.compile`.
 """
 
+from repro.errors import (
+    DecompositionError,
+    KernelNotFoundError,
+    ReproError,
+    ShapeError,
+)
 from repro.stencil import (
     Grid,
     KERNELS,
@@ -43,10 +63,15 @@ from repro.core import (
     LoRAStencil3D,
     OptimizationConfig,
     Rank1Term,
-    decompose,
     fuse_kernel,
-    pyramidal_decompose,
-    svd_decompose,
+)
+from repro.core.lowrank import decompose, pyramidal_decompose, svd_decompose
+from repro.runtime import (
+    CompiledStencil,
+    PlanCache,
+    Runtime,
+    StencilPlan,
+    compile,
 )
 from repro.tcu import Device, EventCounters
 from repro.perf import A100, gstencil_per_second
@@ -56,10 +81,15 @@ from repro.precision import TCStencilFP16, precision_sweep
 from repro.codegen import generate_cuda_kernel
 from repro.validation import convergence_study, estimated_order
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    # errors
+    "ReproError",
+    "KernelNotFoundError",
+    "DecompositionError",
+    "ShapeError",
     # stencil substrate
     "Shape",
     "StencilPattern",
@@ -86,6 +116,12 @@ __all__ = [
     "LoRAStencil3D",
     "OptimizationConfig",
     "fuse_kernel",
+    # runtime
+    "compile",
+    "CompiledStencil",
+    "StencilPlan",
+    "PlanCache",
+    "Runtime",
     # hardware + perf
     "Device",
     "EventCounters",

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.baselines.convstencil import ConvStencil2D
-from repro.core.engine2d import LoRAStencil2D
+from repro.runtime import compile as compile_stencil
 from repro.perf.machine import A100, MachineSpec
 from repro.perf.occupancy import blocks_per_sm, occupancy_factor
 from repro.stencil.weights import StencilWeights
@@ -60,7 +60,7 @@ def compare_occupancy(
     x = rng.normal(size=tuple(s + 2 * h for s in grid))
 
     d_lora = Device()
-    LoRAStencil2D(weights.as_matrix()).apply_simulated(x, device=d_lora)
+    compile_stencil(weights).engine.apply_simulated(x, device=d_lora)
     # LoRAStencil covers a 32x64-output block per shared allocation
     block_points = 32 * 64
     lora_bytes = d_lora.peak_shared_bytes

@@ -4,6 +4,7 @@
 
     python -m repro kernels                 # Table II zoo
     python -m repro decompose Box-2D49P     # PMA pyramid of a kernel
+    python -m repro plan Box-2D49P          # compiled plan + cache stats
     python -m repro run Box-2D49P --size 64 # simulated sweep + events
     python -m repro fig8 [--kernels ...]    # figure/table drivers
     python -m repro fig9 / fig10 / table3
@@ -33,6 +34,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("decompose", help="show a kernel's PMA/SVD pyramid")
     p.add_argument("kernel")
+
+    p = sub.add_parser("plan", help="show a kernel's compiled execution plan")
+    p.add_argument("kernel")
+    p.add_argument("--no-tensor-cores", action="store_true",
+                   help="plan for the CUDA-core fallback path")
 
     p = sub.add_parser("run", help="simulated sweep of one kernel")
     p.add_argument("kernel")
@@ -138,6 +144,8 @@ def _cmd_run(kernel_name: str, size: int, seed: int) -> int:
     print(f"{k.name}: simulated sweep over {shape} "
           f"({'fused 3x, ' if method.steps_per_sweep > 1 else ''}"
           f"engine radius {method._engine_radius()})")
+    print(f"  plan {method.plan.key[:16]}…  "
+          f"({method.plan.method}, rank {method.plan.rank})")
     for name, value in events.as_dict().items():
         if value:
             print(f"  {name:28s} {value:>12,}")
@@ -329,8 +337,30 @@ def _cmd_codegen(kernel_name: str, output: str | None, no_bvs: bool) -> int:
     return 0
 
 
+def _cmd_plan(kernel_name: str, no_tensor_cores: bool) -> int:
+    """Compile (or fetch) a kernel's plan and report plan-cache stats."""
+    from repro.core.config import OptimizationConfig
+    from repro.runtime import DEFAULT_PLAN_CACHE
+    from repro.runtime import compile as compile_stencil
+    from repro.stencil.kernels import get_kernel
+
+    k = get_kernel(kernel_name)
+    config = (
+        OptimizationConfig(use_tensor_cores=False) if no_tensor_cores else None
+    )
+    compiled = compile_stencil(k.weights, config=config)
+    print(f"{k.name}:")
+    print(compiled.describe())
+    again = compile_stencil(k.weights, config=config)
+    shared = "hit (same plan object)" if again.plan is compiled.plan else "MISS"
+    print()
+    print(f"cache      {DEFAULT_PLAN_CACHE.stats().summary()}")
+    print(f"recompile  {shared}")
+    return 0
+
+
 def _cmd_trace(kernel_name: str, limit: int) -> int:
-    from repro.core.engine2d import LoRAStencil2D
+    from repro.runtime import compile as compile_stencil
     from repro.stencil.kernels import get_kernel
     from repro.tcu import Device, trace
 
@@ -340,7 +370,7 @@ def _cmd_trace(kernel_name: str, limit: int) -> int:
         return 2
     device = Device()
     recorder = trace.install(device.counters)
-    eng = LoRAStencil2D(k.weights.as_matrix())
+    eng = compile_stencil(k.weights).engine
     h = k.weights.radius
     x = np.zeros((8 + 2 * h, 8 + 2 * h))
     eng.apply_simulated(x, device=device)
@@ -353,6 +383,7 @@ def _cmd_trace(kernel_name: str, limit: int) -> int:
 def _cmd_verify() -> int:
     """Run a fast correctness pass of every engine on every zoo kernel."""
     from repro.baselines.registry import all_methods
+    from repro.runtime import compile as compile_stencil
     from repro.stencil.kernels import KERNELS
     from repro.stencil.reference import reference_apply
 
@@ -373,6 +404,14 @@ def _cmd_verify() -> int:
             failures += not ok
             print(f"  {kernel.name:<12} {method.name:<12} "
                   f"max|err|={err:.2e}  {'ok' if ok else 'FAIL'}")
+        # the runtime facade: compiled plan, batched over 3 grids at once
+        compiled = compile_stencil(kernel.weights)
+        batch = np.stack([x, x * 0.5, x + 1.0])
+        berr = float(np.abs(compiled.apply_batch(batch)[0] - ref).max())
+        ok = berr < 1e-9
+        failures += not ok
+        print(f"  {kernel.name:<12} {'compile+batch':<12} "
+              f"max|err|={berr:.2e}  {'ok' if ok else 'FAIL'}")
     print(f"\n{'all engines exact' if not failures else f'{failures} FAILURES'}")
     return 1 if failures else 0
 
@@ -393,6 +432,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_kernels()
     if args.command == "decompose":
         return _cmd_decompose(args.kernel)
+    if args.command == "plan":
+        return _cmd_plan(args.kernel, args.no_tensor_cores)
     if args.command == "run":
         return _cmd_run(args.kernel, args.size, args.seed)
     if args.command == "fig8":

@@ -1,0 +1,53 @@
+"""Deprecation plumbing for the legacy engine constructors.
+
+Direct construction of ``LoRAStencil{1,2,3}D`` is deprecated in favour
+of :func:`repro.compile`, which routes through the plan cache.  The
+library itself still builds engine instances internally (plans own one,
+the 3D engine builds a 2D engine per kernel plane, the cluster models
+build one per subdomain); those sites wrap construction in
+:func:`suppress_engine_deprecation` so only *user* construction warns.
+
+The suppression flag is thread-local: the runtime's sharded executor may
+build plans concurrently without leaking suppression across threads.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import warnings
+from typing import Iterator
+
+__all__ = ["suppress_engine_deprecation", "warn_engine_deprecation"]
+
+_state = threading.local()
+
+
+def _depth() -> int:
+    return getattr(_state, "depth", 0)
+
+
+@contextlib.contextmanager
+def suppress_engine_deprecation() -> Iterator[None]:
+    """Context manager: engine constructors inside do not warn."""
+    _state.depth = _depth() + 1
+    try:
+        yield
+    finally:
+        _state.depth = _depth() - 1
+
+
+def warn_engine_deprecation(old: str, new: str = "repro.compile(...)") -> None:
+    """Emit the constructor deprecation warning unless suppressed.
+
+    ``stacklevel=3`` points the warning at the caller of the deprecated
+    constructor (user code), not at the constructor itself.
+    """
+    if _depth() > 0:
+        return
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead — it returns a cached, "
+        "compile-once plan with batched and sharded execution",
+        DeprecationWarning,
+        stacklevel=3,
+    )

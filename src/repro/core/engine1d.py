@@ -5,6 +5,16 @@ multiplication gathers all dependencies, so there is no MCM, no BVS, and
 no pyramid — just the banded weight matrix ``U`` applied to a window
 matrix whose columns are 8-strided segments of the input.
 
+Both paths use the repository-wide convention: input is padded by the
+stencil radius, output is the interior.  Callers holding *unpadded*
+arrays should prefer ``repro.compile(...)`` and
+:meth:`~repro.runtime.facade.CompiledStencil.apply_grid`, which pads
+internally through :mod:`repro.stencil.boundary`.
+
+Direct construction is deprecated: ``repro.compile(weights, ndim=1)``
+builds (and caches) the same engine inside a
+:class:`~repro.runtime.plan.StencilPlan`.
+
 Tile layout: one warp updates 64 consecutive outputs arranged as an 8x8
 accumulator with ``out_tile[p, q] = out[base + 8q + p]``.  The window
 ``X[r, q] = x[base + 8q + r]`` is read from the block's flat shared
@@ -16,8 +26,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core._deprecation import warn_engine_deprecation
 from repro.core.config import OptimizationConfig
 from repro.core.uvbuild import build_u_matrix
+from repro.errors import ShapeError
 from repro.stencil.weights import StencilWeights
 from repro.tcu.counters import EventCounters
 from repro.tcu.device import Device
@@ -44,16 +56,17 @@ class LoRAStencil1D:
         weights: StencilWeights | np.ndarray,
         config: OptimizationConfig | None = None,
     ) -> None:
+        warn_engine_deprecation("direct LoRAStencil1D(...) construction")
         if isinstance(weights, StencilWeights):
             if weights.ndim != 1:
-                raise ValueError(
+                raise ShapeError(
                     f"LoRAStencil1D requires 1D weights, got {weights.ndim}D"
                 )
             w = weights.as_vector()
         else:
             w = np.asarray(weights, dtype=np.float64)
             if w.ndim != 1 or w.shape[0] % 2 != 1:
-                raise ValueError(
+                raise ShapeError(
                     f"weight vector must have odd length, got shape {w.shape}"
                 )
         self.weight_vector = w
@@ -82,10 +95,10 @@ class LoRAStencil1D:
         """Apply the stencil to a padded 1D array; returns the interior."""
         padded = np.asarray(padded, dtype=np.float64)
         if padded.ndim != 1:
-            raise ValueError(f"expected 1D input, got {padded.ndim}D")
+            raise ShapeError(f"expected 1D input, got {padded.ndim}D")
         n = padded.shape[0] - 2 * self.radius
         if n <= 0:
-            raise ValueError(
+            raise ShapeError(
                 f"padded input of {padded.shape[0]} too small for radius "
                 f"{self.radius}"
             )
@@ -106,10 +119,10 @@ class LoRAStencil1D:
         """Warp-level execution; returns ``(interior, counters)``."""
         padded = np.asarray(padded, dtype=np.float64)
         if padded.ndim != 1:
-            raise ValueError(f"expected 1D input, got {padded.ndim}D")
+            raise ShapeError(f"expected 1D input, got {padded.ndim}D")
         n = padded.shape[0] - 2 * self.radius
         if n <= 0:
-            raise ValueError(
+            raise ShapeError(
                 f"padded input of {padded.shape[0]} too small for radius "
                 f"{self.radius}"
             )

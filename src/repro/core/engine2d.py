@@ -14,16 +14,25 @@ Two execution paths share one decomposition:
   the hardware event counts the figures consume.
 
 Both paths use the repository-wide convention: input is padded by the
-stencil radius, output is the interior.
+stencil radius, output is the interior.  Callers holding *unpadded*
+grids should prefer ``repro.compile(...)`` and
+:meth:`~repro.runtime.facade.CompiledStencil.apply_grid`, which pads
+internally through :mod:`repro.stencil.boundary`.
+
+Direct construction is deprecated: ``repro.compile(weights, ...)``
+builds (and caches) the same engine inside a
+:class:`~repro.runtime.plan.StencilPlan`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core._deprecation import warn_engine_deprecation
 from repro.core.config import OptimizationConfig
 from repro.core.lowrank import Decomposition, decompose
 from repro.core.rdg import OUT_TILE, RDGTileCompute
+from repro.errors import ShapeError
 from repro.stencil.weights import StencilWeights
 from repro.tcu.counters import EventCounters
 from repro.tcu.device import Device
@@ -44,16 +53,17 @@ class LoRAStencil2D:
         decomposition: Decomposition | None = None,
         tile_shape: tuple[int, int] = (OUT_TILE, OUT_TILE),
     ) -> None:
+        warn_engine_deprecation("direct LoRAStencil2D(...) construction")
         if isinstance(weights, StencilWeights):
             if weights.ndim != 2:
-                raise ValueError(
+                raise ShapeError(
                     f"LoRAStencil2D requires 2D weights, got {weights.ndim}D"
                 )
             w = weights.as_matrix()
         else:
             w = np.asarray(weights, dtype=np.float64)
             if w.ndim != 2 or w.shape[0] != w.shape[1] or w.shape[0] % 2 != 1:
-                raise ValueError(
+                raise ShapeError(
                     f"weight matrix must be square with odd side, got {w.shape}"
                 )
         self.weight_matrix = w
@@ -79,11 +89,11 @@ class LoRAStencil2D:
         """
         padded = np.asarray(padded, dtype=np.float64)
         if padded.ndim != 2:
-            raise ValueError(f"expected 2D input, got {padded.ndim}D")
+            raise ShapeError(f"expected 2D input, got {padded.ndim}D")
         h = self.radius
         rows, cols = padded.shape[0] - 2 * h, padded.shape[1] - 2 * h
         if rows <= 0 or cols <= 0:
-            raise ValueError(
+            raise ShapeError(
                 f"padded input {padded.shape} too small for radius {h}"
             )
         out = np.zeros((rows, cols), dtype=np.float64)
@@ -114,11 +124,11 @@ class LoRAStencil2D:
         """
         padded = np.asarray(padded, dtype=np.float64)
         if padded.ndim != 2:
-            raise ValueError(f"expected 2D input, got {padded.ndim}D")
+            raise ShapeError(f"expected 2D input, got {padded.ndim}D")
         h = self.radius
         rows, cols = padded.shape[0] - 2 * h, padded.shape[1] - 2 * h
         if rows <= 0 or cols <= 0:
-            raise ValueError(
+            raise ShapeError(
                 f"padded input {padded.shape} too small for radius {h}"
             )
 

@@ -9,14 +9,29 @@ stencil of that plane applied to input slab ``z + i``:
 * every other plane runs the full 2D LoRAStencil on the **tensor
   cores** — this is where the two compute units of the GPU overlap
   (Section IV-C).
+
+All paths use the repository-wide convention: input is padded by the
+stencil radius on every axis, output is the interior.  Callers holding
+*unpadded* volumes should prefer ``repro.compile(...)`` and
+:meth:`~repro.runtime.facade.CompiledStencil.apply_grid`, which pads
+internally through :mod:`repro.stencil.boundary`.
+
+Direct construction is deprecated: ``repro.compile(weights, ndim=3)``
+builds (and caches) the same engine inside a
+:class:`~repro.runtime.plan.StencilPlan`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core._deprecation import (
+    suppress_engine_deprecation,
+    warn_engine_deprecation,
+)
 from repro.core.config import OptimizationConfig
 from repro.core.engine2d import LoRAStencil2D
+from repro.errors import ShapeError
 from repro.stencil.weights import StencilWeights
 from repro.tcu.counters import EventCounters
 from repro.tcu.device import Device
@@ -46,7 +61,8 @@ class _PlaneTask:
             self.engine = None
         else:
             self.pointwise = None
-            self.engine = LoRAStencil2D(plane, config=config)
+            with suppress_engine_deprecation():
+                self.engine = LoRAStencil2D(plane, config=config)
 
 
 class LoRAStencil3D:
@@ -57,16 +73,17 @@ class LoRAStencil3D:
         weights: StencilWeights | np.ndarray,
         config: OptimizationConfig | None = None,
     ) -> None:
+        warn_engine_deprecation("direct LoRAStencil3D(...) construction")
         if isinstance(weights, StencilWeights):
             if weights.ndim != 3:
-                raise ValueError(
+                raise ShapeError(
                     f"LoRAStencil3D requires 3D weights, got {weights.ndim}D"
                 )
             w = weights.array
         else:
             w = np.asarray(weights, dtype=np.float64)
             if w.ndim != 3 or len(set(w.shape)) != 1 or w.shape[0] % 2 != 1:
-                raise ValueError(
+                raise ShapeError(
                     f"weight array must be a cube with odd side, got {w.shape}"
                 )
         self.weight_array = w
@@ -93,11 +110,11 @@ class LoRAStencil3D:
         """Apply the stencil to a padded 3D array; returns the interior."""
         padded = np.asarray(padded, dtype=np.float64)
         if padded.ndim != 3:
-            raise ValueError(f"expected 3D input, got {padded.ndim}D")
+            raise ShapeError(f"expected 3D input, got {padded.ndim}D")
         h = self.radius
         zs, rs, cs = (s - 2 * h for s in padded.shape)
         if min(zs, rs, cs) <= 0:
-            raise ValueError(
+            raise ShapeError(
                 f"padded input {padded.shape} too small for radius {h}"
             )
         out = np.zeros((zs, rs, cs), dtype=np.float64)
@@ -131,11 +148,11 @@ class LoRAStencil3D:
         """
         padded = np.asarray(padded, dtype=np.float64)
         if padded.ndim != 3:
-            raise ValueError(f"expected 3D input, got {padded.ndim}D")
+            raise ShapeError(f"expected 3D input, got {padded.ndim}D")
         h = self.radius
         zs, rs, cs = (s - 2 * h for s in padded.shape)
         if min(zs, rs, cs) <= 0:
-            raise ValueError(
+            raise ShapeError(
                 f"padded input {padded.shape} too small for radius {h}"
             )
         device = device or Device()
@@ -188,11 +205,11 @@ class LoRAStencil3D:
         """
         padded = np.asarray(padded, dtype=np.float64)
         if padded.ndim != 3:
-            raise ValueError(f"expected 3D input, got {padded.ndim}D")
+            raise ShapeError(f"expected 3D input, got {padded.ndim}D")
         h = self.radius
         zs, rs, cs = (s - 2 * h for s in padded.shape)
         if min(zs, rs, cs) <= 0:
-            raise ValueError(
+            raise ShapeError(
                 f"padded input {padded.shape} too small for radius {h}"
             )
         device = device or Device()

@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.errors import DecompositionError, ShapeError
+
 __all__ = [
     "Rank1Term",
     "Decomposition",
@@ -33,8 +35,12 @@ __all__ = [
 ]
 
 
-class PivotError(ValueError):
-    """PMA cannot proceed: zero pivot or missing flip symmetry."""
+class PivotError(DecompositionError):
+    """PMA cannot proceed: zero pivot or missing flip symmetry.
+
+    Subclasses :class:`repro.errors.DecompositionError` (itself a
+    ``ValueError`` for backwards compatibility).
+    """
 
 
 @dataclass(frozen=True)
@@ -161,10 +167,10 @@ def pyramidal_decompose(
     """
     w = np.asarray(w, dtype=np.float64)
     if w.ndim != 2 or w.shape[0] != w.shape[1]:
-        raise ValueError(f"weight matrix must be square, got shape {w.shape}")
+        raise ShapeError(f"weight matrix must be square, got shape {w.shape}")
     n = w.shape[0]
     if n % 2 != 1:
-        raise ValueError(f"weight matrix side must be odd, got {n}")
+        raise ShapeError(f"weight matrix side must be odd, got {n}")
     if not _is_flip_symmetric(w, tol):
         raise PivotError(
             "pyramidal decomposition requires row- and column-flip symmetry "
@@ -220,10 +226,10 @@ def svd_decompose(w: np.ndarray, tol: float = 1e-12) -> Decomposition:
     """Generic low-rank route (Eq. 8): ``rank(W)`` full-size terms."""
     w = np.asarray(w, dtype=np.float64)
     if w.ndim != 2 or w.shape[0] != w.shape[1]:
-        raise ValueError(f"weight matrix must be square, got shape {w.shape}")
+        raise ShapeError(f"weight matrix must be square, got shape {w.shape}")
     n = w.shape[0]
     if n % 2 != 1:
-        raise ValueError(f"weight matrix side must be odd, got {n}")
+        raise ShapeError(f"weight matrix side must be odd, got {n}")
     if n == 1:
         terms: tuple[Rank1Term, ...] = ()
         if w[0, 0] != 0.0:

@@ -1,0 +1,46 @@
+"""Typed exception hierarchy for the public API.
+
+Every error the library raises on a user-facing path derives from
+:class:`ReproError`, so ``except ReproError`` catches anything the
+library itself diagnosed while letting genuine bugs propagate.
+
+For backwards compatibility each concrete error *also* subclasses the
+builtin exception the pre-1.1 API raised in its place:
+
+* :class:`KernelNotFoundError` is a :class:`KeyError` (registry lookups
+  used to raise bare ``KeyError``);
+* :class:`DecompositionError` and :class:`ShapeError` are
+  :class:`ValueError` (decomposition and engine constructors used to
+  raise bare ``ValueError``).
+
+``except KeyError`` / ``except ValueError`` code written against the old
+API therefore keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "KernelNotFoundError",
+    "DecompositionError",
+    "ShapeError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception the repro library raises."""
+
+
+class KernelNotFoundError(ReproError, KeyError):
+    """A kernel (or method) name is not present in its registry."""
+
+    # KeyError renders its message repr()-quoted; restore plain text.
+    __str__ = Exception.__str__
+
+
+class DecompositionError(ReproError, ValueError):
+    """A weight matrix cannot be decomposed as requested."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array has the wrong dimensionality, shape, or size."""

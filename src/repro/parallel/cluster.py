@@ -18,7 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.baselines.base import FootprintScale
-from repro.core.engine2d import LoRAStencil2D
+from repro.runtime import compile as compile_stencil
 from repro.parallel.decomposition import Partition, partition
 from repro.parallel.halo import HaloExchanger
 from repro.perf.costmodel import time_per_point
@@ -76,9 +76,11 @@ class SimulatedCluster:
         self.machine = machine
         self.part: Partition = partition(global_shape, mesh)
         self.halo = HaloExchanger(self.part, weights.radius, boundary)
+        # one cached plan serves every rank: the engines are read-only
+        # after compilation, so the mesh shares a single instance
+        compiled = compile_stencil(weights)
         self.engines = {
-            sub.rank: LoRAStencil2D(weights.as_matrix())
-            for sub in self.part.subdomains
+            sub.rank: compiled.engine for sub in self.part.subdomains
         }
 
     # ------------------------------------------------------------------

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.engine3d import LoRAStencil3D
+from repro.runtime import compile as compile_stencil
 from repro.parallel.decomposition import Partition, partition
 from repro.parallel.halo import HaloExchanger
 from repro.stencil.weights import StencilWeights
@@ -49,8 +49,10 @@ class SimulatedCluster3D:
         # carries the full pencil depth plus the z halo
         self._halo2d = HaloExchanger(self.part, weights.radius, boundary)
         self.exchanged_bytes = 0
+        # one cached plan serves every rank (engines are read-only)
+        compiled = compile_stencil(weights)
         self.engines = {
-            sub.rank: LoRAStencil3D(weights) for sub in self.part.subdomains
+            sub.rank: compiled.engine for sub in self.part.subdomains
         }
 
     # ------------------------------------------------------------------

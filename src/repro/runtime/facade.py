@@ -1,0 +1,199 @@
+"""The unified ``repro.compile`` entry point.
+
+One call replaces the three engine constructors::
+
+    compiled = repro.compile(weights)          # ndim inferred
+    out = compiled.apply(padded)               # old pad convention
+    out = compiled.apply_grid(x, boundary="periodic")  # pads internally
+    outs = compiled.apply_batch(grids)         # vectorized batch
+    out, events = compiled.apply_simulated(x)  # faithful TCU sweep
+
+``compile`` consults the module-level :data:`DEFAULT_PLAN_CACHE` (an LRU
+keyed by a content hash of ``(weights, config, tile_shape, dtype)``), so
+re-compiling an identical stencil is a dictionary lookup — no PMA/SVD,
+no gather-matrix rebuild.  Pass ``cache=None`` to force a fresh build,
+or your own :class:`~repro.runtime.cache.PlanCache` to isolate tenants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import OptimizationConfig
+from repro.runtime.cache import PlanCache
+from repro.runtime.executor import Runtime
+from repro.runtime.plan import StencilPlan, build_plan, plan_key
+from repro.stencil.boundary import BoundaryCondition, parse_boundary
+from repro.stencil.weights import StencilWeights
+from repro.tcu.counters import EventCounters
+from repro.tcu.device import Device
+
+__all__ = ["CompiledStencil", "compile", "DEFAULT_PLAN_CACHE"]
+
+#: Process-wide plan cache ``repro.compile`` uses by default.
+DEFAULT_PLAN_CACHE = PlanCache(maxsize=128)
+
+_MISSING = object()
+
+
+class CompiledStencil:
+    """A compiled stencil: one plan plus every way to execute it.
+
+    Thin handle over ``(StencilPlan, Runtime)``; cheap to construct,
+    safe to share across threads (the plan is immutable and the engines
+    are read-only after compilation).
+    """
+
+    def __init__(self, plan: StencilPlan, cache: PlanCache | None = None) -> None:
+        self.plan = plan
+        self.cache = cache
+        self.runtime = Runtime(plan)
+
+    # -- structure --------------------------------------------------------
+    @property
+    def key(self) -> str:
+        """Content hash identifying the plan."""
+        return self.plan.key
+
+    @property
+    def ndim(self) -> int:
+        """Stencil dimensionality (1, 2 or 3)."""
+        return self.plan.ndim
+
+    @property
+    def radius(self) -> int:
+        """Stencil radius ``h`` (inputs must be padded by this much)."""
+        return self.plan.radius
+
+    @property
+    def rank(self) -> int:
+        """Number of rank-1 terms in the plan's decomposition."""
+        return self.plan.rank
+
+    @property
+    def engine(self):
+        """The underlying ``LoRAStencil{1,2,3}D`` engine instance."""
+        return self.plan.engine
+
+    # -- execution --------------------------------------------------------
+    def apply(self, padded: np.ndarray) -> np.ndarray:
+        """Apply to one *padded* grid; returns the interior.
+
+        Keeps the repository-wide pad convention: the input carries a
+        halo of ``radius`` ghost cells per side that the caller chose
+        how to fill.  Use :meth:`apply_grid` to pad internally.
+        """
+        return self.runtime.apply(padded)
+
+    def apply_grid(
+        self,
+        x: np.ndarray,
+        boundary: str | BoundaryCondition = "constant",
+    ) -> np.ndarray:
+        """Apply to one *unpadded* grid, padding internally.
+
+        ``boundary`` is a :mod:`repro.stencil.boundary` condition object
+        or shorthand (``"constant"``, ``"periodic"``, ``"edge"``,
+        ``"reflect"``); the output has the same shape as ``x``.
+        """
+        cond = parse_boundary(boundary)
+        padded = cond.pad(np.asarray(x, dtype=np.float64), self.radius)
+        return self.runtime.apply(padded)
+
+    def apply_batch(
+        self,
+        grids,
+        threaded: bool = False,
+        max_workers: int | None = None,
+    ) -> np.ndarray:
+        """Apply to many equally shaped padded grids at once.
+
+        Vectorized over the batch axis by default; ``threaded=True``
+        fans single-grid applies over a thread pool instead (for
+        batches too large to stack).
+        """
+        if threaded:
+            return self.runtime.apply_batch_threaded(grids, max_workers)
+        return self.runtime.apply_batch(grids)
+
+    def apply_simulated(
+        self,
+        padded: np.ndarray,
+        device: Device | None = None,
+        shards: int = 1,
+        max_workers: int | None = None,
+    ) -> tuple[np.ndarray, EventCounters]:
+        """Faithful TCU sweep; returns ``(interior, counters)``.
+
+        ``shards > 1`` splits the sweep along the first interior axis
+        over a thread pool, one simulated device per shard, and merges
+        the per-shard event counters (``device`` is then ignored).
+        """
+        if shards > 1:
+            return self.runtime.apply_simulated_sharded(
+                padded, shards=shards, max_workers=max_workers
+            )
+        return self.runtime.apply_simulated(padded, device=device)
+
+    def apply_simulated_batch(
+        self,
+        grids,
+        max_workers: int | None = None,
+    ) -> tuple[np.ndarray, EventCounters]:
+        """Simulated sweep of a batch of grids with merged counters."""
+        return self.runtime.apply_simulated_batch(grids, max_workers)
+
+    def describe(self) -> str:
+        """Human-readable plan summary."""
+        return self.plan.describe()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompiledStencil(key={self.key[:12]}…, ndim={self.ndim}, "
+            f"radius={self.radius}, method={self.plan.method!r})"
+        )
+
+
+def compile(
+    weights: StencilWeights | np.ndarray,
+    ndim: int | None = None,
+    config: OptimizationConfig | None = None,
+    tile_shape: tuple[int, int] | None = None,
+    dtype: np.dtype | type | str = np.float64,
+    cache: PlanCache | None = _MISSING,  # type: ignore[assignment]
+) -> CompiledStencil:
+    """Compile (or fetch from cache) a stencil execution plan.
+
+    The single entry point unifying ``LoRAStencil1D/2D/3D``: dimension
+    is inferred from the weights (or forced via ``ndim``), the heavy
+    derivation work happens at most once per distinct
+    ``(weights, config, tile_shape, dtype)`` thanks to the plan cache.
+
+    Parameters
+    ----------
+    weights:
+        :class:`~repro.stencil.weights.StencilWeights` or a dense odd-
+        sided array (vector, matrix, or cube).
+    ndim:
+        Optional dimensionality check/override.
+    config:
+        :class:`~repro.core.config.OptimizationConfig` toggles.
+    tile_shape:
+        2D output warp-tile shape (multiples of 8); 2D plans only.
+    dtype:
+        Compute dtype; only ``float64`` (the FP64 MMA pipeline) today.
+    cache:
+        ``PlanCache`` to consult (default: the process-wide
+        :data:`DEFAULT_PLAN_CACHE`); ``None`` compiles uncached.
+    """
+    if cache is _MISSING:
+        cache = DEFAULT_PLAN_CACHE
+    if cache is None:
+        return CompiledStencil(
+            build_plan(weights, ndim, config, tile_shape, dtype), None
+        )
+    key = plan_key(weights, ndim, config, tile_shape, dtype)
+    plan = cache.get_or_build(
+        key, lambda: build_plan(weights, ndim, config, tile_shape, dtype)
+    )
+    return CompiledStencil(plan, cache)

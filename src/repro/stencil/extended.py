@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import KernelNotFoundError
 from repro.stencil.kernels import BenchmarkKernel
 from repro.stencil.weights import radially_symmetric_weights, star_weights
 
@@ -92,6 +93,6 @@ def get_extended_kernel(name: str) -> BenchmarkKernel:
     for key, kernel in EXTENDED_KERNELS.items():
         if key.lower() == name.lower():
             return kernel
-    raise KeyError(
+    raise KernelNotFoundError(
         f"unknown extended kernel {name!r}; available: {sorted(EXTENDED_KERNELS)}"
     )

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import KernelNotFoundError
 from repro.stencil.patterns import Shape, StencilPattern
 from repro.stencil.weights import (
     StencilWeights,
@@ -164,7 +165,7 @@ def get_kernel(name: str) -> BenchmarkKernel:
     for key, kernel in KERNELS.items():
         if key.lower() == name.lower():
             return kernel
-    raise KeyError(
+    raise KernelNotFoundError(
         f"unknown benchmark kernel {name!r}; available: {sorted(KERNELS)}"
     )
 

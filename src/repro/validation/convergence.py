@@ -90,18 +90,10 @@ def convergence_study(
     if not 1 <= ndim <= 3:
         raise ValueError(f"ndim must be 1, 2 or 3, got {ndim}")
     if engine_factory is None:
-        if ndim == 1:
-            from repro.core.engine1d import LoRAStencil1D
+        from repro.runtime import compile as compile_stencil
 
-            engine_factory = lambda w: LoRAStencil1D(w)  # noqa: E731
-        elif ndim == 2:
-            from repro.core.engine2d import LoRAStencil2D
-
-            engine_factory = lambda w: LoRAStencil2D(w.as_matrix())  # noqa: E731
-        else:
-            from repro.core.engine3d import LoRAStencil3D
-
-            engine_factory = lambda w: LoRAStencil3D(w)  # noqa: E731
+        # cached compile: every resolution of the study reuses one plan
+        engine_factory = lambda w: compile_stencil(w, ndim=ndim)  # noqa: E731
 
     weights = heat_kernel_for(r, ndim=ndim)
     points: list[ConvergencePoint] = []

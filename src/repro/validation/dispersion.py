@@ -93,18 +93,9 @@ def measured_mode_decay(
                 f"wavevector component {kc} is not resolvable on a grid of {grid}"
             )
     if apply_fn is None:
-        if weights.ndim == 2:
-            from repro.core.engine2d import LoRAStencil2D
+        from repro.runtime import compile as compile_stencil
 
-            apply_fn = LoRAStencil2D(weights.as_matrix()).apply
-        elif weights.ndim == 1:
-            from repro.core.engine1d import LoRAStencil1D
-
-            apply_fn = LoRAStencil1D(weights).apply
-        else:
-            from repro.core.engine3d import LoRAStencil3D
-
-            apply_fn = LoRAStencil3D(weights).apply
+        apply_fn = compile_stencil(weights).apply
 
     from repro.stencil.grid import Grid
 

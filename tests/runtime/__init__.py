@@ -1,0 +1,1 @@
+"""Tests for the compile-once runtime (plans, cache, executors, facade)."""

@@ -113,11 +113,32 @@ class TestNewCommands:
     def test_trace_rejects_non_2d(self, capsys):
         assert main(["trace", "Heat-1D"]) == 2
 
+    def test_plan(self, capsys):
+        assert main(["plan", "Box-2D49P"]) == 0
+        out = capsys.readouterr().out
+        assert "method          pma" in out
+        assert "plans" in out and "hits" in out  # cache stats line
+        assert "recompile  hit (same plan object)" in out
+
+    def test_plan_1d(self, capsys):
+        assert main(["plan", "Heat-1D"]) == 0
+        assert "banded" in capsys.readouterr().out
+
+    def test_plan_3d(self, capsys):
+        assert main(["plan", "Heat-3D"]) == 0
+        out = capsys.readouterr().out
+        assert "planes" in out and "TCU" in out
+
+    def test_plan_no_tensor_cores(self, capsys):
+        assert main(["plan", "Box-2D9P", "--no-tensor-cores"]) == 0
+        assert "predicted" in capsys.readouterr().out
+
     def test_verify(self, capsys):
         assert main(["verify"]) == 0
         out = capsys.readouterr().out
         assert "all engines exact" in out
         assert out.count("ok") >= 8 * 7
+        assert "compile+batch" in out
 
 
 class TestBestMesh:

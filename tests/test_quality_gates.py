@@ -68,6 +68,24 @@ class TestAPISurface:
         for name in repro.__all__:
             assert hasattr(repro, name), name
 
+    def test_runtime_facade_exported(self):
+        """The compile-once runtime is part of the public surface."""
+        for name in ("compile", "StencilPlan", "PlanCache", "CompiledStencil"):
+            assert name in repro.__all__, name
+        assert callable(repro.compile)
+        from repro.runtime import compile as runtime_compile
+
+        assert repro.compile is runtime_compile
+
+    def test_errors_exported(self):
+        for name in (
+            "ReproError",
+            "KernelNotFoundError",
+            "DecompositionError",
+            "ShapeError",
+        ):
+            assert name in repro.__all__, name
+
     def test_module_count(self):
         """The library keeps its many-small-modules shape."""
         assert len(ALL_MODULES) >= 40
