@@ -8,6 +8,13 @@ echoed into the pytest-benchmark ``extra_info``) so a run of
     pytest benchmarks/ --benchmark-only
 
 leaves the full set of paper artifacts on disk.
+
+Alongside each artifact, :func:`write_result` stamps a structured
+telemetry **run-record** (``benchmarks/results/records/<name>.json``,
+schema ``repro.telemetry.run-record/v1``) carrying the process-wide
+metrics registry and plan-cache stats at write time — the machine-
+readable sibling of the printed figure.  Records are schema-validated
+on write; ``tests/telemetry/test_run_records.py`` holds the contract.
 """
 
 from __future__ import annotations
@@ -40,6 +47,7 @@ def write_result(results_dir):
         suffix = "svg" if text.lstrip().startswith("<svg") else "txt"
         path = results_dir / f"{name}.{suffix}"
         path.write_text(text + "\n")
+        _stamp_run_record(results_dir, name, path)
         if suffix == "svg":
             print(f"\n[{name}] written to {path}")
         else:
@@ -47,3 +55,21 @@ def write_result(results_dir):
         return path
 
     return _write
+
+
+def _stamp_run_record(
+    results_dir: pathlib.Path, name: str, artifact: pathlib.Path
+) -> pathlib.Path:
+    """Write the schema-validated run-record next to one artifact."""
+    from repro import telemetry
+    from repro.runtime import DEFAULT_PLAN_CACHE
+
+    record = telemetry.run_record(
+        name,
+        registry=telemetry.REGISTRY,
+        cache_stats=DEFAULT_PLAN_CACHE.stats(),
+        extra={"benchmark": name, "artifact": str(artifact)},
+    )
+    return telemetry.write_run_record(
+        results_dir / "records" / f"{name}.json", record
+    )

@@ -99,9 +99,10 @@ class LoRAStencilMethod(StencilMethod):
         rng = np.random.default_rng(seed)
         h = self._engine_radius()
         padded = rng.normal(size=tuple(s + 2 * h for s in grid_shape))
+        # through the compiled facade, so telemetry spans/metrics see it
         if isinstance(self.engine, LoRAStencil1D):
-            return self.engine.apply_simulated(padded.reshape(-1))
-        return self.engine.apply_simulated(padded)
+            return self.compiled.apply_simulated(padded.reshape(-1))
+        return self.compiled.apply_simulated(padded)
 
     def footprint(self, grid_shape: tuple[int, ...] | None = None) -> FootprintScale:
         grid_shape = grid_shape or self.default_measure_grid()

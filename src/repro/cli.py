@@ -4,12 +4,19 @@
 
     python -m repro kernels                 # Table II zoo
     python -m repro decompose Box-2D49P     # PMA pyramid of a kernel
-    python -m repro plan Box-2D49P          # compiled plan + cache stats
+    python -m repro plan Box-2D49P [--json] # compiled plan + cache stats
     python -m repro run Box-2D49P --size 64 # simulated sweep + events
+    python -m repro profile Heat-2D --emit trace.json  # span tree + trace
+    python -m repro stats [--prometheus]    # metrics registry + cache stats
     python -m repro fig8 [--kernels ...]    # figure/table drivers
     python -m repro fig9 / fig10 / table3
     python -m repro precision Heat-2D       # FP16 vs FP64 error growth
     python -m repro scaling --devices 4     # multi-GPU scaling model
+
+``run``/``fig8``/``fig9``/``fig10``/``table3`` accept ``--telemetry``
+to print a span-tree/metrics epilogue; ``run`` and ``plan`` accept
+``--json`` for machine-readable run-record output (schema
+``repro.telemetry.run-record/v1``, see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -39,20 +46,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("kernel")
     p.add_argument("--no-tensor-cores", action="store_true",
                    help="plan for the CUDA-core fallback path")
+    p.add_argument("--json", action="store_true",
+                   help="emit a machine-readable run-record instead of text")
 
     p = sub.add_parser("run", help="simulated sweep of one kernel")
     p.add_argument("kernel")
     p.add_argument("--size", type=int, default=64, help="grid edge (default 64)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true",
+                   help="emit a machine-readable run-record instead of text")
+    _add_telemetry_flag(p)
+
+    p = sub.add_parser(
+        "profile",
+        help="run one kernel under tracing and print the span tree",
+    )
+    p.add_argument("kernel")
+    p.add_argument("--size", type=int, default=64, help="grid edge (default 64)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--shards", type=int, default=1,
+                   help="shard the sweep over a thread pool (default 1)")
+    p.add_argument("--emit", default=None, metavar="PATH",
+                   help="write Chrome trace-event JSON "
+                        "(open in chrome://tracing or Perfetto)")
+    p.add_argument("--record", default=None, metavar="PATH",
+                   help="write a structured JSON run-record")
+
+    p = sub.add_parser(
+        "stats", help="dump the metrics registry and plan-cache stats"
+    )
+    p.add_argument("--prometheus", action="store_true",
+                   help="Prometheus text exposition format")
+    p.add_argument("--json", action="store_true",
+                   help="JSON snapshot of the registry")
 
     p = sub.add_parser("fig8", help="state-of-the-art comparison")
     p.add_argument("--kernels", nargs="*", default=None)
     p.add_argument("--best", action="store_true",
                    help="include the rank-1 LoRAStencil-Best series")
+    _add_telemetry_flag(p)
 
-    sub.add_parser("fig9", help="optimization breakdown (Box-2D9P)")
-    sub.add_parser("fig10", help="shared-memory request comparison")
-    sub.add_parser("table3", help="compute throughput / arithmetic intensity")
+    _add_telemetry_flag(sub.add_parser(
+        "fig9", help="optimization breakdown (Box-2D9P)"))
+    _add_telemetry_flag(sub.add_parser(
+        "fig10", help="shared-memory request comparison"))
+    _add_telemetry_flag(sub.add_parser(
+        "table3", help="compute throughput / arithmetic intensity"))
 
     p = sub.add_parser("precision", help="FP16 vs FP64 error growth")
     p.add_argument("kernel")
@@ -80,6 +119,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("verify", help="quick end-to-end self-check of all engines")
     return parser
+
+
+def _add_telemetry_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="trace the command and print a span-tree/metrics epilogue",
+    )
 
 
 def _cmd_kernels() -> int:
@@ -129,18 +176,45 @@ def _cmd_decompose(kernel_name: str) -> int:
     return 0
 
 
-def _cmd_run(kernel_name: str, size: int, seed: int) -> int:
+def _sweep_shape(ndim: int, size: int) -> tuple[int, ...]:
+    """Grid shape conventions shared by ``run`` and ``profile``."""
+    if ndim == 1:
+        return (size * size,)
+    if ndim == 2:
+        return (size, size)
+    return (min(size, 8), size, size)
+
+
+def _cmd_run(kernel_name: str, size: int, seed: int, as_json: bool = False) -> int:
+    import json
+
     from repro.baselines.lorastencil import LoRAStencilMethod
     from repro.stencil.kernels import get_kernel
 
     k = get_kernel(kernel_name)
     method = LoRAStencilMethod(k)
-    shape = (size,) * min(k.weights.ndim, 2)
-    if k.weights.ndim == 3:
-        shape = (min(size, 8), size, size)
-    if k.weights.ndim == 1:
-        shape = (size * size,)
+    shape = _sweep_shape(k.weights.ndim, size)
     out, events = method.simulated_sweep(shape, seed=seed)
+    if as_json:
+        from repro import telemetry
+
+        record = telemetry.run_record(
+            k.name,
+            counters=events,
+            extra={
+                "command": "run",
+                "size": size,
+                "seed": seed,
+                "shape": list(shape),
+                "plan_key": method.plan.key,
+                "method": method.plan.method,
+                "rank": method.plan.rank,
+                "arithmetic_intensity": events.arithmetic_intensity(),
+            },
+        )
+        telemetry.validate_run_record(record)
+        print(json.dumps(record, indent=1, sort_keys=True))
+        return 0
     print(f"{k.name}: simulated sweep over {shape} "
           f"({'fused 3x, ' if method.steps_per_sweep > 1 else ''}"
           f"engine radius {method._engine_radius()})")
@@ -150,6 +224,97 @@ def _cmd_run(kernel_name: str, size: int, seed: int) -> int:
         if value:
             print(f"  {name:28s} {value:>12,}")
     print(f"  arithmetic intensity          {events.arithmetic_intensity():12.2f}")
+    return 0
+
+
+def _cmd_profile(
+    kernel_name: str,
+    size: int,
+    seed: int,
+    shards: int,
+    emit: str | None,
+    record_path: str | None,
+) -> int:
+    from repro import telemetry
+    from repro.runtime import DEFAULT_PLAN_CACHE
+    from repro.runtime import compile as compile_stencil
+    from repro.stencil.kernels import get_kernel
+
+    k = get_kernel(kernel_name)
+    telemetry.reset()
+    telemetry.enable()
+    try:
+        with telemetry.TRACER.span(
+            "profile", category="cli", kernel=k.name, size=size
+        ) as root:
+            with telemetry.span("setup", category="cli"):
+                rng = np.random.default_rng(seed)
+                shape = _sweep_shape(k.weights.ndim, size)
+                x = np.pad(rng.normal(size=shape), k.weights.radius)
+            compiled = compile_stencil(k.weights)
+            out, events = compiled.apply_simulated(x, shards=shards)
+    finally:
+        telemetry.disable()
+
+    print(f"{k.name}: profiled sweep over {shape}, plan "
+          f"{compiled.key[:16]}… ({compiled.plan.method}, "
+          f"rank {compiled.plan.rank})")
+    print()
+    print(root.render_tree())
+    print()
+    print("hardware events:")
+    for name, value in events.as_dict().items():
+        if value:
+            print(f"  {name:28s} {value:>12,}")
+    print(f"  arithmetic intensity          {events.arithmetic_intensity():12.2f}")
+    if emit:
+        path = telemetry.write_chrome_trace(emit)
+        print(f"\nchrome trace written to {path} "
+              f"(open in chrome://tracing or Perfetto)")
+    if record_path:
+        rec = telemetry.run_record(
+            k.name,
+            registry=telemetry.REGISTRY,
+            cache_stats=DEFAULT_PLAN_CACHE.stats(),
+            counters=events,
+            extra={"command": "profile", "size": size, "shards": shards},
+        )
+        path = telemetry.write_run_record(record_path, rec)
+        print(f"run record written to {path}")
+    return 0
+
+
+def _cmd_stats(prometheus: bool, as_json: bool) -> int:
+    import json
+
+    from repro import telemetry
+    from repro.runtime import DEFAULT_PLAN_CACHE
+
+    if prometheus:
+        print(telemetry.to_prometheus(telemetry.REGISTRY), end="")
+        return 0
+    stats = DEFAULT_PLAN_CACHE.stats()
+    if as_json:
+        print(json.dumps(
+            {
+                "metrics": telemetry.REGISTRY.snapshot(),
+                "plan_cache": {
+                    "hits": stats.hits,
+                    "misses": stats.misses,
+                    "evictions": stats.evictions,
+                    "size": stats.size,
+                    "maxsize": stats.maxsize,
+                    "hit_rate": stats.hit_rate,
+                },
+            },
+            indent=1,
+            sort_keys=True,
+        ))
+        return 0
+    print("metrics registry:")
+    print(telemetry.REGISTRY.render())
+    print()
+    print(f"plan cache: {stats.summary()}")
     return 0
 
 
@@ -337,8 +502,12 @@ def _cmd_codegen(kernel_name: str, output: str | None, no_bvs: bool) -> int:
     return 0
 
 
-def _cmd_plan(kernel_name: str, no_tensor_cores: bool) -> int:
+def _cmd_plan(
+    kernel_name: str, no_tensor_cores: bool, as_json: bool = False
+) -> int:
     """Compile (or fetch) a kernel's plan and report plan-cache stats."""
+    import json
+
     from repro.core.config import OptimizationConfig
     from repro.runtime import DEFAULT_PLAN_CACHE
     from repro.runtime import compile as compile_stencil
@@ -349,6 +518,31 @@ def _cmd_plan(kernel_name: str, no_tensor_cores: bool) -> int:
         OptimizationConfig(use_tensor_cores=False) if no_tensor_cores else None
     )
     compiled = compile_stencil(k.weights, config=config)
+    if as_json:
+        from repro import telemetry
+
+        plan = compiled.plan
+        record = telemetry.run_record(
+            k.name,
+            cache_stats=DEFAULT_PLAN_CACHE.stats(),
+            extra={
+                "command": "plan",
+                "plan": {
+                    "key": plan.key,
+                    "ndim": plan.ndim,
+                    "radius": plan.radius,
+                    "method": plan.method,
+                    "rank": plan.rank,
+                    "config": plan.config.label(),
+                    "block": list(plan.block),
+                    "mma_per_tile": plan.mma_per_tile,
+                    "predicted_gstencil_per_s": plan.predicted_gstencil_per_s,
+                },
+            },
+        )
+        telemetry.validate_run_record(record)
+        print(json.dumps(record, indent=1, sort_keys=True))
+        return 0
     print(f"{k.name}:")
     print(compiled.describe())
     again = compile_stencil(k.weights, config=config)
@@ -425,17 +619,20 @@ def _best_mesh(n: int) -> tuple[int, int]:
     return best
 
 
-def main(argv: list[str] | None = None) -> int:
-    """Parse ``argv`` (default ``sys.argv``) and dispatch one command."""
-    args = build_parser().parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "kernels":
         return _cmd_kernels()
     if args.command == "decompose":
         return _cmd_decompose(args.kernel)
     if args.command == "plan":
-        return _cmd_plan(args.kernel, args.no_tensor_cores)
+        return _cmd_plan(args.kernel, args.no_tensor_cores, args.json)
     if args.command == "run":
-        return _cmd_run(args.kernel, args.size, args.seed)
+        return _cmd_run(args.kernel, args.size, args.seed, args.json)
+    if args.command == "profile":
+        return _cmd_profile(args.kernel, args.size, args.seed, args.shards,
+                            args.emit, args.record)
+    if args.command == "stats":
+        return _cmd_stats(args.prometheus, args.json)
     if args.command == "fig8":
         return _cmd_fig8(args.kernels, args.best)
     if args.command == "fig9":
@@ -459,6 +656,36 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "verify":
         return _cmd_verify()
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse ``argv`` (default ``sys.argv``) and dispatch one command."""
+    args = build_parser().parse_args(argv)
+    if not getattr(args, "telemetry", False):
+        return _dispatch(args)
+
+    # --telemetry: trace the whole command, then append a span-tree and
+    # metrics epilogue (skipped under --json so stdout stays parseable —
+    # the spans are still collected and exportable via `repro stats`).
+    from repro import telemetry
+
+    telemetry.reset()
+    telemetry.enable()
+    try:
+        with telemetry.TRACER.span(f"cli.{args.command}", category="cli"):
+            rc = _dispatch(args)
+    finally:
+        telemetry.disable()
+    if not getattr(args, "json", False):
+        root = telemetry.TRACER.last_root()
+        print("\n— telemetry —")
+        if root is not None:
+            print(root.render_tree())
+        print("\nmetrics:")
+        print(telemetry.REGISTRY.render())
+        print(f"\n({len(telemetry.REGISTRY)} metrics; export with "
+              f"`repro stats --prometheus`)")
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

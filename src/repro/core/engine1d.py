@@ -35,6 +35,7 @@ from repro.tcu.counters import EventCounters
 from repro.tcu.device import Device
 from repro.tcu.fragment import Fragment
 from repro.tcu.layouts import FragmentKind
+from repro.telemetry.spans import TRACER
 
 __all__ = ["LoRAStencil1D", "DEFAULT_BLOCK_1D"]
 
@@ -136,26 +137,31 @@ class LoRAStencil1D:
         # last tile of the block reads up to block - 64 + 8*7 + k_rows
         buf_len = block + self.k_rows - 8 + _TILE - 8
 
-        for b0 in range(0, n, block):
-            smem = device.shared((1, buf_len), name="block")
-            avail = min(buf_len, padded.shape[0] - b0)
-            gmem_in.copy_to_shared(
-                (slice(0, 1), slice(b0, b0 + avail)),
-                smem,
-                0,
-                0,
-                use_async=self.config.use_async_copy,
-            )
-            lim = min(block, n - b0)
-            for t0 in range(0, lim, _TILE):
-                tile = self._compute_tile(warp, smem, t0)
-                valid = min(_TILE, n - (b0 + t0))
-                flat = tile.T.reshape(-1)[:valid]  # out[base + 8q + p]
-                gmem_out.write(
-                    (slice(0, 1), slice(b0 + t0, b0 + t0 + valid)),
-                    flat.reshape(1, -1),
+        with TRACER.span(
+            "tcu.sweep", category="tcu", ndim=1, shape=str(n)
+        ) as span:
+            for b0 in range(0, n, block):
+                smem = device.shared((1, buf_len), name="block")
+                avail = min(buf_len, padded.shape[0] - b0)
+                gmem_in.copy_to_shared(
+                    (slice(0, 1), slice(b0, b0 + avail)),
+                    smem,
+                    0,
+                    0,
+                    use_async=self.config.use_async_copy,
                 )
-        return gmem_out.data.reshape(-1), device.events_since(start)
+                lim = min(block, n - b0)
+                for t0 in range(0, lim, _TILE):
+                    tile = self._compute_tile(warp, smem, t0)
+                    valid = min(_TILE, n - (b0 + t0))
+                    flat = tile.T.reshape(-1)[:valid]  # out[base + 8q + p]
+                    gmem_out.write(
+                        (slice(0, 1), slice(b0 + t0, b0 + t0 + valid)),
+                        flat.reshape(1, -1),
+                    )
+            events = device.events_since(start)
+            span.add_events(events)
+        return gmem_out.data.reshape(-1), events
 
     def _compute_tile(self, warp, smem, local_base: int) -> np.ndarray:
         """One 8x8 accumulator covering 64 consecutive outputs."""

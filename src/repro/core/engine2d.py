@@ -36,6 +36,7 @@ from repro.errors import ShapeError
 from repro.stencil.weights import StencilWeights
 from repro.tcu.counters import EventCounters
 from repro.tcu.device import Device
+from repro.telemetry.spans import TRACER
 
 __all__ = ["LoRAStencil2D", "DEFAULT_BLOCK_2D"]
 
@@ -150,25 +151,30 @@ class LoRAStencil2D:
         smem_rows = block_r + self.tile.k_rows - t_r
         smem_cols = block_c + self.tile.w_cols - t_c
 
-        for br in range(0, rows, block_r):
-            for bc in range(0, cols, block_c):
-                smem = device.shared((smem_rows, smem_cols), name="block")
-                self._fill_shared(gmem_in, smem, br, bc, padded.shape)
-                r_lim = min(block_r, rows - br)
-                c_lim = min(block_c, cols - bc)
-                for tr in range(0, r_lim, t_r):
-                    for tc in range(0, c_lim, t_c):
-                        out_tile = self.tile.compute_tile(warp, smem, tr, tc)
-                        vr = min(t_r, rows - (br + tr))
-                        vc = min(t_c, cols - (bc + tc))
-                        gmem_out.write(
-                            (
-                                slice(br + tr, br + tr + vr),
-                                slice(bc + tc, bc + tc + vc),
-                            ),
-                            out_tile[:vr, :vc],
-                        )
-        return gmem_out.data, device.events_since(start)
+        with TRACER.span(
+            "tcu.sweep", category="tcu", ndim=2, shape=f"{rows}x{cols}"
+        ) as span:
+            for br in range(0, rows, block_r):
+                for bc in range(0, cols, block_c):
+                    smem = device.shared((smem_rows, smem_cols), name="block")
+                    self._fill_shared(gmem_in, smem, br, bc, padded.shape)
+                    r_lim = min(block_r, rows - br)
+                    c_lim = min(block_c, cols - bc)
+                    for tr in range(0, r_lim, t_r):
+                        for tc in range(0, c_lim, t_c):
+                            out_tile = self.tile.compute_tile(warp, smem, tr, tc)
+                            vr = min(t_r, rows - (br + tr))
+                            vc = min(t_c, cols - (bc + tc))
+                            gmem_out.write(
+                                (
+                                    slice(br + tr, br + tr + vr),
+                                    slice(bc + tc, bc + tc + vc),
+                                ),
+                                out_tile[:vr, :vc],
+                            )
+            events = device.events_since(start)
+            span.add_events(events)
+        return gmem_out.data, events
 
     def _fill_shared(self, gmem_in, smem, br: int, bc: int, padded_shape) -> None:
         """Copy the block's input window global -> shared (clamped at the

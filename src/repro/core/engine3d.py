@@ -35,6 +35,7 @@ from repro.errors import ShapeError
 from repro.stencil.weights import StencilWeights
 from repro.tcu.counters import EventCounters
 from repro.tcu.device import Device
+from repro.telemetry.spans import TRACER
 
 __all__ = ["LoRAStencil3D", "DEFAULT_BLOCK_3D"]
 
@@ -161,28 +162,33 @@ class LoRAStencil3D:
         out = np.zeros((zs, rs, cs), dtype=np.float64)
         block = block or DEFAULT_BLOCK_3D
 
-        for task in self.planes:
-            if task.pointwise is not None:
-                pi, pj, wt = task.pointwise
-                gmem = device.global_array(padded, name=f"plane{task.index}")
-                slab = gmem.read(
-                    (
-                        slice(task.index, task.index + zs),
-                        slice(pi, pi + rs),
-                        slice(pj, pj + cs),
+        with TRACER.span(
+            "tcu.sweep", category="tcu", ndim=3, shape=f"{zs}x{rs}x{cs}"
+        ) as span:
+            for task in self.planes:
+                if task.pointwise is not None:
+                    pi, pj, wt = task.pointwise
+                    gmem = device.global_array(padded, name=f"plane{task.index}")
+                    slab = gmem.read(
+                        (
+                            slice(task.index, task.index + zs),
+                            slice(pi, pi + rs),
+                            slice(pj, pj + cs),
+                        )
                     )
-                )
-                for z in range(zs):
-                    warp.cuda_core_axpy(out[z], wt, slab[z])
-            elif task.engine is not None:
-                for z in range(zs):
-                    tile, _ = task.engine.apply_simulated(
-                        padded[z + task.index], device=device, block=block
-                    )
-                    warp.cuda_core_axpy(out[z], 1.0, tile)
-        gmem_out = device.global_array(np.zeros_like(out), name="output")
-        gmem_out.write((slice(None), slice(None), slice(None)), out)
-        return out, device.events_since(start)
+                    for z in range(zs):
+                        warp.cuda_core_axpy(out[z], wt, slab[z])
+                elif task.engine is not None:
+                    for z in range(zs):
+                        tile, _ = task.engine.apply_simulated(
+                            padded[z + task.index], device=device, block=block
+                        )
+                        warp.cuda_core_axpy(out[z], 1.0, tile)
+            gmem_out = device.global_array(np.zeros_like(out), name="output")
+            gmem_out.write((slice(None), slice(None), slice(None)), out)
+            events = device.events_since(start)
+            span.add_events(events)
+        return out, events
 
     # ------------------------------------------------------------------
     # z-streaming simulated path

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.runtime.plan import StencilPlan
+from repro.telemetry.spans import TRACER
 
 __all__ = ["CacheStats", "PlanCache"]
 
@@ -104,16 +105,22 @@ class PlanCache:
         missing key both build, and the last insert wins — plans for
         equal keys are interchangeable, so this is benign.
         """
-        plan = self.get(key)
-        if plan is not None:
+        with TRACER.span(
+            "runtime.plan_cache.get_or_build", category="runtime"
+        ) as sp:
+            plan = self.get(key)
+            if plan is not None:
+                sp.annotate(key=key[:16], outcome="hit")
+                return plan
+            with TRACER.span("runtime.plan_cache.build", category="runtime"):
+                plan = builder()
+            if plan.key != key:
+                raise ValueError(
+                    f"builder produced plan {plan.key[:12]}… for key {key[:12]}…"
+                )
+            self.put(plan)
+            sp.annotate(key=key[:16], outcome="miss")
             return plan
-        plan = builder()
-        if plan.key != key:
-            raise ValueError(
-                f"builder produced plan {plan.key[:12]}… for key {key[:12]}…"
-            )
-        self.put(plan)
-        return plan
 
     # -- introspection ----------------------------------------------------
     def __len__(self) -> int:

@@ -36,6 +36,7 @@ from repro.errors import ShapeError
 from repro.runtime.plan import StencilPlan
 from repro.tcu.counters import EventCounters
 from repro.tcu.device import Device
+from repro.telemetry.spans import TRACER
 
 __all__ = ["Runtime"]
 
@@ -125,10 +126,19 @@ class Runtime:
         batch footprint.  Returns ``(stacked interiors, merged counters)``.
         """
         batch = self._stack(grids)
+        parent = TRACER.current()
+
+        def _run_grid(item):
+            i, grid = item
+            with TRACER.span(
+                "runtime.batch_grid", category="runtime", parent=parent, grid=i
+            ) as sp:
+                out, counters = self.apply_simulated(grid, device=Device())
+                sp.add_events(counters)
+                return out, counters
+
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            results = list(
-                pool.map(lambda g: self.apply_simulated(g, device=Device()), batch)
-            )
+            results = list(pool.map(_run_grid, enumerate(batch)))
         outs = np.stack([out for out, _ in results])
         merged = EventCounters()
         for _, counters in results:
@@ -161,14 +171,24 @@ class Runtime:
                 f"padded input {padded.shape} too small for radius {h}"
             )
         bounds = _shard_bounds(n0, shards, self._shard_align())
+        parent = TRACER.current()
 
-        def _run(span: tuple[int, int]):
-            s0, s1 = span
+        def _run(item: tuple[int, tuple[int, int]]):
+            i, (s0, s1) = item
             sub = padded[s0 : s1 + 2 * h]
-            return self.apply_simulated(sub, device=Device())
+            with TRACER.span(
+                "runtime.shard",
+                category="runtime",
+                parent=parent,
+                shard=i,
+                rows=f"{s0}:{s1}",
+            ) as sp:
+                out, counters = self.apply_simulated(sub, device=Device())
+                sp.add_events(counters)
+                return out, counters
 
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            results = list(pool.map(_run, bounds))
+            results = list(pool.map(_run, enumerate(bounds)))
         out = np.concatenate([out for out, _ in results], axis=0)
         merged = EventCounters()
         for _, counters in results:

@@ -27,6 +27,7 @@ from repro.stencil.boundary import BoundaryCondition, parse_boundary
 from repro.stencil.weights import StencilWeights
 from repro.tcu.counters import EventCounters
 from repro.tcu.device import Device
+from repro import telemetry
 
 __all__ = ["CompiledStencil", "compile", "DEFAULT_PLAN_CACHE"]
 
@@ -83,7 +84,10 @@ class CompiledStencil:
         halo of ``radius`` ghost cells per side that the caller chose
         how to fill.  Use :meth:`apply_grid` to pad internally.
         """
-        return self.runtime.apply(padded)
+        with telemetry.span(
+            "runtime.apply", category="runtime", plan=self.key[:16]
+        ):
+            return self.runtime.apply(padded)
 
     def apply_grid(
         self,
@@ -96,9 +100,12 @@ class CompiledStencil:
         or shorthand (``"constant"``, ``"periodic"``, ``"edge"``,
         ``"reflect"``); the output has the same shape as ``x``.
         """
-        cond = parse_boundary(boundary)
-        padded = cond.pad(np.asarray(x, dtype=np.float64), self.radius)
-        return self.runtime.apply(padded)
+        with telemetry.span(
+            "runtime.apply_grid", category="runtime", plan=self.key[:16]
+        ):
+            cond = parse_boundary(boundary)
+            padded = cond.pad(np.asarray(x, dtype=np.float64), self.radius)
+            return self.runtime.apply(padded)
 
     def apply_batch(
         self,
@@ -112,9 +119,15 @@ class CompiledStencil:
         fans single-grid applies over a thread pool instead (for
         batches too large to stack).
         """
-        if threaded:
-            return self.runtime.apply_batch_threaded(grids, max_workers)
-        return self.runtime.apply_batch(grids)
+        with telemetry.span(
+            "runtime.apply_batch",
+            category="runtime",
+            plan=self.key[:16],
+            threaded=threaded,
+        ):
+            if threaded:
+                return self.runtime.apply_batch_threaded(grids, max_workers)
+            return self.runtime.apply_batch(grids)
 
     def apply_simulated(
         self,
@@ -129,11 +142,21 @@ class CompiledStencil:
         over a thread pool, one simulated device per shard, and merges
         the per-shard event counters (``device`` is then ignored).
         """
-        if shards > 1:
-            return self.runtime.apply_simulated_sharded(
-                padded, shards=shards, max_workers=max_workers
-            )
-        return self.runtime.apply_simulated(padded, device=device)
+        with telemetry.span(
+            "runtime.apply_simulated",
+            category="runtime",
+            plan=self.key[:16],
+            shards=shards,
+        ) as sp:
+            if shards > 1:
+                out, events = self.runtime.apply_simulated_sharded(
+                    padded, shards=shards, max_workers=max_workers
+                )
+            else:
+                out, events = self.runtime.apply_simulated(padded, device=device)
+            sp.add_events(events)
+            telemetry.absorb_events(events)
+            return out, events
 
     def apply_simulated_batch(
         self,
@@ -141,7 +164,15 @@ class CompiledStencil:
         max_workers: int | None = None,
     ) -> tuple[np.ndarray, EventCounters]:
         """Simulated sweep of a batch of grids with merged counters."""
-        return self.runtime.apply_simulated_batch(grids, max_workers)
+        with telemetry.span(
+            "runtime.apply_simulated_batch",
+            category="runtime",
+            plan=self.key[:16],
+        ) as sp:
+            out, events = self.runtime.apply_simulated_batch(grids, max_workers)
+            sp.add_events(events)
+            telemetry.absorb_events(events)
+            return out, events
 
     def describe(self) -> str:
         """Human-readable plan summary."""
@@ -188,12 +219,16 @@ def compile(
     """
     if cache is _MISSING:
         cache = DEFAULT_PLAN_CACHE
-    if cache is None:
-        return CompiledStencil(
-            build_plan(weights, ndim, config, tile_shape, dtype), None
+    with telemetry.span("runtime.compile", category="runtime") as sp:
+        if cache is None:
+            sp.annotate(cache="bypass")
+            return CompiledStencil(
+                build_plan(weights, ndim, config, tile_shape, dtype), None
+            )
+        key = plan_key(weights, ndim, config, tile_shape, dtype)
+        plan = cache.get_or_build(
+            key, lambda: build_plan(weights, ndim, config, tile_shape, dtype)
         )
-    key = plan_key(weights, ndim, config, tile_shape, dtype)
-    plan = cache.get_or_build(
-        key, lambda: build_plan(weights, ndim, config, tile_shape, dtype)
-    )
-    return CompiledStencil(plan, cache)
+        sp.annotate(key=key[:16])
+        telemetry.absorb_cache_stats(cache.stats())
+        return CompiledStencil(plan, cache)

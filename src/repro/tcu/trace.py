@@ -9,11 +9,20 @@ sit between the two gather phases.
 
 Tracing is opt-in and zero-cost when disabled: the hot paths call
 :func:`maybe_trace`, which is a no-op unless a recorder is installed.
+
+Long sweeps record millions of warp ops; an unbounded recorder would
+grow without limit.  Pass ``max_events`` to run the recorder as a ring
+buffer that keeps only the most recent events, counting what it sheds
+in :attr:`TraceRecorder.dropped` — :attr:`TraceRecorder.total` always
+reflects every event ever recorded, and event ``index`` values stay
+global (the first retained event of a saturated ring has
+``index == dropped``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass
 
 from repro.tcu.counters import EventCounters
 
@@ -29,36 +38,62 @@ class TraceEvent:
     detail: str = ""
 
 
-@dataclass
 class TraceRecorder:
-    """Ordered log of simulator operations."""
+    """Ordered log of simulator operations (optionally ring-buffered).
 
-    events: list[TraceEvent] = field(default_factory=list)
+    ``max_events=None`` (the default) keeps everything, preserving the
+    original unbounded behaviour; ``max_events=n`` keeps the *last* n
+    events and counts older ones in :attr:`dropped`.
+    """
+
+    def __init__(self, max_events: int | None = None) -> None:
+        if max_events is not None and max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        self.max_events = max_events
+        self._events: deque[TraceEvent] = deque(maxlen=max_events)
+        self.total = 0
 
     def record(self, op: str, detail: str = "") -> None:
-        """Append one event."""
-        self.events.append(TraceEvent(index=len(self.events), op=op, detail=detail))
+        """Append one event (evicting the oldest when the ring is full)."""
+        self._events.append(TraceEvent(index=self.total, op=op, detail=detail))
+        self.total += 1
+
+    # -- state -------------------------------------------------------------
+    @property
+    def events(self) -> list[TraceEvent]:
+        """The retained events, oldest first."""
+        return list(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """How many events the ring buffer has shed (0 when unbounded)."""
+        return self.total - len(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
 
     # -- queries -----------------------------------------------------------
     def ops(self) -> list[str]:
-        """The op names in execution order."""
-        return [e.op for e in self.events]
+        """The retained op names in execution order."""
+        return [e.op for e in self._events]
 
     def count(self, op: str) -> int:
-        """How many times ``op`` was recorded."""
-        return sum(1 for e in self.events if e.op == op)
+        """How many retained events match ``op``."""
+        return sum(1 for e in self._events if e.op == op)
 
     def first_index(self, op: str) -> int:
-        """Index of the first ``op`` event (ValueError if absent)."""
-        for e in self.events:
+        """Global index of the first retained ``op`` event (ValueError if
+        absent)."""
+        for e in self._events:
             if e.op == op:
                 return e.index
         raise ValueError(f"no {op!r} event recorded")
 
     def last_index(self, op: str) -> int:
-        """Index of the last ``op`` event (ValueError if absent)."""
+        """Global index of the last retained ``op`` event (ValueError if
+        absent)."""
         idx = -1
-        for e in self.events:
+        for e in self._events:
             if e.op == op:
                 idx = e.index
         if idx < 0:
@@ -66,10 +101,14 @@ class TraceRecorder:
         return idx
 
     def render(self, limit: int = 50) -> str:
-        """Human-readable listing of the first ``limit`` events."""
-        lines = [f"{e.index:>6}  {e.op:<16} {e.detail}" for e in self.events[:limit]]
-        if len(self.events) > limit:
-            lines.append(f"... {len(self.events) - limit} more")
+        """Human-readable listing of the first ``limit`` retained events."""
+        lines = []
+        if self.dropped:
+            lines.append(f"... {self.dropped} earlier events dropped")
+        events = self.events
+        lines += [f"{e.index:>6}  {e.op:<16} {e.detail}" for e in events[:limit]]
+        if len(events) > limit:
+            lines.append(f"... {len(events) - limit} more")
         return "\n".join(lines)
 
 
@@ -77,9 +116,15 @@ class TraceRecorder:
 _RECORDERS: dict[int, TraceRecorder] = {}
 
 
-def install(counters: EventCounters) -> TraceRecorder:
-    """Attach (and return) a recorder for operations on ``counters``."""
-    recorder = TraceRecorder()
+def install(
+    counters: EventCounters, max_events: int | None = None
+) -> TraceRecorder:
+    """Attach (and return) a recorder for operations on ``counters``.
+
+    ``max_events`` bounds the recorder to a ring of that many most-
+    recent events (see :class:`TraceRecorder`).
+    """
+    recorder = TraceRecorder(max_events=max_events)
     _RECORDERS[id(counters)] = recorder
     return recorder
 

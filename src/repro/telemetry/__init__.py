@@ -1,0 +1,148 @@
+"""``repro.telemetry`` — spans, metrics, and exporters for the runtime.
+
+The observability layer the paper's evaluation implies: where Nsight
+Compute attributes a real kernel's time and hardware events, this
+package attributes the simulator's.  Three pieces:
+
+* **spans** (:mod:`repro.telemetry.spans`): a :class:`Tracer` producing
+  nestable, thread-safe :class:`Span` trees over the
+  compile → plan-cache → execute → TCU-sweep pipeline.  Disabled by
+  default and free when disabled;
+* **metrics** (:mod:`repro.telemetry.metrics`): a process-wide
+  :class:`MetricsRegistry` of counters/gauges/histograms that absorbs
+  :class:`~repro.tcu.counters.EventCounters` deltas and plan-cache
+  stats, so a serving process accumulates a hardware-event ledger
+  across requests;
+* **export** (:mod:`repro.telemetry.export`): Chrome trace-event JSON
+  (``chrome://tracing`` / Perfetto), structured run-records
+  (schema-validated, stamped onto every benchmark result), and
+  Prometheus text exposition.
+
+Typical use — the ``repro profile`` subcommand in one paragraph::
+
+    from repro import telemetry
+
+    with telemetry.capture() as tracer:
+        stencil = repro.compile(kernel.weights)
+        out, events = stencil.apply_simulated(padded)
+    root = tracer.last_root()
+    print(root.render_tree())                       # per-phase breakdown
+    telemetry.export.write_chrome_trace("trace.json")
+
+Instrumented code uses :func:`span` (or ``TRACER.span``) directly; the
+call costs one attribute check when telemetry is off.  See
+``docs/observability.md`` for naming conventions and exporter formats.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from repro.telemetry import export, metrics, spans, validate
+from repro.telemetry.export import (
+    load_chrome_trace,
+    run_record,
+    to_chrome_trace,
+    to_prometheus,
+    write_chrome_trace,
+    write_run_record,
+)
+from repro.telemetry.metrics import REGISTRY, MetricsRegistry
+from repro.telemetry.spans import NULL_SPAN, TRACER, Span, Tracer
+from repro.telemetry.validate import TelemetryError, validate_run_record
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "TRACER",
+    "NULL_SPAN",
+    "MetricsRegistry",
+    "REGISTRY",
+    "TelemetryError",
+    "span",
+    "trace",
+    "enable",
+    "disable",
+    "is_enabled",
+    "reset",
+    "capture",
+    "absorb_events",
+    "absorb_cache_stats",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "load_chrome_trace",
+    "run_record",
+    "write_run_record",
+    "to_prometheus",
+    "validate_run_record",
+    "export",
+    "metrics",
+    "spans",
+    "validate",
+]
+
+# span durations feed per-name histograms in the process registry
+TRACER.registry = REGISTRY
+
+#: alias for ``TRACER.span`` — the way runtime code opens spans
+span = TRACER.span
+
+#: alias for ``TRACER.wrap`` — decorator form
+trace = TRACER.wrap
+
+
+def enable() -> None:
+    """Turn telemetry on process-wide (spans and metric absorption)."""
+    TRACER.enable()
+
+
+def disable() -> None:
+    """Turn telemetry off (instrumentation reverts to no-ops)."""
+    TRACER.disable()
+
+
+def is_enabled() -> bool:
+    """Whether spans are currently being recorded."""
+    return TRACER.enabled
+
+
+def reset() -> None:
+    """Clear collected spans and metrics (the enabled switch is kept)."""
+    TRACER.clear()
+    REGISTRY.clear()
+
+
+@contextlib.contextmanager
+def capture(fresh: bool = True):
+    """Enable telemetry for a ``with`` block, yielding the tracer.
+
+    Restores the previous enabled/disabled state on exit;
+    ``fresh=True`` (default) clears previously collected spans and
+    metrics first, so the block's trees are the only ones present.
+    """
+    was_enabled = TRACER.enabled
+    if fresh:
+        reset()
+    enable()
+    try:
+        yield TRACER
+    finally:
+        if not was_enabled:
+            disable()
+
+
+def absorb_events(events, prefix: str = "repro_tcu_") -> None:
+    """Fold a hardware-event delta into the registry (if enabled).
+
+    The single place the instrumented facade reports counters from, so
+    each sweep's events are absorbed exactly once no matter how many
+    nested spans also attach them.
+    """
+    if TRACER.enabled:
+        REGISTRY.absorb_events(events, prefix=prefix)
+
+
+def absorb_cache_stats(stats, name: str = "plan_cache") -> None:
+    """Mirror plan-cache stats into the registry (if enabled)."""
+    if TRACER.enabled:
+        REGISTRY.absorb_cache_stats(stats, name=name)

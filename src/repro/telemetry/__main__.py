@@ -1,0 +1,11 @@
+"""``python -m repro.telemetry FILE [FILE ...]`` — validate telemetry JSON.
+
+Thin entry point over :func:`repro.telemetry.validate.main` (running the
+``validate`` submodule directly via ``-m`` would trigger the runpy
+double-import warning, since the package ``__init__`` imports it).
+"""
+
+from repro.telemetry.validate import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

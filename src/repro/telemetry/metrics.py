@@ -1,0 +1,300 @@
+"""Process-wide metrics: counters, gauges, fixed-bucket histograms.
+
+The :class:`MetricsRegistry` is the numeric companion to the span tree:
+spans say *where* time went, the registry says *how much of everything*
+happened — MMA instructions, shared-memory requests, DRAM bytes, plan-
+cache hits — accumulated across every traced run in the process.  It
+absorbs the two existing measurement sources:
+
+* :meth:`MetricsRegistry.absorb_events` folds an
+  :class:`~repro.tcu.counters.EventCounters` delta into
+  ``repro_tcu_<field>_total`` counters (the simulator's Nsight-style
+  ledger, see ``docs/observability.md`` for the mapping);
+* :meth:`MetricsRegistry.absorb_cache_stats` mirrors a
+  :class:`~repro.runtime.cache.CacheStats` snapshot into
+  ``repro_plan_cache_*`` gauges (duck-typed — anything with ``hits`` /
+  ``misses`` / ``evictions`` / ``size`` / ``maxsize`` works, which keeps
+  this module import-free of :mod:`repro.runtime`).
+
+Metric types follow the Prometheus data model so the text exposition in
+:mod:`repro.telemetry.export` is a direct rendering: counters only go
+up, gauges are set, histograms bucket observations under fixed upper
+bounds.  Everything is thread-safe under one registry lock; the hot
+paths only touch the registry once per sweep/compile, never per tile.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left
+from typing import Iterable
+
+from repro.tcu.counters import EventCounters
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "DEFAULT_TIME_BUCKETS",
+]
+
+#: Histogram upper bounds (seconds) for span-duration observations:
+#: 10 µs … 30 s in roughly 1-3-10 steps, the range a simulated sweep or
+#: plan compile actually lands in.
+DEFAULT_TIME_BUCKETS: tuple[float, ...] = (
+    1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2,
+    0.1, 0.3, 1.0, 3.0, 10.0, 30.0,
+)
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Coerce ``name`` into a legal Prometheus metric name."""
+    name = _NAME_RE.sub("_", name)
+    if not name or name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value: float = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({amount})")
+        with self._lock:
+            self.value += amount
+
+    def snapshot(self) -> dict:
+        """JSON-ready ``{kind, help, value}`` view."""
+        return {"kind": self.kind, "help": self.help, "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (or be set outright)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value: float = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        with self._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative) to the gauge."""
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` from the gauge."""
+        self.inc(-amount)
+
+    def snapshot(self) -> dict:
+        """JSON-ready ``{kind, help, value}`` view."""
+        return {"kind": self.kind, "help": self.help, "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative, Prometheus-style).
+
+    ``buckets`` are inclusive upper bounds in ascending order; an
+    implicit ``+Inf`` bucket catches the rest.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_TIME_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        self.counts = [0] * (len(self.buckets) + 1)  # last = +Inf
+        self.sum: float = 0.0
+        self.count: int = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation into its bucket, sum, and count."""
+        idx = bisect_left(self.buckets, value)
+        with self._lock:
+            self.counts[idx] += 1
+            self.sum += value
+            self.count += 1
+
+    def cumulative_counts(self) -> list[int]:
+        """Counts at or below each bucket bound, then the +Inf total."""
+        with self._lock:
+            out, running = [], 0
+            for c in self.counts:
+                running += c
+                out.append(running)
+            return out
+
+    def snapshot(self) -> dict:
+        """JSON-ready view including buckets, per-bucket counts, sum."""
+        with self._lock:
+            return {
+                "kind": self.kind,
+                "help": self.help,
+                "buckets": list(self.buckets),
+                "counts": list(self.counts),
+                "sum": self.sum,
+                "count": self.count,
+            }
+
+
+class MetricsRegistry:
+    """Name-keyed store of counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    # -- creation (get-or-create, type-checked) ---------------------------
+    def counter(self, name: str, help: str = "") -> Counter:
+        """The counter named ``name``, created on first use."""
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """The gauge named ``name``, created on first use."""
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_TIME_BUCKETS,
+    ) -> Histogram:
+        """The histogram named ``name``, created on first use.
+
+        ``buckets`` only applies at creation; later callers share the
+        original bucket layout.
+        """
+        name = sanitize_metric_name(name)
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = Histogram(name, help, buckets)
+                self._metrics[name] = metric
+            elif not isinstance(metric, Histogram):
+                raise ValueError(
+                    f"metric {name!r} already registered as {metric.kind}"
+                )
+            return metric
+
+    def _get_or_create(self, cls, name: str, help: str):
+        name = sanitize_metric_name(name)
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {metric.kind}"
+                )
+            return metric
+
+    # -- absorption --------------------------------------------------------
+    def absorb_events(
+        self, events: EventCounters, prefix: str = "repro_tcu_"
+    ) -> None:
+        """Fold an event-counter delta into ``<prefix><field>_total``."""
+        for field, value in events.as_dict().items():
+            if value:
+                self.counter(
+                    f"{prefix}{field}_total",
+                    help=f"simulated hardware events: {field}",
+                ).inc(value)
+
+    def absorb_cache_stats(self, stats, name: str = "plan_cache") -> None:
+        """Mirror a cache-stats snapshot into ``repro_<name>_*`` gauges.
+
+        ``stats`` is duck-typed (``hits``/``misses``/``evictions``/
+        ``size``/``maxsize`` attributes) so this works for
+        :class:`repro.runtime.cache.CacheStats` without importing it.
+        """
+        for field in ("hits", "misses", "evictions", "size", "maxsize"):
+            self.gauge(
+                f"repro_{name}_{field}",
+                help=f"{name} lifetime {field}",
+            ).set(getattr(stats, field))
+
+    def observe_span(self, name: str, category: str, seconds: float) -> None:
+        """Record one span duration in its per-name histogram."""
+        self.histogram(
+            f"repro_span_{sanitize_metric_name(name)}_seconds",
+            help=f"duration of {category}:{name} spans",
+        ).observe(seconds)
+
+    # -- introspection -----------------------------------------------------
+    def names(self) -> list[str]:
+        """Sorted names of every registered metric."""
+        with self._lock:
+            return sorted(self._metrics)
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        """The metric registered under ``name`` (sanitized), or None."""
+        with self._lock:
+            return self._metrics.get(sanitize_metric_name(name))
+
+    def snapshot(self) -> dict[str, dict]:
+        """JSON-ready ``{name: {kind, help, ...}}`` view of every metric."""
+        with self._lock:
+            metrics = list(self._metrics.items())
+        return {name: metric.snapshot() for name, metric in sorted(metrics)}
+
+    def render(self) -> str:
+        """Human-readable table for the ``stats`` CLI subcommand."""
+        lines = []
+        for name, snap in self.snapshot().items():
+            if snap["kind"] == "histogram":
+                mean = snap["sum"] / snap["count"] if snap["count"] else 0.0
+                lines.append(
+                    f"  {name:<52} n={snap['count']:<8} mean={mean:.6f}"
+                )
+            else:
+                value = snap["value"]
+                rendered = (
+                    f"{value:,.0f}" if float(value).is_integer() else f"{value:g}"
+                )
+                lines.append(f"  {name:<52} {rendered:>16}")
+        return "\n".join(lines) if lines else "  (no metrics recorded)"
+
+    def clear(self) -> None:
+        """Forget every metric (tests and CLI resets)."""
+        with self._lock:
+            self._metrics.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+
+#: The process-wide registry the instrumented runtime reports into.
+REGISTRY = MetricsRegistry()

@@ -1,0 +1,199 @@
+"""Schema validation for emitted telemetry documents.
+
+Pure-Python structural validation (this repository adds no third-party
+dependencies, so there is no ``jsonschema``): each ``validate_*``
+function walks the document and raises :class:`TelemetryError` — a
+:class:`~repro.errors.ReproError` — on the first violation, naming the
+offending path.  The rules here *are* the documented schema; see
+``docs/observability.md`` for the prose version.
+
+Also runnable as a module, which is what the CI smoke job calls::
+
+    python -m repro.telemetry.validate trace.json      # auto-detects kind
+    python -m repro.telemetry.validate record.json
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+from typing import Any
+
+from repro.errors import ReproError
+from repro.telemetry.export import CHROME_TRACE_SCHEMA, RUN_RECORD_SCHEMA
+
+__all__ = [
+    "TelemetryError",
+    "validate_chrome_trace",
+    "validate_run_record",
+    "validate_span_dict",
+    "validate_file",
+]
+
+
+class TelemetryError(ReproError, ValueError):
+    """A telemetry document does not match its declared schema."""
+
+
+def _require(condition: bool, path: str, message: str) -> None:
+    if not condition:
+        raise TelemetryError(f"{path}: {message}")
+
+
+def _require_type(value: Any, types, path: str) -> None:
+    _require(
+        isinstance(value, types),
+        path,
+        f"expected {getattr(types, '__name__', types)}, "
+        f"got {type(value).__name__}",
+    )
+
+
+def validate_span_dict(span: Any, path: str = "span") -> None:
+    """Validate one serialized span (the ``run-record`` ``spans`` shape)."""
+    _require_type(span, dict, path)
+    for key, types in (
+        ("name", str),
+        ("category", str),
+        ("span_id", int),
+        ("start_ns", int),
+        ("duration_ns", int),
+        ("attrs", dict),
+        ("children", list),
+    ):
+        _require(key in span, path, f"missing key {key!r}")
+        _require_type(span[key], types, f"{path}.{key}")
+    _require(span["duration_ns"] >= 0, f"{path}.duration_ns", "negative")
+    events = span.get("events")
+    if events is not None:
+        _require_type(events, dict, f"{path}.events")
+        for k, v in events.items():
+            _require_type(v, (int, float), f"{path}.events[{k!r}]")
+    for i, child in enumerate(span["children"]):
+        validate_span_dict(child, f"{path}.children[{i}]")
+
+
+def validate_run_record(record: Any) -> None:
+    """Validate a run-record against :data:`RUN_RECORD_SCHEMA`."""
+    _require_type(record, dict, "record")
+    _require(
+        record.get("schema") == RUN_RECORD_SCHEMA,
+        "record.schema",
+        f"expected {RUN_RECORD_SCHEMA!r}, got {record.get('schema')!r}",
+    )
+    for key, types in (
+        ("name", str),
+        ("timestamp", str),
+        ("spans", list),
+        ("metrics", dict),
+        ("extra", dict),
+    ):
+        _require(key in record, "record", f"missing key {key!r}")
+        _require_type(record[key], types, f"record.{key}")
+    for i, span in enumerate(record["spans"]):
+        validate_span_dict(span, f"record.spans[{i}]")
+    for name, snap in record["metrics"].items():
+        path = f"record.metrics[{name!r}]"
+        _require_type(snap, dict, path)
+        kind = snap.get("kind")
+        _require(
+            kind in ("counter", "gauge", "histogram"),
+            f"{path}.kind",
+            f"unknown metric kind {kind!r}",
+        )
+        if kind == "histogram":
+            for key in ("buckets", "counts", "sum", "count"):
+                _require(key in snap, path, f"missing key {key!r}")
+            _require(
+                len(snap["counts"]) == len(snap["buckets"]) + 1,
+                f"{path}.counts",
+                "must have one more entry than buckets (+Inf)",
+            )
+        else:
+            _require("value" in snap, path, "missing key 'value'")
+            _require_type(snap["value"], (int, float), f"{path}.value")
+    cache = record.get("cache")
+    if cache is not None:
+        _require_type(cache, dict, "record.cache")
+        for key in ("hits", "misses", "evictions", "size", "maxsize"):
+            _require(key in cache, "record.cache", f"missing key {key!r}")
+            _require_type(cache[key], int, f"record.cache.{key}")
+    events = record.get("events")
+    if events is not None:
+        _require_type(events, dict, "record.events")
+        for k, v in events.items():
+            _require_type(v, (int, float), f"record.events[{k!r}]")
+
+
+def validate_chrome_trace(trace: Any) -> None:
+    """Validate a Chrome trace-event document this package emitted."""
+    _require_type(trace, dict, "trace")
+    _require(
+        trace.get("schema") == CHROME_TRACE_SCHEMA,
+        "trace.schema",
+        f"expected {CHROME_TRACE_SCHEMA!r}, got {trace.get('schema')!r}",
+    )
+    events = trace.get("traceEvents")
+    _require_type(events, list, "trace.traceEvents")
+    complete = 0
+    for i, event in enumerate(events):
+        path = f"trace.traceEvents[{i}]"
+        _require_type(event, dict, path)
+        ph = event.get("ph")
+        _require(ph in ("X", "M"), f"{path}.ph", f"unsupported phase {ph!r}")
+        _require("name" in event, path, "missing key 'name'")
+        if ph == "M":
+            continue
+        complete += 1
+        for key in ("ts", "dur", "pid", "tid"):
+            _require(key in event, path, f"missing key {key!r}")
+            _require_type(event[key], (int, float), f"{path}.{key}")
+        _require(event["dur"] >= 0, f"{path}.dur", "negative duration")
+        _require_type(event.get("args"), dict, f"{path}.args")
+        _require(
+            "span_id" in event["args"],
+            f"{path}.args",
+            "missing key 'span_id'",
+        )
+    _require(complete >= 1, "trace.traceEvents", "no complete ('X') events")
+
+
+def validate_file(path: str | pathlib.Path) -> str:
+    """Validate a JSON file as whichever telemetry document it declares.
+
+    Returns the matched schema identifier.
+    """
+    document = json.loads(pathlib.Path(path).read_text())
+    schema = document.get("schema") if isinstance(document, dict) else None
+    if schema == CHROME_TRACE_SCHEMA:
+        validate_chrome_trace(document)
+    elif schema == RUN_RECORD_SCHEMA:
+        validate_run_record(document)
+    else:
+        raise TelemetryError(
+            f"{path}: unknown or missing schema {schema!r} (expected "
+            f"{CHROME_TRACE_SCHEMA!r} or {RUN_RECORD_SCHEMA!r})"
+        )
+    return schema
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.telemetry.validate <file> [<file> ...]``"""
+    paths = sys.argv[1:] if argv is None else argv
+    if not paths:
+        print("usage: python -m repro.telemetry.validate FILE [FILE ...]",
+              file=sys.stderr)
+        return 2
+    for path in paths:
+        try:
+            schema = validate_file(path)
+        except (OSError, json.JSONDecodeError, TelemetryError) as exc:
+            print(f"{path}: INVALID — {exc}", file=sys.stderr)
+            return 1
+        print(f"{path}: ok ({schema})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

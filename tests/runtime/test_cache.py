@@ -1,5 +1,6 @@
 """PlanCache behaviour: hits, misses, eviction, and no re-compilation."""
 
+import threading
 from unittest import mock
 
 import numpy as np
@@ -75,6 +76,40 @@ class TestPlanCache:
     def test_maxsize_validated(self):
         with pytest.raises(ValueError):
             PlanCache(maxsize=0)
+
+    def test_hit_rate_zero_lookups(self):
+        """A never-used cache reports 0.0, not ZeroDivisionError."""
+        stats = PlanCache(maxsize=4).stats()
+        assert stats.lookups == 0
+        assert stats.hit_rate == 0.0
+        assert "hit rate 0%" in stats.summary()
+
+    def test_concurrent_get_or_build_loses_no_stats(self):
+        """Threads hammering one key: every lookup lands in hits+misses,
+        and the cache converges on a single plan for the key."""
+        cache = PlanCache(maxsize=4)
+        plan = _plan_for(0.1)
+        per_thread, n_threads = 25, 8
+        barrier = threading.Barrier(n_threads)
+
+        def worker():
+            barrier.wait()
+            for _ in range(per_thread):
+                got = cache.get_or_build(plan.key, lambda: _plan_for(0.1))
+                assert got.key == plan.key
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = cache.stats()
+        assert stats.lookups == per_thread * n_threads
+        # racing threads may each build the missing key (benign, by
+        # design), but misses can never outnumber the racers
+        assert 1 <= stats.misses <= n_threads
+        assert stats.hits == stats.lookups - stats.misses
+        assert len(cache) == 1
 
 
 class TestCompileCaching:

@@ -63,6 +63,70 @@ class TestRecorder:
         assert recorder.count("mma") == 1
 
 
+class TestRingBuffer:
+    def test_unbounded_by_default(self):
+        recorder = trace.TraceRecorder()
+        for i in range(100):
+            recorder.record("op", str(i))
+        assert len(recorder) == recorder.total == 100
+        assert recorder.dropped == 0
+
+    def test_ring_keeps_most_recent(self):
+        recorder = trace.TraceRecorder(max_events=3)
+        for i in range(10):
+            recorder.record("op", str(i))
+        assert recorder.total == 10
+        assert len(recorder) == 3
+        assert recorder.dropped == 7
+        assert [e.detail for e in recorder.events] == ["7", "8", "9"]
+
+    def test_indices_stay_global(self):
+        """The first retained event of a saturated ring keeps its global
+        position, not a rebased 0."""
+        recorder = trace.TraceRecorder(max_events=2)
+        for _ in range(5):
+            recorder.record("mma")
+        assert [e.index for e in recorder.events] == [3, 4]
+        assert recorder.first_index("mma") == 3
+        assert recorder.last_index("mma") == 4
+
+    def test_render_reports_dropped(self):
+        recorder = trace.TraceRecorder(max_events=2)
+        for _ in range(5):
+            recorder.record("mma")
+        text = recorder.render()
+        assert "3 earlier events dropped" in text
+
+    def test_max_events_validated(self):
+        with pytest.raises(ValueError):
+            trace.TraceRecorder(max_events=0)
+
+    def test_install_with_max_events(self):
+        counters = EventCounters()
+        recorder = trace.install(counters, max_events=4)
+        try:
+            for _ in range(10):
+                trace.maybe_trace(counters, "mma")
+        finally:
+            trace.uninstall(counters)
+        assert recorder.total == 10
+        assert recorder.count("mma") == 4  # retained only
+        assert recorder.dropped == 6
+
+    def test_bounded_sweep_keeps_the_tail(self):
+        """A real sweep through a small ring retains the final warp ops
+        (the CUDA-core apex) and counts everything it shed."""
+        device = Device()
+        recorder = trace.install(device.counters, max_events=8)
+        try:
+            _one_tile_sweep(device)
+        finally:
+            trace.uninstall(device.counters)
+        assert recorder.dropped == recorder.total - 8
+        assert recorder.total > 8
+        assert recorder.ops()[-1] == "cuda_axpy"
+
+
 class TestSchedulingProperties:
     """Ordering facts of the paper's pipeline (Fig. 3), proven on trace."""
 

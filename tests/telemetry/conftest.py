@@ -1,0 +1,19 @@
+"""Isolation for telemetry tests: every test starts and ends clean.
+
+The tracer and registry are process-wide singletons; leaking an enabled
+tracer or stale spans between tests (or into the rest of the suite)
+would make results order-dependent.
+"""
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    telemetry.disable()
+    telemetry.reset()

@@ -1,0 +1,151 @@
+"""MetricsRegistry: counters, gauges, histograms, and absorption."""
+
+import threading
+
+import pytest
+
+from repro.tcu.counters import EventCounters
+from repro.telemetry.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    MetricsRegistry,
+    sanitize_metric_name,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc(self, registry):
+        c = registry.counter("reqs_total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_monotonic(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("reqs_total").inc(-1)
+
+    def test_get_or_create_returns_same_object(self, registry):
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_kind_conflict_raises(self, registry):
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("x")
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("depth")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_bucketing_is_cumulative(self, registry):
+        h = registry.histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.cumulative_counts() == [1, 2, 3, 4]
+        assert h.count == 4
+        assert h.sum == pytest.approx(55.55)
+
+    def test_boundary_lands_in_its_bucket(self, registry):
+        h = registry.histogram("lat", buckets=(1.0,))
+        h.observe(1.0)  # le="1" is inclusive, Prometheus-style
+        assert h.cumulative_counts() == [1, 1]
+
+    def test_default_buckets_cover_sweep_range(self, registry):
+        h = registry.histogram("span_seconds")
+        assert h.buckets == DEFAULT_TIME_BUCKETS
+        assert h.buckets[0] <= 1e-5 and h.buckets[-1] >= 30.0
+
+    def test_empty_buckets_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("bad", buckets=())
+
+
+class TestAbsorption:
+    def test_absorb_events_creates_prefixed_totals(self, registry):
+        events = EventCounters()
+        events.mma_ops = 36
+        events.shared_load_requests = 100
+        registry.absorb_events(events)
+        assert registry.get("repro_tcu_mma_ops_total").value == 36
+        assert registry.get("repro_tcu_shared_load_requests_total").value == 100
+        # zero-valued fields do not clutter the registry
+        assert registry.get("repro_tcu_shuffle_ops_total") is None
+
+    def test_absorb_events_accumulates(self, registry):
+        events = EventCounters()
+        events.mma_ops = 10
+        registry.absorb_events(events)
+        registry.absorb_events(events)
+        assert registry.get("repro_tcu_mma_ops_total").value == 20
+
+    def test_absorb_cache_stats_is_duck_typed(self, registry):
+        class FakeStats:
+            hits, misses, evictions, size, maxsize = 3, 1, 0, 2, 128
+
+        registry.absorb_cache_stats(FakeStats())
+        assert registry.get("repro_plan_cache_hits").value == 3
+        assert registry.get("repro_plan_cache_maxsize").value == 128
+
+    def test_observe_span_sanitizes_name(self, registry):
+        registry.observe_span("runtime.apply", "runtime", 0.01)
+        hist = registry.get("repro_span_runtime_apply_seconds")
+        assert hist is not None and hist.count == 1
+
+
+class TestRegistryIntrospection:
+    def test_snapshot_shape(self, registry):
+        registry.counter("c", help="a counter").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["c"] == {"kind": "counter", "help": "a counter", "value": 2}
+        assert snap["g"]["kind"] == "gauge"
+        assert snap["h"]["counts"] == [1, 0]
+        assert list(snap) == sorted(snap)
+
+    def test_render_and_clear(self, registry):
+        assert "no metrics" in registry.render()
+        registry.counter("c").inc()
+        assert "c" in registry.render()
+        registry.clear()
+        assert len(registry) == 0
+
+    def test_thread_safety_no_lost_increments(self, registry):
+        c = registry.counter("hot")
+
+        def hammer():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestSanitize:
+    @pytest.mark.parametrize(
+        "raw,clean",
+        [
+            ("runtime.apply", "runtime_apply"),
+            ("9lives", "_9lives"),
+            ("ok_name:total", "ok_name:total"),
+            ("", "_"),
+        ],
+    )
+    def test_names(self, raw, clean):
+        assert sanitize_metric_name(raw) == clean

@@ -1,0 +1,108 @@
+"""End-to-end telemetry over the real pipeline, and the benchmark
+run-record contract (``benchmarks/conftest.py`` stamps one of these next
+to every reproduced artifact)."""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.runtime import PlanCache
+from repro.runtime import compile as compile_stencil
+from repro.stencil.kernels import get_kernel
+from repro.telemetry.validate import validate_file
+
+
+@pytest.fixture
+def traced_run():
+    """Compile + one simulated sweep of Heat-2D under capture."""
+    with telemetry.capture() as tracer:
+        cache = PlanCache(maxsize=8)
+        compiled = compile_stencil(get_kernel("Heat-2D").weights, cache=cache)
+        rng = np.random.default_rng(0)
+        padded = rng.normal(size=(16 + 2 * compiled.radius,) * 2)
+        out, events = compiled.apply_simulated(padded)
+    return tracer, cache, compiled, events
+
+
+class TestPipelineSpans:
+    def test_compile_tree_contains_cache_phases(self, traced_run):
+        tracer, *_ = traced_run
+        names = {s.name for r in tracer.roots() for s in r.walk()}
+        assert {
+            "runtime.compile",
+            "runtime.plan_cache.get_or_build",
+            "runtime.plan_cache.build",
+            "runtime.apply_simulated",
+            "tcu.sweep",
+        } <= names
+
+    def test_sweep_events_attach_and_absorb_once(self, traced_run):
+        tracer, _, _, events = traced_run
+        sweep = next(
+            s
+            for r in tracer.roots()
+            for s in r.walk()
+            if s.name == "tcu.sweep"
+        )
+        assert sweep.events.mma_ops == events.mma_ops > 0
+        total = telemetry.REGISTRY.get("repro_tcu_mma_ops_total")
+        assert total.value == events.mma_ops  # absorbed exactly once
+
+    def test_children_sum_to_root_within_5pct(self, traced_run):
+        """Acceptance: per-phase durations account for the root ±5%."""
+        tracer, *_ = traced_run
+        for root in tracer.roots():
+            if not root.children:
+                continue
+            accounted = root.child_ns + root.self_ns
+            assert accounted == pytest.approx(root.duration_ns, rel=0.05)
+
+    def test_cache_outcome_annotations(self, traced_run):
+        tracer, cache, compiled, _ = traced_run
+        lookup = next(
+            s
+            for r in tracer.roots()
+            for s in r.walk()
+            if s.name == "runtime.plan_cache.get_or_build"
+        )
+        assert lookup.attrs["outcome"] == "miss"
+        with telemetry.capture(fresh=True) as tracer2:
+            compile_stencil(get_kernel("Heat-2D").weights, cache=cache)
+        lookup2 = next(
+            s
+            for r in tracer2.roots()
+            for s in r.walk()
+            if s.name == "runtime.plan_cache.get_or_build"
+        )
+        assert lookup2.attrs["outcome"] == "hit"
+
+
+class TestBenchmarkRecordContract:
+    def test_conftest_shaped_record_validates(self, traced_run, tmp_path):
+        """The exact shape ``benchmarks/conftest._stamp_run_record`` emits."""
+        _, cache, _, _ = traced_run
+        record = telemetry.run_record(
+            "fig8",
+            registry=telemetry.REGISTRY,
+            cache_stats=cache.stats(),
+            extra={"benchmark": "fig8", "artifact": "results/fig8.txt"},
+        )
+        path = telemetry.write_run_record(
+            tmp_path / "records" / "fig8.json", record
+        )
+        assert validate_file(path) == "repro.telemetry.run-record/v1"
+        assert record["cache"]["misses"] == 1
+        assert "repro_tcu_mma_ops_total" in record["metrics"]
+        assert record["extra"]["benchmark"] == "fig8"
+
+    def test_record_with_tracing_off_still_validates(self, tmp_path):
+        """Benchmarks run with telemetry off: records must still be valid
+        (empty spans, whatever metrics the process accumulated)."""
+        record = telemetry.run_record(
+            "quiet",
+            registry=telemetry.REGISTRY,
+            cache_stats=PlanCache(maxsize=4).stats(),
+            extra={},
+        )
+        assert record["spans"] == []
+        telemetry.write_run_record(tmp_path / "quiet.json", record)

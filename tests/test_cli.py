@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import _best_mesh, build_parser, main
@@ -139,6 +141,119 @@ class TestNewCommands:
         assert "all engines exact" in out
         assert out.count("ok") >= 8 * 7
         assert "compile+batch" in out
+
+
+class TestTelemetryCommands:
+    @pytest.fixture(autouse=True)
+    def _clean_telemetry(self):
+        from repro import telemetry
+
+        telemetry.disable()
+        telemetry.reset()
+        yield
+        telemetry.disable()
+        telemetry.reset()
+
+    def test_profile_span_tree(self, capsys):
+        assert main(["profile", "Heat-2D", "--size", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "profiled sweep" in out
+        assert "profile" in out and "runtime.apply_simulated" in out
+        assert "tcu.sweep" in out and "(unaccounted)" in out
+        assert "100.0%" in out
+        assert "mma_ops" in out
+
+    def test_profile_tree_sums_to_root(self, capsys):
+        """Acceptance: the printed per-phase %s account for the root ±5%."""
+        from repro import telemetry
+
+        assert main(["profile", "Heat-2D", "--size", "16"]) == 0
+        capsys.readouterr()
+        root = telemetry.TRACER.last_root()
+        accounted = root.child_ns + root.self_ns
+        assert accounted == pytest.approx(root.duration_ns, rel=0.05)
+
+    def test_profile_sharded(self, capsys):
+        assert main(["profile", "Heat-2D", "--size", "16", "--shards", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "runtime.shard" in out
+
+    def test_profile_emit_round_trips(self, capsys, tmp_path):
+        from repro.telemetry.export import load_chrome_trace
+        from repro.telemetry.validate import validate_file
+
+        trace_file = tmp_path / "trace.json"
+        assert main(
+            ["profile", "Heat-2D", "--size", "16", "--emit", str(trace_file)]
+        ) == 0
+        assert "chrome trace written" in capsys.readouterr().out
+        assert validate_file(trace_file) == "repro.telemetry.chrome-trace/v1"
+        (root,) = load_chrome_trace(trace_file)
+        assert root.name == "profile"
+        assert "tcu.sweep" in {s.name for s in root.walk()}
+
+    def test_profile_record(self, capsys, tmp_path):
+        from repro.telemetry.validate import validate_file
+
+        record_file = tmp_path / "record.json"
+        assert main(
+            ["profile", "Heat-2D", "--size", "16", "--record", str(record_file)]
+        ) == 0
+        assert validate_file(record_file) == "repro.telemetry.run-record/v1"
+        record = json.loads(record_file.read_text())
+        assert record["extra"]["command"] == "profile"
+        assert record["events"]["mma_ops"] > 0
+
+    def test_run_json_schema(self, capsys):
+        from repro.telemetry.validate import validate_run_record
+
+        assert main(["run", "Heat-2D", "--size", "16", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        validate_run_record(record)
+        assert record["name"] == "Heat-2D"
+        assert record["extra"]["shape"] == [16, 16]
+        assert record["events"]["mma_ops"] > 0
+
+    def test_plan_json_schema(self, capsys):
+        from repro.telemetry.validate import validate_run_record
+
+        assert main(["plan", "Box-2D49P", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        validate_run_record(record)
+        assert record["extra"]["plan"]["method"] == "pma"
+
+    def test_run_telemetry_epilogue(self, capsys):
+        assert main(["run", "Heat-2D", "--size", "16", "--telemetry"]) == 0
+        out = capsys.readouterr().out
+        assert "— telemetry —" in out
+        assert "cli.run" in out
+        assert "repro_tcu_mma_ops_total" in out
+
+    def test_json_suppresses_epilogue(self, capsys):
+        assert main(
+            ["run", "Heat-2D", "--size", "16", "--json", "--telemetry"]
+        ) == 0
+        json.loads(capsys.readouterr().out)  # stdout is pure JSON
+
+    def test_stats_human(self, capsys):
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics registry" in out and "plan cache" in out
+
+    def test_stats_json(self, capsys):
+        assert main(["stats", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"metrics", "plan_cache"}
+        assert "hit_rate" in payload["plan_cache"]
+
+    def test_stats_prometheus_after_run(self, capsys):
+        assert main(["run", "Heat-2D", "--size", "16", "--telemetry"]) == 0
+        capsys.readouterr()
+        assert main(["stats", "--prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_tcu_mma_ops_total counter" in out
+        assert "# TYPE repro_span_cli_run_seconds histogram" in out
+        assert 'le="+Inf"' in out
 
 
 class TestBestMesh:
