@@ -14,7 +14,6 @@ import pytest
 from repro.experiments.report import format_table
 from repro.stencil.kernels import KERNELS, get_kernel
 from repro.validation.dispersion import (
-    is_von_neumann_stable,
     max_amplification,
     measured_mode_decay,
 )

@@ -17,7 +17,7 @@ from repro.baselines.lorastencil import LoRAStencilMethod
 from repro.runtime import compile as compile_stencil
 from repro.experiments.report import format_table
 from repro.perf.costmodel import gstencil_per_second
-from repro.stencil.extended import EXTENDED_KERNELS, get_extended_kernel
+from repro.stencil.extended import get_extended_kernel
 from repro.stencil.reference import reference_apply
 
 GRID_2D = (64, 64)

@@ -9,7 +9,6 @@ the simulator), and reports sustained modelled GStencil/s.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.baselines.lorastencil import LoRAStencilMethod
 from repro.core.driver import SimulationDriver

@@ -37,6 +37,7 @@ deprecated in favour of :func:`repro.compile`.
 from repro.errors import (
     DecompositionError,
     KernelNotFoundError,
+    LoweringError,
     ReproError,
     ShapeError,
 )
@@ -90,6 +91,7 @@ __all__ = [
     "KernelNotFoundError",
     "DecompositionError",
     "ShapeError",
+    "LoweringError",
     # stencil substrate
     "Shape",
     "StencilPattern",

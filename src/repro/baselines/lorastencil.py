@@ -11,7 +11,10 @@ applying the paper's execution policy:
   its largest speedups).
 
 Footprints are *measured* by running the simulated engines, never
-hand-derived.
+hand-derived; the simulated sweeps interpret the plan's lowered tile
+program (:attr:`~repro.runtime.plan.StencilPlan.program`), so the
+measured counts are the counts of the exact instruction schedule the
+plan carries.
 
 Engines are obtained through :func:`repro.compile`, so binding the same
 kernel twice (or across benchmark repetitions) reuses one cached
@@ -71,6 +74,11 @@ class LoRAStencilMethod(StencilMethod):
         """The cached :class:`~repro.runtime.plan.StencilPlan` behind this
         method (the fused plan when temporal fusion is active)."""
         return self.compiled.plan
+
+    @property
+    def program(self):
+        """The lowered tile program(s) the simulated sweeps interpret."""
+        return self.compiled.program
 
     def apply(self, padded: np.ndarray) -> np.ndarray:
         """One *base* timestep (padded with the base radius)."""
@@ -136,8 +144,4 @@ class LoRAStencilMethod(StencilMethod):
         )
 
     def _engine_radius(self) -> int:
-        if isinstance(self.engine, LoRAStencil1D):
-            return self.engine.radius
-        if isinstance(self.engine, LoRAStencil2D):
-            return self.engine.radius
         return self.engine.radius

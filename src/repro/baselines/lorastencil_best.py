@@ -10,6 +10,11 @@ rank-1 separable kernel of the *same radius* (the outer product of a
 symmetric vector with itself — e.g. a separable binomial smoother) and
 reuses the standard engines, so every structural choice (fusion policy,
 tiling, blocking) matches plain LoRAStencil and only the rank changes.
+
+The rank collapse is directly visible in the lowered artifact: the Best
+plan's tile program (``method.program``, see
+:mod:`repro.core.lowering`) carries a single ``U X V`` MMA chain, so
+its instruction count lower-bounds every same-radius LoRAStencil plan's.
 """
 
 from __future__ import annotations

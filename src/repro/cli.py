@@ -46,6 +46,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("kernel")
     p.add_argument("--no-tensor-cores", action="store_true",
                    help="plan for the CUDA-core fallback path")
+    p.add_argument("--schedule", default=None, metavar="NAME",
+                   help="instruction schedule to lower with "
+                        "(eager, prefetch, or a registered name)")
+    p.add_argument("--ir", action="store_true",
+                   help="dump the lowered tile program(s)")
     p.add_argument("--json", action="store_true",
                    help="emit a machine-readable run-record instead of text")
 
@@ -259,6 +264,9 @@ def _cmd_profile(
     print(f"{k.name}: profiled sweep over {shape}, plan "
           f"{compiled.key[:16]}… ({compiled.plan.method}, "
           f"rank {compiled.plan.rank})")
+    print(f"lowering: {compiled.lowered.describe()}")
+    for name, seconds in compiled.lowered.pass_times:
+        print(f"  pass {name:<16} {seconds * 1e3:8.3f} ms")
     print()
     print(root.render_tree())
     print()
@@ -503,7 +511,11 @@ def _cmd_codegen(kernel_name: str, output: str | None, no_bvs: bool) -> int:
 
 
 def _cmd_plan(
-    kernel_name: str, no_tensor_cores: bool, as_json: bool = False
+    kernel_name: str,
+    no_tensor_cores: bool,
+    as_json: bool = False,
+    schedule: str | None = None,
+    show_ir: bool = False,
 ) -> int:
     """Compile (or fetch) a kernel's plan and report plan-cache stats."""
     import json
@@ -515,7 +527,12 @@ def _cmd_plan(
 
     k = get_kernel(kernel_name)
     config = (
-        OptimizationConfig(use_tensor_cores=False) if no_tensor_cores else None
+        OptimizationConfig(
+            use_tensor_cores=not no_tensor_cores,
+            schedule=schedule or "eager",
+        )
+        if (no_tensor_cores or schedule)
+        else None
     )
     compiled = compile_stencil(k.weights, config=config)
     if as_json:
@@ -536,6 +553,9 @@ def _cmd_plan(
                     "config": plan.config.label(),
                     "block": list(plan.block),
                     "mma_per_tile": plan.mma_per_tile,
+                    "schedule": plan.schedule,
+                    "n_instrs": plan.lowered.n_instrs,
+                    "load_use_distance": plan.lowered.load_use_distance,
                     "predicted_gstencil_per_s": plan.predicted_gstencil_per_s,
                 },
             },
@@ -545,6 +565,9 @@ def _cmd_plan(
         return 0
     print(f"{k.name}:")
     print(compiled.describe())
+    if show_ir:
+        print()
+        print(compiled.lowered.render_ir())
     again = compile_stencil(k.weights, config=config)
     shared = "hit (same plan object)" if again.plan is compiled.plan else "MISS"
     print()
@@ -625,7 +648,8 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "decompose":
         return _cmd_decompose(args.kernel)
     if args.command == "plan":
-        return _cmd_plan(args.kernel, args.no_tensor_cores, args.json)
+        return _cmd_plan(args.kernel, args.no_tensor_cores, args.json,
+                         args.schedule, args.ir)
     if args.command == "run":
         return _cmd_run(args.kernel, args.size, args.seed, args.json)
     if args.command == "profile":

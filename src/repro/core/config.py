@@ -17,11 +17,21 @@ class OptimizationConfig:
         + TensorCore       OptimizationConfig(use_bvs=False, use_async_copy=False)
         + BVS              OptimizationConfig(use_async_copy=False)
         + AsyncCopy        OptimizationConfig()            # everything on
+
+    ``schedule`` selects the tile-program instruction schedule the
+    lowering pipeline emits (see :mod:`repro.core.lowering`):
+    ``"eager"`` keeps the canonical emission order, ``"prefetch"``
+    hoists every fragment load to the front of the tile; additional
+    schedules can be registered via
+    :func:`repro.core.lowering.register_schedule`.  Every valid
+    schedule is numerically identical — the knob only moves the
+    load->use distance the simulator would hide latency with.
     """
 
     use_tensor_cores: bool = True
     use_bvs: bool = True
     use_async_copy: bool = True
+    schedule: str = "eager"
 
     def label(self) -> str:
         """Short display name used by Fig. 9 and the footprint cache."""
@@ -32,6 +42,8 @@ class OptimizationConfig:
             parts.append("BVS")
         if self.use_async_copy:
             parts.append("AC")
+        if self.schedule != "eager":
+            parts.append(f"sched:{self.schedule}")
         return "+".join(parts)
 
     @classmethod

@@ -3,7 +3,12 @@
 1D stencils have no residual dimension (Section IV-C): a single matrix
 multiplication gathers all dependencies, so there is no MCM, no BVS, and
 no pyramid — just the banded weight matrix ``U`` applied to a window
-matrix whose columns are 8-strided segments of the input.
+matrix whose columns are 8-strided segments of the input.  The
+simulated path interprets the engine's lowered 1D tile program
+(:func:`repro.tcu.program.build_tile_program_1d`) through the shared
+block-sweep driver (:mod:`repro.core.sweep`), which treats the sweep as
+a ``1 x n`` grid of ``(1, 64)`` output tiles; the eager accumulator
+chain survives as the ``oracle=True`` path.
 
 Both paths use the repository-wide convention: input is padded by the
 stencil radius, output is the interior.  Callers holding *unpadded*
@@ -28,6 +33,7 @@ import numpy as np
 
 from repro.core._deprecation import warn_engine_deprecation
 from repro.core.config import OptimizationConfig
+from repro.core.sweep import SweepSpec, run_block_sweep
 from repro.core.uvbuild import build_u_matrix
 from repro.errors import ShapeError
 from repro.stencil.weights import StencilWeights
@@ -35,7 +41,7 @@ from repro.tcu.counters import EventCounters
 from repro.tcu.device import Device
 from repro.tcu.fragment import Fragment
 from repro.tcu.layouts import FragmentKind
-from repro.telemetry.spans import TRACER
+from repro.tcu.program import execute_program_1d
 
 __all__ = ["LoRAStencil1D", "DEFAULT_BLOCK_1D"]
 
@@ -83,11 +89,33 @@ class LoRAStencil1D:
             Fragment.from_matrix(FragmentKind.A, u_mat[:, 4 * k : 4 * k + 4])
             for k in range(self.k_rows // 4)
         ]
+        self._lowered = None
 
     @property
     def mma_per_tile(self) -> int:
         """MMA instructions per 64 outputs."""
         return self.k_rows // 4
+
+    # ------------------------------------------------------------------
+    # lowering
+    # ------------------------------------------------------------------
+    @property
+    def lowered(self):
+        """The scheduled 1D tile program this engine executes.
+
+        A :class:`~repro.core.lowering.LoweredTile` bound by the plan's
+        lowering pipeline (or built lazily for directly constructed
+        engines); ``None`` for CUDA-core configurations.
+        """
+        if self._lowered is None and self.config.use_tensor_cores:
+            from repro.core.lowering import lower_engine
+
+            self._lowered = lower_engine(self)
+        return self._lowered
+
+    def bind_lowered(self, lowered) -> None:
+        """Attach a pipeline-produced lowered program to this engine."""
+        self._lowered = lowered
 
     # ------------------------------------------------------------------
     # functional path
@@ -116,8 +144,14 @@ class LoRAStencil1D:
         padded: np.ndarray,
         device: Device | None = None,
         block: int = DEFAULT_BLOCK_1D,
+        oracle: bool = False,
     ) -> tuple[np.ndarray, EventCounters]:
-        """Warp-level execution; returns ``(interior, counters)``."""
+        """Warp-level execution; returns ``(interior, counters)``.
+
+        Sweeps through the shared block-sweep driver as a ``1 x n``
+        grid; ``oracle=True`` computes tiles with the eager accumulator
+        chain instead of the lowered program.
+        """
         padded = np.asarray(padded, dtype=np.float64)
         if padded.ndim != 1:
             raise ShapeError(f"expected 1D input, got {padded.ndim}D")
@@ -127,44 +161,45 @@ class LoRAStencil1D:
                 f"padded input of {padded.shape[0]} too small for radius "
                 f"{self.radius}"
             )
-        device = device or Device()
-        start = device.snapshot()
-        warp = device.warp()
-        gmem_in = device.global_array(padded.reshape(1, -1), name="input")
-        gmem_out = device.global_array(np.zeros((1, n)), name="output")
+        # last tile of a block reads up to block - 64 + 8*7 + k_rows
+        spec = SweepSpec(
+            interior=(1, n),
+            tile=(1, _TILE),
+            block=(1, block),
+            smem_halo=(0, self.k_rows - 8 + _TILE - 8),
+            use_async_copy=self.config.use_async_copy,
+            ndim=1,
+            shape_label=str(n),
+        )
+        out, events = run_block_sweep(
+            padded.reshape(1, -1),
+            spec,
+            self.tile_source(oracle=oracle),
+            device=device,
+        )
+        return out.reshape(-1), events
 
-        block = max(_TILE, _round_up(min(block, n), _TILE))
-        # last tile of the block reads up to block - 64 + 8*7 + k_rows
-        buf_len = block + self.k_rows - 8 + _TILE - 8
+    def tile_source(self, oracle: bool = False):
+        """The tile provider the sweep driver executes.
 
-        with TRACER.span(
-            "tcu.sweep", category="tcu", ndim=1, shape=str(n)
-        ) as span:
-            for b0 in range(0, n, block):
-                smem = device.shared((1, buf_len), name="block")
-                avail = min(buf_len, padded.shape[0] - b0)
-                gmem_in.copy_to_shared(
-                    (slice(0, 1), slice(b0, b0 + avail)),
-                    smem,
-                    0,
-                    0,
-                    use_async=self.config.use_async_copy,
-                )
-                lim = min(block, n - b0)
-                for t0 in range(0, lim, _TILE):
-                    tile = self._compute_tile(warp, smem, t0)
-                    valid = min(_TILE, n - (b0 + t0))
-                    flat = tile.T.reshape(-1)[:valid]  # out[base + 8q + p]
-                    gmem_out.write(
-                        (slice(0, 1), slice(b0 + t0, b0 + t0 + valid)),
-                        flat.reshape(1, -1),
-                    )
-            events = device.events_since(start)
-            span.add_events(events)
-        return gmem_out.data.reshape(-1), events
+        Returns a callable computing the 64 outputs at block-local
+        offset ``col`` as a flat ``(1, 64)`` row (``out[base + 8q + p] =
+        acc[p, q]``), interpreting the lowered program unless
+        ``oracle=True`` or the config targets CUDA cores.
+        """
+        lowered = None if oracle else self.lowered
+
+        def _compute(warp, smem, row, col):
+            if lowered is not None:
+                acc = execute_program_1d(lowered.program, warp, smem, col)
+            else:
+                acc = self._compute_tile(warp, smem, col)
+            return acc.T.reshape(1, -1)
+
+        return _compute
 
     def _compute_tile(self, warp, smem, local_base: int) -> np.ndarray:
-        """One 8x8 accumulator covering 64 consecutive outputs."""
+        """One 8x8 accumulator covering 64 consecutive outputs (eager)."""
         if not self.config.use_tensor_cores:
             window = np.empty((self.k_rows, 8), dtype=np.float64)
             for kb in range(self.k_rows // 4):

@@ -8,10 +8,17 @@ Two execution paths share one decomposition:
   correctness oracles and large functional runs.
 * :meth:`LoRAStencil2D.apply_simulated` — the *faithful* path: the grid
   is swept block by block exactly like the CUDA implementation — global
-  -> shared copies (``cp.async`` when enabled), 8x8 output tiles computed
-  by :class:`~repro.core.rdg.RDGTileCompute` on the TCU simulator, and
-  accumulator stores back to DRAM — producing both the numeric result and
-  the hardware event counts the figures consume.
+  -> shared copies (``cp.async`` when enabled), 8x8 output tiles
+  computed by interpreting the engine's **lowered tile program** (see
+  :mod:`repro.core.lowering`) on the TCU simulator, and accumulator
+  stores back to DRAM — producing both the numeric result and the
+  hardware event counts the figures consume.  The block-sweep
+  orchestration itself lives in :func:`repro.core.sweep.run_block_sweep`
+  (shared with the 1D and 3D engines); this engine only contributes the
+  tile provider.  ``oracle=True`` computes tiles through the eager
+  :meth:`~repro.core.rdg.RDGTileCompute.compute_tile` path instead —
+  the correctness oracle the schedule-equivalence suite compares
+  against.
 
 Both paths use the repository-wide convention: input is padded by the
 stencil radius, output is the interior.  Callers holding *unpadded*
@@ -32,11 +39,12 @@ from repro.core._deprecation import warn_engine_deprecation
 from repro.core.config import OptimizationConfig
 from repro.core.lowrank import Decomposition, decompose
 from repro.core.rdg import OUT_TILE, RDGTileCompute
+from repro.core.sweep import SweepSpec, run_block_sweep, validate_padded
 from repro.errors import ShapeError
 from repro.stencil.weights import StencilWeights
 from repro.tcu.counters import EventCounters
 from repro.tcu.device import Device
-from repro.telemetry.spans import TRACER
+from repro.tcu.program import execute_program
 
 __all__ = ["LoRAStencil2D", "DEFAULT_BLOCK_2D"]
 
@@ -78,6 +86,46 @@ class LoRAStencil2D:
             out_rows=tile_shape[0],
             out_cols=tile_shape[1],
         )
+        self._lowered = None
+
+    # ------------------------------------------------------------------
+    # lowering
+    # ------------------------------------------------------------------
+    @property
+    def lowered(self):
+        """The scheduled tile program this engine executes.
+
+        A :class:`~repro.core.lowering.LoweredTile` bound by the plan's
+        lowering pipeline (or built lazily on first use for directly
+        constructed engines); ``None`` for CUDA-core configurations,
+        which have no tensor-core program.
+        """
+        if self._lowered is None and self.config.use_tensor_cores:
+            from repro.core.lowering import lower_engine
+
+            self._lowered = lower_engine(self)
+        return self._lowered
+
+    def bind_lowered(self, lowered) -> None:
+        """Attach a pipeline-produced lowered program to this engine."""
+        self._lowered = lowered
+
+    def tile_source(self, oracle: bool = False):
+        """The tile provider the sweep driver executes.
+
+        Interprets the lowered program by default; ``oracle=True`` (or a
+        CUDA-core config, which has no program) selects the eager
+        :meth:`~repro.core.rdg.RDGTileCompute.compute_tile` path.
+        """
+        lowered = None if oracle else self.lowered
+        if lowered is None:
+            return self.tile.compute_tile
+        program = lowered.program
+
+        def _compute(warp, smem, row, col):
+            return execute_program(program, warp, smem, row, col)
+
+        return _compute
 
     # ------------------------------------------------------------------
     # functional path
@@ -117,79 +165,28 @@ class LoRAStencil2D:
         padded: np.ndarray,
         device: Device | None = None,
         block: tuple[int, int] | None = None,
+        oracle: bool = False,
     ) -> tuple[np.ndarray, EventCounters]:
         """Warp-level execution on the TCU simulator.
 
         Returns ``(interior, counters)`` where ``counters`` holds the
-        events of this sweep only.
+        events of this sweep only.  ``oracle=True`` runs the eager
+        tile computation instead of the lowered program (identical by
+        the schedule-equivalence guarantee; kept as the oracle).
         """
-        padded = np.asarray(padded, dtype=np.float64)
-        if padded.ndim != 2:
-            raise ShapeError(f"expected 2D input, got {padded.ndim}D")
-        h = self.radius
-        rows, cols = padded.shape[0] - 2 * h, padded.shape[1] - 2 * h
-        if rows <= 0 or cols <= 0:
-            raise ShapeError(
-                f"padded input {padded.shape} too small for radius {h}"
-            )
-
-        device = device or Device()
-        start = device.snapshot()
-        warp = device.warp()
-        gmem_in = device.global_array(padded, name="input")
-        gmem_out = device.global_array(
-            np.zeros((rows, cols), dtype=np.float64), name="output"
+        padded, (rows, cols) = validate_padded(padded, 2, self.radius)
+        t = self.tile
+        spec = SweepSpec(
+            interior=(rows, cols),
+            tile=(t.out_rows, t.out_cols),
+            block=block or DEFAULT_BLOCK_2D,
+            smem_halo=(t.k_rows - t.out_rows, t.w_cols - t.out_cols),
+            use_async_copy=self.config.use_async_copy,
+            ndim=2,
+            shape_label=f"{rows}x{cols}",
         )
-
-        if block is None:
-            block = DEFAULT_BLOCK_2D
-        t_r, t_c = self.tile.out_rows, self.tile.out_cols
-        block_r = min(_round_up(rows, t_r), _round_up(max(block[0], t_r), t_r))
-        block_c = min(_round_up(cols, t_c), _round_up(max(block[1], t_c), t_c))
-
-        # shared tile large enough for every input window of the block
-        smem_rows = block_r + self.tile.k_rows - t_r
-        smem_cols = block_c + self.tile.w_cols - t_c
-
-        with TRACER.span(
-            "tcu.sweep", category="tcu", ndim=2, shape=f"{rows}x{cols}"
-        ) as span:
-            for br in range(0, rows, block_r):
-                for bc in range(0, cols, block_c):
-                    smem = device.shared((smem_rows, smem_cols), name="block")
-                    self._fill_shared(gmem_in, smem, br, bc, padded.shape)
-                    r_lim = min(block_r, rows - br)
-                    c_lim = min(block_c, cols - bc)
-                    for tr in range(0, r_lim, t_r):
-                        for tc in range(0, c_lim, t_c):
-                            out_tile = self.tile.compute_tile(warp, smem, tr, tc)
-                            vr = min(t_r, rows - (br + tr))
-                            vc = min(t_c, cols - (bc + tc))
-                            gmem_out.write(
-                                (
-                                    slice(br + tr, br + tr + vr),
-                                    slice(bc + tc, bc + tc + vc),
-                                ),
-                                out_tile[:vr, :vc],
-                            )
-            events = device.events_since(start)
-            span.add_events(events)
-        return gmem_out.data, events
-
-    def _fill_shared(self, gmem_in, smem, br: int, bc: int, padded_shape) -> None:
-        """Copy the block's input window global -> shared (clamped at the
-        grid edge; shared memory is zero-initialized so out-of-range
-        reads contribute through zero weights only)."""
-        avail_r = min(smem.shape[0], padded_shape[0] - br)
-        avail_c = min(smem.shape[1], padded_shape[1] - bc)
-        if avail_r <= 0 or avail_c <= 0:
-            return
-        gmem_in.copy_to_shared(
-            (slice(br, br + avail_r), slice(bc, bc + avail_c)),
-            smem,
-            0,
-            0,
-            use_async=self.config.use_async_copy,
+        return run_block_sweep(
+            padded, spec, self.tile_source(oracle=oracle), device=device
         )
 
     # ------------------------------------------------------------------
@@ -197,6 +194,7 @@ class LoRAStencil2D:
     # ------------------------------------------------------------------
     @property
     def rank(self) -> int:
+        """Number of rank-1 terms in the decomposition."""
         return self.decomposition.rank
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -204,7 +202,3 @@ class LoRAStencil2D:
             f"LoRAStencil2D(radius={self.radius}, rank={self.rank}, "
             f"method={self.decomposition.method!r}, config={self.config.label()})"
         )
-
-
-def _round_up(x: int, to: int) -> int:
-    return ((x + to - 1) // to) * to

@@ -140,12 +140,16 @@ class LoRAStencil3D:
         padded: np.ndarray,
         device: Device | None = None,
         block: tuple[int, int] | None = None,
+        oracle: bool = False,
     ) -> tuple[np.ndarray, EventCounters]:
         """Warp-level execution; returns ``(interior, counters)``.
 
-        TCU planes run the full simulated 2D sweep per output slab; the
-        point-wise planes charge CUDA-core FLOPs and DRAM traffic without
-        touching the tensor cores (Alg. 2's dual-unit split).
+        TCU planes dispatch per-slab 2D sweeps through the shared
+        block-sweep driver (each plane engine interprets its own lowered
+        tile program); the point-wise planes charge CUDA-core FLOPs and
+        DRAM traffic without touching the tensor cores (Alg. 2's
+        dual-unit split).  ``oracle=True`` runs every plane engine on
+        its eager tile path instead.
         """
         padded = np.asarray(padded, dtype=np.float64)
         if padded.ndim != 3:
@@ -181,7 +185,10 @@ class LoRAStencil3D:
                 elif task.engine is not None:
                     for z in range(zs):
                         tile, _ = task.engine.apply_simulated(
-                            padded[z + task.index], device=device, block=block
+                            padded[z + task.index],
+                            device=device,
+                            block=block,
+                            oracle=oracle,
                         )
                         warp.cuda_core_axpy(out[z], 1.0, tile)
             gmem_out = device.global_array(np.zeros_like(out), name="output")
@@ -239,6 +246,7 @@ class LoRAStencil3D:
         slab_shape = (slab_rows, slab_cols)
 
         resident: dict[int, "object"] = {}
+        sources: dict[int, "object"] = {}  # per-plane lowered tile providers
 
         def slab(z_idx: int):
             """Fetch (once) the shared copy of input slab ``z_idx``."""
@@ -267,10 +275,13 @@ class LoRAStencil3D:
                     warp.cuda_core_axpy(out[z], wt, centre)
                 elif task.engine is not None:
                     tile_engine = task.engine.tile
+                    source = sources.setdefault(
+                        task.index, task.engine.tile_source()
+                    )
                     t_r, t_c = tile_engine.out_rows, tile_engine.out_cols
                     for tr in range(0, rs, t_r):
                         for tc in range(0, cs, t_c):
-                            result = tile_engine.compute_tile(warp, smem, tr, tc)
+                            result = source(warp, smem, tr, tc)
                             vr, vc = min(t_r, rs - tr), min(t_c, cs - tc)
                             out[z, tr : tr + vr, tc : tc + vc] += result[:vr, :vc]
         gmem_out = device.global_array(np.zeros_like(out), name="output")

@@ -1,0 +1,173 @@
+"""The shared block-sweep driver behind every simulated engine.
+
+Before this module, each of ``engine1d``/``engine2d``/``engine3d``
+carried its own copy of the same orchestration: validate the padded
+input, round the requested thread-block to warp-tile multiples, size a
+shared-memory staging tile, copy global -> shared (``cp.async`` when
+enabled), loop warp tiles over the block, trim the grid-overhanging
+edge tiles, and book the hardware events into one
+:class:`~repro.tcu.counters.EventCounters` span.  That orchestration now
+lives here once; an engine shrinks to a *tile provider* — a callable
+computing one warp tile from shared memory — plus a
+:class:`SweepSpec` describing its geometry:
+
+* 2D sweeps pass their interior/tile/block shapes directly;
+* 1D sweeps run as a ``1 x n`` sweep whose provider returns the 64
+  outputs of the 8x8 accumulator as a flat ``(1, 64)`` row;
+* 3D sweeps keep their plane decomposition and dispatch per-plane 2D
+  sweeps (plus CUDA-core point-wise planes) — see
+  :class:`~repro.core.engine3d.LoRAStencil3D`.
+
+The driver reproduces the exact memory traffic of the engines it
+replaced — same block rounding, same shared-tile shapes, same clamped
+fills — so event counts are bit-for-bit stable across the refactor
+(the schedule-equivalence suite pins this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tcu.counters import EventCounters
+from repro.tcu.device import Device
+from repro.telemetry.spans import TRACER
+
+__all__ = ["SweepSpec", "run_block_sweep", "validate_padded"]
+
+#: A tile provider: ``(warp, smem, row, col) -> out_tile`` where ``(row,
+#: col)`` is the tile's block-local input-window origin and the returned
+#: array has the spec's tile shape.
+TileProvider = Callable[..., np.ndarray]
+
+
+def _round_up(x: int, to: int) -> int:
+    return ((x + to - 1) // to) * to
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Geometry and labels of one block sweep (a 2D view of the grid).
+
+    ``interior``/``tile``/``block`` are ``(rows, cols)`` shapes of the
+    output, one warp tile, and the *requested* thread block (rounded up
+    to tile multiples by the driver, clamped to the rounded interior).
+    ``smem_halo`` is the extra shared rows/cols a block stages beyond
+    its output shape (the input-window overhang).  ``ndim`` and
+    ``shape_label`` only annotate the telemetry span — a 1D sweep runs
+    as a ``1 x n`` spec but still reports ``ndim=1``.
+    """
+
+    interior: tuple[int, int]
+    tile: tuple[int, int]
+    block: tuple[int, int]
+    smem_halo: tuple[int, int]
+    use_async_copy: bool
+    ndim: int
+    shape_label: str
+
+    def blocked(self) -> tuple[int, int]:
+        """The effective block shape after tile rounding and clamping."""
+        rows, cols = self.interior
+        t_r, t_c = self.tile
+        block_r = min(
+            _round_up(rows, t_r), _round_up(max(self.block[0], t_r), t_r)
+        )
+        block_c = min(
+            _round_up(cols, t_c), _round_up(max(self.block[1], t_c), t_c)
+        )
+        return block_r, block_c
+
+    def smem_shape(self) -> tuple[int, int]:
+        """Shared staging tile: the effective block plus its halo."""
+        block_r, block_c = self.blocked()
+        return block_r + self.smem_halo[0], block_c + self.smem_halo[1]
+
+
+def validate_padded(
+    padded: np.ndarray, ndim: int, radius: int
+) -> tuple[np.ndarray, tuple[int, ...]]:
+    """Check the pad convention; returns ``(float64 array, interior)``.
+
+    Raises :class:`~repro.errors.ShapeError` when the dimensionality is
+    wrong or the array is too small to contain one interior point after
+    removing the ``radius`` halo — the validation every engine used to
+    duplicate.
+    """
+    padded = np.asarray(padded, dtype=np.float64)
+    if padded.ndim != ndim:
+        raise ShapeError(f"expected {ndim}D input, got {padded.ndim}D")
+    interior = tuple(s - 2 * radius for s in padded.shape)
+    if min(interior) <= 0:
+        raise ShapeError(
+            f"padded input {padded.shape} too small for radius {radius}"
+        )
+    return padded, interior
+
+
+def run_block_sweep(
+    padded2d: np.ndarray,
+    spec: SweepSpec,
+    compute_tile: TileProvider,
+    device: Device | None = None,
+) -> tuple[np.ndarray, EventCounters]:
+    """Sweep one grid block by block; returns ``(interior, counters)``.
+
+    ``padded2d`` is the padded input viewed as 2D (1D engines reshape to
+    ``(1, n)``); ``compute_tile(warp, smem, row, col)`` computes one
+    warp tile from the block's shared staging tile.  The driver owns
+    everything else: global arrays, block rounding, the shared fill
+    (clamped at the grid edge; shared memory is zero-initialized so
+    out-of-range reads contribute through zero weights only), the tile
+    loop with edge trimming, and the ``tcu.sweep`` telemetry span whose
+    events are the sweep's own.
+    """
+    device = device or Device()
+    start = device.snapshot()
+    warp = device.warp()
+    rows, cols = spec.interior
+    t_r, t_c = spec.tile
+    block_r, block_c = spec.blocked()
+    smem_shape = spec.smem_shape()
+
+    gmem_in = device.global_array(padded2d, name="input")
+    gmem_out = device.global_array(
+        np.zeros((rows, cols), dtype=np.float64), name="output"
+    )
+
+    with TRACER.span(
+        "tcu.sweep", category="tcu", ndim=spec.ndim, shape=spec.shape_label
+    ) as span:
+        for br in range(0, rows, block_r):
+            for bc in range(0, cols, block_c):
+                smem = device.shared(smem_shape, name="block")
+                avail_r = min(smem_shape[0], padded2d.shape[0] - br)
+                avail_c = min(smem_shape[1], padded2d.shape[1] - bc)
+                if avail_r > 0 and avail_c > 0:
+                    gmem_in.copy_to_shared(
+                        (slice(br, br + avail_r), slice(bc, bc + avail_c)),
+                        smem,
+                        0,
+                        0,
+                        use_async=spec.use_async_copy,
+                    )
+                r_lim = min(block_r, rows - br)
+                c_lim = min(block_c, cols - bc)
+                for tr in range(0, r_lim, t_r):
+                    for tc in range(0, c_lim, t_c):
+                        out_tile = compute_tile(warp, smem, tr, tc)
+                        vr = min(t_r, rows - (br + tr))
+                        vc = min(t_c, cols - (bc + tc))
+                        gmem_out.write(
+                            (
+                                slice(br + tr, br + tr + vr),
+                                slice(bc + tc, bc + tc + vc),
+                            ),
+                            out_tile[:vr, :vc],
+                        )
+        events = device.events_since(start)
+        span.add_events(events)
+    return gmem_out.data, events

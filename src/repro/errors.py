@@ -24,6 +24,7 @@ __all__ = [
     "KernelNotFoundError",
     "DecompositionError",
     "ShapeError",
+    "LoweringError",
 ]
 
 
@@ -44,3 +45,8 @@ class DecompositionError(ReproError, ValueError):
 
 class ShapeError(ReproError, ValueError):
     """An array has the wrong dimensionality, shape, or size."""
+
+
+class LoweringError(ReproError, ValueError):
+    """The lowering pipeline cannot produce a program as configured
+    (unknown schedule name, dependence-violating custom schedule, …)."""

@@ -8,7 +8,6 @@ GPU's resident-block capacity, large ones saturate.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 from repro.baselines.base import StencilMethod

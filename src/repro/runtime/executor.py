@@ -110,9 +110,18 @@ class Runtime:
         self,
         padded: np.ndarray,
         device: Device | None = None,
+        oracle: bool = False,
     ) -> tuple[np.ndarray, EventCounters]:
-        """One faithful TCU sweep; returns ``(interior, counters)``."""
-        return self.plan.engine.apply_simulated(padded, device=device)
+        """One faithful TCU sweep; returns ``(interior, counters)``.
+
+        The sweep interprets the plan's lowered tile program;
+        ``oracle=True`` runs the engine's eager tile computation instead
+        (the correctness oracle the schedule-equivalence suite compares
+        against — results are guaranteed bit-identical).
+        """
+        return self.plan.engine.apply_simulated(
+            padded, device=device, oracle=oracle
+        )
 
     def apply_simulated_batch(
         self,

@@ -76,6 +76,25 @@ class CompiledStencil:
         """The underlying ``LoRAStencil{1,2,3}D`` engine instance."""
         return self.plan.engine
 
+    @property
+    def lowered(self):
+        """The plan's :class:`~repro.core.lowering.LoweredProgram`."""
+        return self.plan.lowered
+
+    @property
+    def program(self):
+        """The scheduled tile program(s) the simulated sweep interprets.
+
+        See :attr:`repro.runtime.plan.StencilPlan.program`; ``None`` for
+        CUDA-core configurations.
+        """
+        return self.plan.program
+
+    @property
+    def schedule(self) -> str:
+        """Name of the instruction schedule baked into the plan."""
+        return self.plan.schedule
+
     # -- execution --------------------------------------------------------
     def apply(self, padded: np.ndarray) -> np.ndarray:
         """Apply to one *padded* grid; returns the interior.
@@ -135,9 +154,13 @@ class CompiledStencil:
         device: Device | None = None,
         shards: int = 1,
         max_workers: int | None = None,
+        oracle: bool = False,
     ) -> tuple[np.ndarray, EventCounters]:
         """Faithful TCU sweep; returns ``(interior, counters)``.
 
+        The sweep interprets the plan's lowered tile program
+        (:attr:`program`); ``oracle=True`` runs the eager tile path
+        instead — bit-identical by the schedule-equivalence guarantee.
         ``shards > 1`` splits the sweep along the first interior axis
         over a thread pool, one simulated device per shard, and merges
         the per-shard event counters (``device`` is then ignored).
@@ -153,7 +176,9 @@ class CompiledStencil:
                     padded, shards=shards, max_workers=max_workers
                 )
             else:
-                out, events = self.runtime.apply_simulated(padded, device=device)
+                out, events = self.runtime.apply_simulated(
+                    padded, device=device, oracle=oracle
+                )
             sp.add_events(events)
             telemetry.absorb_events(events)
             return out, events

@@ -9,6 +9,11 @@ alone — independent of any particular grid:
 * the banded ``U``/``V`` gather matrices and their register fragments
   (owned by the plan's engine);
 * the BVS row permutation applied to ``V``;
+* the **lowered program** — the scheduled
+  :class:`~repro.tcu.program.TileProgram` artifact produced by the
+  :mod:`repro.core.lowering` pass pipeline, which the sweep driver
+  interprets at execution time (exposed as :attr:`StencilPlan.lowered`
+  and :attr:`StencilPlan.program`);
 * the block schedule (thread-block tile of the simulated sweep);
 * a predicted cost from :mod:`repro.perf` (analytic per-point footprint
   pushed through the A100 roofline model).
@@ -31,22 +36,23 @@ from functools import cached_property
 
 import numpy as np
 
-from repro.core._deprecation import suppress_engine_deprecation
 from repro.core.config import OptimizationConfig
 from repro.core.engine1d import DEFAULT_BLOCK_1D, LoRAStencil1D
 from repro.core.engine2d import DEFAULT_BLOCK_2D, LoRAStencil2D
 from repro.core.engine3d import DEFAULT_BLOCK_3D, LoRAStencil3D
+from repro.core.lowering import LoweredProgram, lower
 from repro.core.lowrank import Decomposition
-from repro.core.rdg import OUT_TILE
 from repro.core.uvbuild import butterfly_row_order
 from repro.errors import ShapeError
 from repro.stencil.weights import StencilWeights
+from repro.tcu.program import TileProgram
 
 __all__ = ["StencilPlan", "plan_key", "build_plan", "canonical_weights"]
 
 #: Bump when the plan layout changes incompatibly — keys must not collide
-#: across layouts.
-_KEY_VERSION = b"repro-stencil-plan-v1"
+#: across layouts.  v2: plans carry the lowered tile program and the key
+#: covers the schedule knob.
+_KEY_VERSION = b"repro-stencil-plan-v2"
 
 
 def canonical_weights(
@@ -102,7 +108,7 @@ def plan_key(
     h.update(arr.tobytes())
     h.update(
         f"cfg=tc:{cfg.use_tensor_cores},bvs:{cfg.use_bvs},"
-        f"ac:{cfg.use_async_copy}".encode()
+        f"ac:{cfg.use_async_copy},sched:{cfg.schedule}".encode()
     )
     h.update(f"tile={tuple(tile_shape) if tile_shape else None}".encode())
     h.update(f"dtype={np.dtype(dtype).name}".encode())
@@ -129,6 +135,7 @@ class StencilPlan:
     engine: LoRAStencil1D | LoRAStencil2D | LoRAStencil3D = field(repr=False)
     decomposition: Decomposition | None
     block: tuple[int, ...]
+    lowered: LoweredProgram = field(repr=False)
 
     # -- structure --------------------------------------------------------
     @property
@@ -176,6 +183,29 @@ class StencilPlan:
         return butterfly_row_order(self.engine.tile.w_cols)
 
     @property
+    def program(self) -> TileProgram | tuple[TileProgram | None, ...] | None:
+        """The scheduled tile program(s) the executor interprets.
+
+        A single :class:`~repro.tcu.program.TileProgram` for 1D/2D
+        plans, a per-kernel-plane tuple for 3D plans (``None`` entries
+        for the point-wise CUDA-core planes), or ``None`` for CUDA-core
+        configurations, which lower to no tensor-core program.
+        """
+        if self.ndim == 3:
+            if not self.config.use_tensor_cores:
+                return None
+            return tuple(
+                t.program if t is not None else None for t in self.lowered.tiles
+            )
+        tile = self.lowered.tile
+        return tile.program if tile is not None else None
+
+    @property
+    def schedule(self) -> str:
+        """Name of the instruction schedule baked into the program."""
+        return self.lowered.schedule
+
+    @property
     def mma_per_tile(self) -> int:
         """MMA instructions one warp tile costs under this plan."""
         if self.ndim == 1:
@@ -216,6 +246,7 @@ class StencilPlan:
             f"  rank            {self.rank}",
             f"  config          {self.config.label()}",
             f"  block schedule  {'x'.join(map(str, self.block))}",
+            f"  lowering        {self.lowered.describe()}",
             f"  mma per tile    {self.mma_per_tile}",
             f"  predicted       {self.predicted_gstencil_per_s:.2f} GStencil/s",
         ]
@@ -242,8 +273,9 @@ def build_plan(
     """Compile one plan from scratch (no cache consultation).
 
     This is the slow path :func:`repro.compile` runs on a cache miss: it
-    performs the PMA/SVD decomposition, builds the banded gather
-    matrices and their fragments, and fixes the block schedule.
+    drives the :mod:`repro.core.lowering` pass pipeline — decomposition,
+    canonical tile IR, instruction scheduling — and wraps the engine and
+    the lowered program in an immutable plan.
     """
     arr, nd = canonical_weights(weights, ndim)
     if np.dtype(dtype) != np.float64:
@@ -254,29 +286,18 @@ def build_plan(
     cfg = config or OptimizationConfig()
     key = plan_key(arr, nd, cfg, tile_shape, dtype)
 
-    with suppress_engine_deprecation():
-        if nd == 1:
-            if tile_shape is not None:
-                raise ShapeError("tile_shape applies to 2D plans only")
-            engine: LoRAStencil1D | LoRAStencil2D | LoRAStencil3D = (
-                LoRAStencil1D(arr, config=cfg)
-            )
-            decomposition = None
-            block: tuple[int, ...] = (DEFAULT_BLOCK_1D,)
-        elif nd == 2:
-            engine = LoRAStencil2D(
-                arr,
-                config=cfg,
-                tile_shape=tile_shape or (OUT_TILE, OUT_TILE),
-            )
-            decomposition = engine.decomposition
-            block = DEFAULT_BLOCK_2D
-        else:
-            if tile_shape is not None:
-                raise ShapeError("tile_shape applies to 2D plans only")
-            engine = LoRAStencil3D(arr, config=cfg)
-            decomposition = None
-            block = DEFAULT_BLOCK_3D
+    if nd != 2 and tile_shape is not None:
+        raise ShapeError("tile_shape applies to 2D plans only")
+    engine, lowered = lower(arr, nd, config=cfg, tile_shape=tile_shape)
+    if nd == 1:
+        decomposition = None
+        block: tuple[int, ...] = (DEFAULT_BLOCK_1D,)
+    elif nd == 2:
+        decomposition = engine.decomposition
+        block = DEFAULT_BLOCK_2D
+    else:
+        decomposition = None
+        block = DEFAULT_BLOCK_3D
 
     return StencilPlan(
         key=key,
@@ -289,6 +310,7 @@ def build_plan(
         engine=engine,
         decomposition=decomposition,
         block=block,
+        lowered=lowered,
     )
 
 

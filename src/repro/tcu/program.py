@@ -12,7 +12,12 @@ Ops:
 * ``mma dst <- (weight U[t][rb][kb], x_reg, acc_reg?)`` — Step-1 MMA;
 * ``split (even, odd) <- t_acc`` — the BVS register reinterpretation;
 * ``mma2 dst <- (split_reg, weight V[t][wb][ob], acc_reg?)`` — Step-2;
-* ``apex out += w * centre`` — the pyramid's CUDA-core epilogue.
+* ``apex out += w * centre`` — the pyramid's CUDA-core epilogue (no
+  register destination: it writes the numpy output tile).
+
+1D kernels get the same IR through :func:`build_tile_program_1d` /
+:func:`execute_program_1d`: a single ``load_x``/``mma`` accumulator
+chain per warp tile (no MCM, no BVS, no pyramid — Section IV-C).
 
 Guarantees proven in the tests: *every* dependence-respecting schedule
 executes to the identical numeric result and identical event counts,
@@ -36,7 +41,9 @@ __all__ = [
     "Instr",
     "TileProgram",
     "build_tile_program",
+    "build_tile_program_1d",
     "execute_program",
+    "execute_program_1d",
     "validate_schedule",
     "schedule_prefetch",
     "load_use_distance",
@@ -58,9 +65,15 @@ class Instr:
 
 @dataclass
 class TileProgram:
-    """An ordered instruction list for one output tile."""
+    """An ordered instruction list for one output tile.
 
-    tile: RDGTileCompute
+    ``tile`` is the weight-holding kernel object the instructions index
+    into: an :class:`~repro.core.rdg.RDGTileCompute` for 2D programs, or
+    the 1D engine (anything with ``k_rows``/``_u_frags``/``config``) for
+    programs built by :func:`build_tile_program_1d`.
+    """
+
+    tile: "RDGTileCompute | object"
     instrs: list[Instr]
 
     def writers(self) -> dict[str, int]:
@@ -127,6 +140,7 @@ def build_tile_program(tile: RDGTileCompute) -> TileProgram:
                                 srcs=(src,) + ((prev,) if prev else ()),
                                 meta={
                                     "term": ti,
+                                    "rb": rb,
                                     "wb": wb,
                                     "ob": ob,
                                     "half": half,
@@ -135,10 +149,12 @@ def build_tile_program(tile: RDGTileCompute) -> TileProgram:
                         )
                         out_regs[(rb, ob)] = dst
     for si in range(len(tile.decomposition.scalar_terms)):
+        # the apex writes the numpy output tile, not a register: an
+        # empty dst keeps the SSA ``writers()`` check honest
         instrs.append(
             Instr(
                 op="apex",
-                dst=(f"apex{si}",),
+                dst=(),
                 srcs=tuple(r for r in out_regs.values() if r),
                 meta={"scalar": si},
             )
@@ -230,8 +246,7 @@ def execute_program(
             result = warp.mma_sync(t, v, acc)
             env[ins.dst[0]] = result
             # track the most recent accumulator per output block
-            rb = int(ins.dst[0].split("_")[1])
-            out_final[(rb, ob)] = result
+            out_final[(ins.meta["rb"], ob)] = result
         elif ins.op == "apex":
             for (rb, ob), frag in out_final.items():
                 out[8 * rb : 8 * rb + 8, 8 * ob : 8 * ob + 8] = frag.to_matrix()
@@ -242,7 +257,6 @@ def execute_program(
                 (tile.out_rows, tile.out_cols),
             )
             warp.cuda_core_axpy(out, term.scalar_weight, centre)
-            env[ins.dst[0]] = None  # type: ignore[assignment]
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown op {ins.op!r}")
 
@@ -250,3 +264,78 @@ def execute_program(
         for (rb, ob), frag in out_final.items():
             out[8 * rb : 8 * rb + 8, 8 * ob : 8 * ob + 8] = frag.to_matrix()
     return out
+
+
+# ---------------------------------------------------------------------------
+# 1D programs (Section IV-C: single gather, no MCM/BVS/pyramid)
+# ---------------------------------------------------------------------------
+def build_tile_program_1d(engine) -> TileProgram:
+    """Emit the canonical program for one 1D warp tile (64 outputs).
+
+    ``engine`` is a :class:`~repro.core.engine1d.LoRAStencil1D` (or any
+    object exposing ``k_rows``, ``_u_frags`` and ``config``).  The 1D
+    computation is a single accumulator chain: one strided ``load_x``
+    per k-block of the window plus one ``mma`` against the banded ``U``
+    fragment, so the only scheduling freedom is load placement.
+    """
+    if not engine.config.use_tensor_cores:
+        raise ValueError("tile programs target the tensor-core configuration")
+    instrs: list[Instr] = []
+    kb_n = engine.k_rows // 4
+    for kb in range(kb_n):
+        instrs.append(
+            Instr(op="load_x", dst=(f"x{kb}",), srcs=(), meta={"kb": kb})
+        )
+    acc: str | None = None
+    for kb in range(kb_n):
+        dst = f"t{kb}"
+        instrs.append(
+            Instr(
+                op="mma",
+                dst=(dst,),
+                srcs=(f"x{kb}",) + ((acc,) if acc else ()),
+                meta={"kb": kb, "final": kb == kb_n - 1},
+            )
+        )
+        acc = dst
+    program = TileProgram(tile=engine, instrs=instrs)
+    program.writers()  # sanity: SSA property
+    return program
+
+
+def execute_program_1d(
+    program: TileProgram,
+    warp: Warp,
+    smem: SharedMemory,
+    base: int,
+) -> np.ndarray:
+    """Interpret a 1D program; returns the 8x8 accumulator tile.
+
+    ``base`` is the tile's offset into the block's flat shared buffer
+    (element ``(r, q)`` of k-block ``kb`` reads flat offset
+    ``base + 4*kb + 8*q + r``, the 8-strided window layout of the 1D
+    engine).
+    """
+    validate_schedule(program)
+    engine = program.tile
+    env: dict[str, Fragment] = {}
+    result: Fragment | None = None
+    for ins in program.instrs:
+        if ins.op == "load_x":
+            kb = ins.meta["kb"]
+            x_tile = smem.read_fragment_strided(
+                base + 4 * kb, (4, 8), col_stride=8
+            )
+            env[ins.dst[0]] = Fragment.from_matrix(FragmentKind.B, x_tile)
+        elif ins.op == "mma":
+            x = env[ins.srcs[0]]
+            acc = env[ins.srcs[1]] if len(ins.srcs) > 1 else None
+            frag = warp.mma_sync(engine._u_frags[ins.meta["kb"]], x, acc)
+            env[ins.dst[0]] = frag
+            if ins.meta.get("final"):
+                result = frag
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown 1D op {ins.op!r}")
+    if result is None:
+        raise ValueError("1D program has no final mma instruction")
+    return result.to_matrix()

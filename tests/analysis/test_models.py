@@ -1,7 +1,6 @@
 """Tests for the closed-form Eq. 12-16 models, including the paper's
 quoted constants and the model-vs-measurement agreement."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.compute_model import (

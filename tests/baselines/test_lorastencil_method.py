@@ -1,7 +1,6 @@
 """Tests for the LoRAStencil method adapter (fusion policy, configs)."""
 
 import numpy as np
-import pytest
 
 from repro.baselines.lorastencil import LoRAStencilMethod
 from repro.core.config import OptimizationConfig

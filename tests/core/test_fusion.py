@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.fusion import FusedKernel, fragment_waste, fuse_kernel, fusion_saving
+from repro.core.fusion import fragment_waste, fuse_kernel, fusion_saving
 from repro.stencil.kernels import get_kernel
 from repro.stencil.reference import reference_iterate
 from repro.stencil.weights import radially_symmetric_weights

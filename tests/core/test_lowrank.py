@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.lowrank import (
-    Decomposition,
     PivotError,
     Rank1Term,
     decompose,

@@ -7,7 +7,6 @@ oracles.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.lowrank import Rank1Term, decompose
 from repro.core.uvbuild import build_u_matrix, build_v_matrix

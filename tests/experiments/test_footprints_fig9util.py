@@ -1,6 +1,5 @@
 """Tests for footprint caching and the Fig. 9 utilization model."""
 
-import pytest
 
 from repro.baselines.lorastencil import LoRAStencilMethod
 from repro.core.config import OptimizationConfig

@@ -139,3 +139,51 @@ class TestBuildPlan:
     def test_key_matches_plan_key(self):
         w = get_kernel("Star-2D13P").weights
         assert build_plan(w).key == plan_key(w)
+
+
+class TestLoweredArtifactOnPlan:
+    def test_plan_carries_lowered_program(self):
+        plan = build_plan(get_kernel("Box-2D9P").weights)
+        assert plan.lowered.schedule == "eager"
+        assert plan.program is not None
+        assert plan.program is plan.lowered.tile.program
+        # the engine executes the very program the plan carries
+        assert plan.engine.lowered is plan.lowered.tile
+
+    def test_schedule_knob_changes_key_and_program_order(self):
+        k = get_kernel("Box-2D49P")
+        eager = build_plan(k.weights)
+        prefetch = build_plan(
+            k.weights, config=OptimizationConfig(schedule="prefetch")
+        )
+        assert eager.key != prefetch.key
+        assert prefetch.schedule == "prefetch"
+        ops = [i.op for i in prefetch.program.instrs]
+        n_loads = ops.count("load_x")
+        assert all(op == "load_x" for op in ops[:n_loads])
+
+    def test_1d_plan_program(self):
+        plan = build_plan(get_kernel("Heat-1D").weights)
+        ops = {i.op for i in plan.program.instrs}
+        assert ops == {"load_x", "mma"}
+
+    def test_3d_plan_program_per_plane(self):
+        plan = build_plan(get_kernel("Heat-3D").weights)
+        programs = plan.program
+        assert isinstance(programs, tuple)
+        assert len(programs) == len(plan.engine.planes)
+        # star off-centre planes are point-wise -> no program
+        assert programs.count(None) == len(plan.engine.cuda_core_planes)
+
+    def test_cuda_core_plan_has_no_program(self):
+        plan = build_plan(
+            get_kernel("Box-2D9P").weights,
+            config=OptimizationConfig(use_tensor_cores=False),
+        )
+        assert plan.program is None
+        assert plan.lowered.tile is None
+
+    def test_describe_includes_lowering_line(self):
+        plan = build_plan(get_kernel("Box-2D9P").weights)
+        assert "lowering" in plan.describe()
+        assert "eager" in plan.describe()

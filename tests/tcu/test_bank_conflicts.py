@@ -1,7 +1,6 @@
 """Tests for the shared-memory bank-conflict model."""
 
 import numpy as np
-import pytest
 
 from repro.tcu.counters import EventCounters
 from repro.tcu.memory import SharedMemory, bank_conflict_cycles

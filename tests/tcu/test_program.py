@@ -173,3 +173,86 @@ def _random_topological(program, rng):
     result = TileProgram(tile=program.tile, instrs=out)
     validate_schedule(result)
     return result
+
+
+class TestInstrMetadata:
+    """The IR carries structured metadata instead of encoding facts in
+    SSA names (``mma2`` result-block index) or writing sentinel values
+    (``apex`` has no register destination)."""
+
+    def test_mma2_carries_rb_in_meta(self, rng):
+        _, tile, *_ = _setup(rng)
+        program = build_tile_program(tile)
+        mma2s = [i for i in program.instrs if i.op == "mma2"]
+        assert mma2s
+        for ins in mma2s:
+            assert isinstance(ins.meta["rb"], int)
+            # meta agrees with the (legacy) name encoding acc{t}_{rb}_...
+            assert ins.meta["rb"] == int(ins.dst[0].split("_")[1])
+
+    def test_apex_has_no_destination(self, rng):
+        _, tile, *_ = _setup(rng)
+        program = build_tile_program(tile)
+        apexes = [i for i in program.instrs if i.op == "apex"]
+        for ins in apexes:
+            assert ins.dst == ()
+
+    def test_apex_not_in_writers(self, rng):
+        _, tile, *_ = _setup(rng)
+        program = build_tile_program(tile)
+        writers = program.writers()
+        for name in writers:
+            assert program.instrs[writers[name]].op != "apex"
+
+
+class TestProgram1D:
+    def _setup_1d(self, rng, h=2, n=64):
+        from repro.core._deprecation import suppress_engine_deprecation
+        from repro.core.engine1d import LoRAStencil1D
+
+        with suppress_engine_deprecation():
+            engine = LoRAStencil1D(rng.normal(size=2 * h + 1))
+        device = Device()
+        warp = device.warp()
+        smem = device.shared((engine.k_rows - 8 + n + 56,))
+        smem.data[:] = rng.normal(size=smem.shape)
+        return engine, device, warp, smem
+
+    def test_build_and_execute_matches_eager(self, rng):
+        from repro.tcu.program import build_tile_program_1d, execute_program_1d
+
+        engine, device, warp, smem = self._setup_1d(rng)
+        program = build_tile_program_1d(engine)
+        kb_n = engine.k_rows // 4
+        assert [i.op for i in program.instrs] == ["load_x"] * kb_n + [
+            "mma"
+        ] * kb_n
+        out = execute_program_1d(program, warp, smem, 0)
+        expected = engine._compute_tile(device.warp(), smem, 0)
+        assert np.array_equal(out, expected)
+
+    def test_event_counts_match_eager(self, rng):
+        from repro.tcu.program import build_tile_program_1d, execute_program_1d
+
+        engine, device, warp, smem = self._setup_1d(rng)
+        program = build_tile_program_1d(engine)
+        start = device.snapshot()
+        execute_program_1d(program, warp, smem, 0)
+        prog_events = device.events_since(start)
+        start = device.snapshot()
+        engine._compute_tile(warp, smem, 0)
+        eager_events = device.events_since(start)
+        assert prog_events == eager_events
+
+    def test_rejects_cuda_core_engine(self, rng):
+        from repro.core._deprecation import suppress_engine_deprecation
+        from repro.core.engine1d import LoRAStencil1D
+        from repro.tcu.program import build_tile_program_1d
+
+        with suppress_engine_deprecation():
+            engine = LoRAStencil1D(
+                rng.normal(size=5),
+                config=OptimizationConfig(use_tensor_cores=False),
+            )
+        with pytest.raises(ValueError, match="tensor-core"):
+            build_tile_program_1d(engine)

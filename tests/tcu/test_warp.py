@@ -3,11 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.tcu.counters import EventCounters
 from repro.tcu.device import Device
 from repro.tcu.fragment import Fragment
 from repro.tcu.layouts import FragmentKind
-from repro.tcu.warp import BVS_EVEN_ODD_ORDER, Warp
+from repro.tcu.warp import BVS_EVEN_ODD_ORDER
 
 
 @pytest.fixture

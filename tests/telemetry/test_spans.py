@@ -6,7 +6,7 @@ import pytest
 
 from repro import telemetry
 from repro.tcu.counters import EventCounters
-from repro.telemetry.spans import NULL_SPAN, Span, Tracer
+from repro.telemetry.spans import NULL_SPAN, Tracer
 
 
 class TestDisabledPath:

@@ -135,6 +135,31 @@ class TestNewCommands:
         assert main(["plan", "Box-2D9P", "--no-tensor-cores"]) == 0
         assert "predicted" in capsys.readouterr().out
 
+    def test_plan_ir_dump(self, capsys):
+        assert main(["plan", "Box-2D9P", "--ir"]) == 0
+        out = capsys.readouterr().out
+        assert "tile program" in out
+        assert "load_x" in out and "mma" in out and "apex" in out
+
+    def test_plan_schedule_flag(self, capsys):
+        assert main(["plan", "Box-2D9P", "--schedule", "prefetch"]) == 0
+        out = capsys.readouterr().out
+        assert "sched:prefetch" in out
+        assert "schedule 'prefetch'" in out
+
+    def test_plan_unknown_schedule_errors(self):
+        import pytest as _pytest
+
+        from repro.errors import LoweringError
+
+        with _pytest.raises(LoweringError, match="unknown schedule"):
+            main(["plan", "Box-2D9P", "--schedule", "bogus"])
+
+    def test_plan_3d_ir_marks_cuda_planes(self, capsys):
+        assert main(["plan", "Heat-3D", "--ir"]) == 0
+        out = capsys.readouterr().out
+        assert "CUDA-core plane, no program" in out
+
     def test_verify(self, capsys):
         assert main(["verify"]) == 0
         out = capsys.readouterr().out

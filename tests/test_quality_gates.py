@@ -12,7 +12,6 @@ import pkgutil
 import time
 
 import numpy as np
-import pytest
 
 import repro
 
