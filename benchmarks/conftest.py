@@ -15,6 +15,11 @@ schema ``repro.telemetry.run-record/v1``) carrying the process-wide
 metrics registry and plan-cache stats at write time — the machine-
 readable sibling of the printed figure.  Records are schema-validated
 on write; ``tests/telemetry/test_run_records.py`` holds the contract.
+
+Each record is *also* appended to the run-record history store
+(``benchmarks/results/records/history/<name>.jsonl``), which is what
+``repro perf diff``/``repro perf history`` read: the per-run snapshot is
+overwritten each run, the history accumulates.
 """
 
 from __future__ import annotations
@@ -64,12 +69,15 @@ def _stamp_run_record(
     from repro import telemetry
     from repro.runtime import DEFAULT_PLAN_CACHE
 
+    from repro.telemetry.perf import RunRecordStore
+
     record = telemetry.run_record(
         name,
         registry=telemetry.REGISTRY,
         cache_stats=DEFAULT_PLAN_CACHE.stats(),
         extra={"benchmark": name, "artifact": str(artifact)},
     )
+    RunRecordStore(results_dir / "records" / "history").append(record)
     return telemetry.write_run_record(
         results_dir / "records" / f"{name}.json", record
     )

@@ -38,6 +38,7 @@ from repro.errors import (
     DecompositionError,
     KernelNotFoundError,
     LoweringError,
+    PerfError,
     ReproError,
     ShapeError,
 )
@@ -92,6 +93,7 @@ __all__ = [
     "DecompositionError",
     "ShapeError",
     "LoweringError",
+    "PerfError",
     # stencil substrate
     "Shape",
     "StencilPattern",

@@ -7,7 +7,11 @@
     python -m repro plan Box-2D49P [--json] # compiled plan + cache stats
     python -m repro run Box-2D49P --size 64 # simulated sweep + events
     python -m repro profile Heat-2D --emit trace.json  # span tree + trace
+    python -m repro profile Box-2D9P --per-instr  # per-opcode/term attribution
     python -m repro stats [--prometheus]    # metrics registry + cache stats
+    python -m repro perf check --baseline BENCH_baseline.json  # regression gate
+    python -m repro perf diff a.json b.json # compare two run-records
+    python -m repro perf fidelity Box-2D9P  # paper equations vs measured
     python -m repro fig8 [--kernels ...]    # figure/table drivers
     python -m repro fig9 / fig10 / table3
     python -m repro precision Heat-2D       # FP16 vs FP64 error growth
@@ -76,6 +80,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "(open in chrome://tracing or Perfetto)")
     p.add_argument("--record", default=None, metavar="PATH",
                    help="write a structured JSON run-record")
+    p.add_argument("--per-instr", action="store_true",
+                   help="attribute events per TileProgram instruction "
+                        "(opcode / rank-1 term tables; single shard only)")
 
     p = sub.add_parser(
         "stats", help="dump the metrics registry and plan-cache stats"
@@ -84,6 +91,75 @@ def build_parser() -> argparse.ArgumentParser:
                    help="Prometheus text exposition format")
     p.add_argument("--json", action="store_true",
                    help="JSON snapshot of the registry")
+
+    p = sub.add_parser(
+        "perf",
+        help="performance observatory: regression gate, record diffs, "
+             "model fidelity",
+    )
+    perf_sub = p.add_subparsers(dest="perf_command", required=True)
+
+    pc = perf_sub.add_parser(
+        "check",
+        help="run the reference workload and gate against a baseline "
+             "run-record (exit 1 on regression, 2 on missing baseline)",
+    )
+    pc.add_argument("--baseline", default=None, metavar="PATH",
+                    help="baseline run-record (default BENCH_baseline.json)")
+    pc.add_argument("--update-baseline", action="store_true",
+                    help="measure and (over)write the baseline instead of "
+                         "checking against it")
+    pc.add_argument("--kernel", default=None,
+                    help="workload kernel (default: the baseline's)")
+    pc.add_argument("--size", type=int, default=None,
+                    help="grid edge (default: the baseline's)")
+    pc.add_argument("--seed", type=int, default=None,
+                    help="input seed (default: the baseline's)")
+    pc.add_argument("--threshold", type=float, default=None,
+                    help="relative counter-growth tolerance (default 0.01)")
+    pc.add_argument("--time-threshold", type=float, default=None,
+                    help="also gate wall time at this relative tolerance "
+                         "(timing is advisory when omitted)")
+    pc.add_argument("--record", default=None, metavar="DIR",
+                    help="append the measured record to this history dir")
+    pc.add_argument("--json", action="store_true",
+                    help="emit the comparison as JSON")
+
+    pd = perf_sub.add_parser(
+        "diff",
+        help="compare two run-record files (exit 1 when the second "
+             "regressed relative to the first)",
+    )
+    pd.add_argument("baseline", help="baseline .json record (or .jsonl history)")
+    pd.add_argument("current", help="current .json record (or .jsonl history)")
+    pd.add_argument("--threshold", type=float, default=None,
+                    help="relative counter-growth tolerance (default 0.01)")
+    pd.add_argument("--time-threshold", type=float, default=None,
+                    help="also gate extra.timing_s at this tolerance")
+    pd.add_argument("--json", action="store_true",
+                    help="emit the comparison as JSON")
+
+    pf = perf_sub.add_parser(
+        "fidelity",
+        help="paper-model fidelity: Eq. 12/14/16 predictions vs "
+             "measured events",
+    )
+    pf.add_argument("kernel")
+    pf.add_argument("--size", type=int, default=64,
+                    help="grid edge (default 64)")
+    pf.add_argument("--seed", type=int, default=0)
+    pf.add_argument("--output", default=None, metavar="PATH",
+                    help="also write the fidelity report as JSON")
+    pf.add_argument("--json", action="store_true",
+                    help="print the report as JSON instead of a table")
+
+    ph = perf_sub.add_parser(
+        "history", help="list the run-record history store"
+    )
+    ph.add_argument("name", nargs="?", default=None,
+                    help="show this record name's entries (default: list names)")
+    ph.add_argument("--root", default="benchmarks/results/records/history",
+                    metavar="DIR")
 
     p = sub.add_parser("fig8", help="state-of-the-art comparison")
     p.add_argument("--kernels", nargs="*", default=None)
@@ -239,12 +315,17 @@ def _cmd_profile(
     shards: int,
     emit: str | None,
     record_path: str | None,
+    per_instr: bool = False,
 ) -> int:
     from repro import telemetry
     from repro.runtime import DEFAULT_PLAN_CACHE
     from repro.runtime import compile as compile_stencil
     from repro.stencil.kernels import get_kernel
 
+    if per_instr and shards > 1:
+        print("profile: --per-instr requires a single shard (profiler "
+              "accumulators are per-thread)", file=sys.stderr)
+        return 2
     k = get_kernel(kernel_name)
     telemetry.reset()
     telemetry.enable()
@@ -275,21 +356,44 @@ def _cmd_profile(
         if value:
             print(f"  {name:28s} {value:>12,}")
     print(f"  arithmetic intensity          {events.arithmetic_intensity():12.2f}")
+    profile = None
+    mismatch = False
+    if per_instr:
+        profile = compiled.profile(x)
+        print()
+        print(profile.render())
+        mismatch = profile.total_events.as_dict() != events.as_dict()
+        print()
+        if mismatch:
+            print("per-instruction totals DO NOT match the uninstrumented "
+                  "sweep — attribution is leaking events", file=sys.stderr)
+        else:
+            print("per-instruction totals match the uninstrumented sweep "
+                  "bit-exactly")
     if emit:
         path = telemetry.write_chrome_trace(emit)
         print(f"\nchrome trace written to {path} "
               f"(open in chrome://tracing or Perfetto)")
     if record_path:
+        extra = {
+            "command": "profile",
+            "size": size,
+            "shards": shards,
+            "plan_key": compiled.key,
+            "schedule": compiled.schedule,
+        }
+        if profile is not None:
+            extra["per_instr"] = profile.as_dict()
         rec = telemetry.run_record(
             k.name,
             registry=telemetry.REGISTRY,
             cache_stats=DEFAULT_PLAN_CACHE.stats(),
             counters=events,
-            extra={"command": "profile", "size": size, "shards": shards},
+            extra=extra,
         )
         path = telemetry.write_run_record(record_path, rec)
         print(f"run record written to {path}")
-    return 0
+    return 1 if mismatch else 0
 
 
 def _cmd_stats(prometheus: bool, as_json: bool) -> int:
@@ -313,6 +417,8 @@ def _cmd_stats(prometheus: bool, as_json: bool) -> int:
                     "size": stats.size,
                     "maxsize": stats.maxsize,
                     "hit_rate": stats.hit_rate,
+                    "keys": DEFAULT_PLAN_CACHE.keys(),
+                    "entries": DEFAULT_PLAN_CACHE.entries(),
                 },
             },
             indent=1,
@@ -323,6 +429,199 @@ def _cmd_stats(prometheus: bool, as_json: bool) -> int:
     print(telemetry.REGISTRY.render())
     print()
     print(f"plan cache: {stats.summary()}")
+    return 0
+
+
+def _cmd_perf_check(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from repro.telemetry.perf import (
+        DEFAULT_BASELINE,
+        DEFAULT_THRESHOLD,
+        RunRecordStore,
+        compare_records,
+        load_record,
+        measure_reference,
+    )
+    from repro.telemetry.perf.history import REFERENCE_WORKLOAD
+
+    baseline_path = pathlib.Path(args.baseline or DEFAULT_BASELINE)
+    baseline = load_record(baseline_path) if baseline_path.exists() else None
+    base_extra = (baseline or {}).get("extra") or {}
+    kernel = args.kernel or base_extra.get(
+        "kernel", REFERENCE_WORKLOAD["kernel"]
+    )
+    size = args.size or base_extra.get("size", REFERENCE_WORKLOAD["size"])
+    seed = (
+        args.seed
+        if args.seed is not None
+        else base_extra.get("seed", REFERENCE_WORKLOAD["seed"])
+    )
+
+    if args.update_baseline:
+        record = measure_reference(kernel, size=size, seed=seed)
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        baseline_path.write_text(json.dumps(record, indent=1, sort_keys=True))
+        print(f"baseline written to {baseline_path} "
+              f"({kernel}, {size}x{size}, seed {seed})")
+        return 0
+    if baseline is None:
+        print(f"perf check: baseline {baseline_path} not found "
+              f"(create it with --update-baseline)", file=sys.stderr)
+        return 2
+
+    current = measure_reference(kernel, size=size, seed=seed)
+    if args.record:
+        path = RunRecordStore(args.record).append(current)
+        print(f"record appended to {path}")
+    comparison = compare_records(
+        baseline,
+        current,
+        threshold=(
+            args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+        ),
+        time_threshold=args.time_threshold,
+    )
+    if args.json:
+        print(json.dumps(
+            {
+                "baseline": str(baseline_path),
+                "workload": {"kernel": kernel, "size": size, "seed": seed},
+                "ok": comparison.ok,
+                "threshold": comparison.threshold,
+                "deltas": [
+                    {
+                        "name": d.name,
+                        "baseline": d.baseline,
+                        "current": d.current,
+                        "rel_change": d.rel_change,
+                        "regressed": d.regressed,
+                    }
+                    for d in comparison.deltas
+                ],
+            },
+            indent=1,
+            sort_keys=True,
+        ))
+    else:
+        print(f"workload: {kernel}, {size}x{size}, seed {seed}")
+        print(comparison.render())
+    return 0 if comparison.ok else 1
+
+
+def _cmd_perf_diff(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.telemetry.perf import (
+        DEFAULT_THRESHOLD,
+        compare_records,
+        load_record,
+    )
+
+    comparison = compare_records(
+        load_record(args.baseline),
+        load_record(args.current),
+        threshold=(
+            args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+        ),
+        time_threshold=args.time_threshold,
+    )
+    if args.json:
+        print(json.dumps(
+            {
+                "ok": comparison.ok,
+                "threshold": comparison.threshold,
+                "deltas": [
+                    {
+                        "name": d.name,
+                        "baseline": d.baseline,
+                        "current": d.current,
+                        "rel_change": d.rel_change,
+                        "regressed": d.regressed,
+                    }
+                    for d in comparison.deltas
+                ],
+            },
+            indent=1,
+            sort_keys=True,
+        ))
+    else:
+        print(comparison.render())
+    return 0 if comparison.ok else 1
+
+
+def _cmd_perf_fidelity(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from repro.runtime import compile as compile_stencil
+    from repro.stencil.kernels import get_kernel
+    from repro.telemetry.perf import fidelity_report
+    from repro.telemetry.validate import validate_fidelity_report
+
+    k = get_kernel(args.kernel)
+    compiled = compile_stencil(k.weights)
+    report = fidelity_report(
+        compiled.plan, size=args.size, seed=args.seed, name=f"fidelity-{k.name}"
+    )
+    validate_fidelity_report(report)
+    if args.output:
+        path = pathlib.Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report, indent=1, sort_keys=True))
+    if args.json:
+        print(json.dumps(report, indent=1, sort_keys=True))
+        return 0
+    plan, work = report["plan"], report["workload"]
+    print(f"{k.name}: model fidelity on "
+          f"{'x'.join(map(str, work['shape']))} "
+          f"({work['tiles']} tiles, plan {plan['key'][:16]}…, "
+          f"{plan['method']} rank {plan['rank']})")
+    print(f"  {'counter':<22} {'equation':<36} {'predicted':>12} "
+          f"{'measured':>12} {'rel.err':>8}")
+    for c in report["components"]:
+        rel = c["rel_error"]
+        rel_s = "n/a" if rel is None else f"{rel:+.1%}"
+        print(f"  {c['name']:<22} {c['equation']:<36} "
+              f"{c['predicted']:>12,} {c['measured']:>12,} {rel_s:>8}")
+    model = report["model"]
+    print(f"  closed-form context (radius {plan['radius']}): "
+          f"memory ratio Eq.14 = {model['memory_ratio_eq14']:.3f}, "
+          f"MMA ratio Eq.13/16 = {model['mma_ratio_eq13_16']:.3f}, "
+          f"redundancy eliminated = {model['redundancy_eliminated']:.3f}")
+    print(f"  max relative error: {report['max_rel_error']:.2%}")
+    if args.output:
+        print(f"  report written to {args.output}")
+    return 0
+
+
+def _cmd_perf_history(args: argparse.Namespace) -> int:
+    from repro.telemetry.perf import RunRecordStore
+
+    store = RunRecordStore(args.root)
+    if args.name is None:
+        names = store.names()
+        if not names:
+            print(f"no history under {store.root}")
+            return 0
+        for name in names:
+            print(f"  {name:<32} {len(store.load(name))} record(s)")
+        return 0
+    records = store.load(args.name)
+    if not records:
+        print(f"no history for {args.name!r} under {store.root}",
+              file=sys.stderr)
+        return 2
+    for rec in records:
+        events = rec.get("events") or {}
+        extra = rec.get("extra") or {}
+        timing = extra.get("timing_s")
+        timing_s = f"  {timing:.3f}s" if isinstance(timing, (int, float)) else ""
+        print(f"  {rec['timestamp']}  mma={events.get('mma_ops', 0):,} "
+              f"sh.ld={events.get('shared_load_requests', 0):,} "
+              f"dram={events.get('global_load_bytes', 0) + events.get('global_store_bytes', 0):,}B"
+              f"{timing_s}")
     return 0
 
 
@@ -654,9 +953,16 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_run(args.kernel, args.size, args.seed, args.json)
     if args.command == "profile":
         return _cmd_profile(args.kernel, args.size, args.seed, args.shards,
-                            args.emit, args.record)
+                            args.emit, args.record, args.per_instr)
     if args.command == "stats":
         return _cmd_stats(args.prometheus, args.json)
+    if args.command == "perf":
+        return {
+            "check": _cmd_perf_check,
+            "diff": _cmd_perf_diff,
+            "fidelity": _cmd_perf_fidelity,
+            "history": _cmd_perf_history,
+        }[args.perf_command](args)
     if args.command == "fig8":
         return _cmd_fig8(args.kernels, args.best)
     if args.command == "fig9":

@@ -35,7 +35,7 @@ from repro.core._deprecation import warn_engine_deprecation
 from repro.core.config import OptimizationConfig
 from repro.core.sweep import SweepSpec, run_block_sweep
 from repro.core.uvbuild import build_u_matrix
-from repro.errors import ShapeError
+from repro.errors import PerfError, ShapeError
 from repro.stencil.weights import StencilWeights
 from repro.tcu.counters import EventCounters
 from repro.tcu.device import Device
@@ -145,6 +145,7 @@ class LoRAStencil1D:
         device: Device | None = None,
         block: int = DEFAULT_BLOCK_1D,
         oracle: bool = False,
+        profiler=None,
     ) -> tuple[np.ndarray, EventCounters]:
         """Warp-level execution; returns ``(interior, counters)``.
 
@@ -174,24 +175,33 @@ class LoRAStencil1D:
         out, events = run_block_sweep(
             padded.reshape(1, -1),
             spec,
-            self.tile_source(oracle=oracle),
+            self.tile_source(oracle=oracle, profiler=profiler),
             device=device,
+            profiler=profiler,
         )
         return out.reshape(-1), events
 
-    def tile_source(self, oracle: bool = False):
+    def tile_source(self, oracle: bool = False, profiler=None):
         """The tile provider the sweep driver executes.
 
         Returns a callable computing the 64 outputs at block-local
         offset ``col`` as a flat ``(1, 64)`` row (``out[base + 8q + p] =
         acc[p, q]``), interpreting the lowered program unless
-        ``oracle=True`` or the config targets CUDA cores.
+        ``oracle=True`` or the config targets CUDA cores.  ``profiler``
+        opts into per-instruction attribution (lowered path only).
         """
         lowered = None if oracle else self.lowered
+        if lowered is None and profiler is not None:
+            raise PerfError(
+                "per-instruction profiling requires the lowered "
+                "tensor-core program (no oracle/CUDA-core path)"
+            )
 
         def _compute(warp, smem, row, col):
             if lowered is not None:
-                acc = execute_program_1d(lowered.program, warp, smem, col)
+                acc = execute_program_1d(
+                    lowered.program, warp, smem, col, profiler
+                )
             else:
                 acc = self._compute_tile(warp, smem, col)
             return acc.T.reshape(1, -1)

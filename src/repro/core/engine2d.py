@@ -40,7 +40,7 @@ from repro.core.config import OptimizationConfig
 from repro.core.lowrank import Decomposition, decompose
 from repro.core.rdg import OUT_TILE, RDGTileCompute
 from repro.core.sweep import SweepSpec, run_block_sweep, validate_padded
-from repro.errors import ShapeError
+from repro.errors import PerfError, ShapeError
 from repro.stencil.weights import StencilWeights
 from repro.tcu.counters import EventCounters
 from repro.tcu.device import Device
@@ -110,20 +110,28 @@ class LoRAStencil2D:
         """Attach a pipeline-produced lowered program to this engine."""
         self._lowered = lowered
 
-    def tile_source(self, oracle: bool = False):
+    def tile_source(self, oracle: bool = False, profiler=None):
         """The tile provider the sweep driver executes.
 
         Interprets the lowered program by default; ``oracle=True`` (or a
         CUDA-core config, which has no program) selects the eager
         :meth:`~repro.core.rdg.RDGTileCompute.compute_tile` path.
+        ``profiler`` opts the interpreter into per-instruction
+        attribution (incompatible with the eager path, which has no
+        instructions to attribute to).
         """
         lowered = None if oracle else self.lowered
         if lowered is None:
+            if profiler is not None:
+                raise PerfError(
+                    "per-instruction profiling requires the lowered "
+                    "tensor-core program (no oracle/CUDA-core path)"
+                )
             return self.tile.compute_tile
         program = lowered.program
 
         def _compute(warp, smem, row, col):
-            return execute_program(program, warp, smem, row, col)
+            return execute_program(program, warp, smem, row, col, profiler)
 
         return _compute
 
@@ -166,6 +174,7 @@ class LoRAStencil2D:
         device: Device | None = None,
         block: tuple[int, int] | None = None,
         oracle: bool = False,
+        profiler=None,
     ) -> tuple[np.ndarray, EventCounters]:
         """Warp-level execution on the TCU simulator.
 
@@ -173,6 +182,8 @@ class LoRAStencil2D:
         events of this sweep only.  ``oracle=True`` runs the eager
         tile computation instead of the lowered program (identical by
         the schedule-equivalence guarantee; kept as the oracle).
+        ``profiler`` opts into per-instruction attribution (see
+        :mod:`repro.telemetry.perf`).
         """
         padded, (rows, cols) = validate_padded(padded, 2, self.radius)
         t = self.tile
@@ -186,7 +197,11 @@ class LoRAStencil2D:
             shape_label=f"{rows}x{cols}",
         )
         return run_block_sweep(
-            padded, spec, self.tile_source(oracle=oracle), device=device
+            padded,
+            spec,
+            self.tile_source(oracle=oracle, profiler=profiler),
+            device=device,
+            profiler=profiler,
         )
 
     # ------------------------------------------------------------------

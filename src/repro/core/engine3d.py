@@ -141,6 +141,7 @@ class LoRAStencil3D:
         device: Device | None = None,
         block: tuple[int, int] | None = None,
         oracle: bool = False,
+        profiler=None,
     ) -> tuple[np.ndarray, EventCounters]:
         """Warp-level execution; returns ``(interior, counters)``.
 
@@ -149,7 +150,9 @@ class LoRAStencil3D:
         tile program); the point-wise planes charge CUDA-core FLOPs and
         DRAM traffic without touching the tensor cores (Alg. 2's
         dual-unit split).  ``oracle=True`` runs every plane engine on
-        its eager tile path instead.
+        its eager tile path instead.  ``profiler`` is threaded into
+        every plane engine's sweep; the point-wise plane traffic lands
+        in the profile's driver residue.
         """
         padded = np.asarray(padded, dtype=np.float64)
         if padded.ndim != 3:
@@ -189,6 +192,7 @@ class LoRAStencil3D:
                             device=device,
                             block=block,
                             oracle=oracle,
+                            profiler=profiler,
                         )
                         warp.cuda_core_axpy(out[z], 1.0, tile)
             gmem_out = device.global_array(np.zeros_like(out), name="output")

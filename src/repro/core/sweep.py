@@ -113,6 +113,7 @@ def run_block_sweep(
     spec: SweepSpec,
     compute_tile: TileProvider,
     device: Device | None = None,
+    profiler=None,
 ) -> tuple[np.ndarray, EventCounters]:
     """Sweep one grid block by block; returns ``(interior, counters)``.
 
@@ -124,6 +125,11 @@ def run_block_sweep(
     out-of-range reads contribute through zero weights only), the tile
     loop with edge trimming, and the ``tcu.sweep`` telemetry span whose
     events are the sweep's own.
+
+    ``profiler`` (a :class:`repro.telemetry.perf.InstrProfiler`) only
+    receives the sweep's geometry and event total here
+    (``note_sweep``); per-instruction attribution happens inside the
+    tile provider, which closes over the same profiler.
     """
     device = device or Device()
     start = device.snapshot()
@@ -170,4 +176,6 @@ def run_block_sweep(
                         )
         events = device.events_since(start)
         span.add_events(events)
+    if profiler is not None:
+        profiler.note_sweep(spec, events)
     return gmem_out.data, events

@@ -25,6 +25,7 @@ __all__ = [
     "DecompositionError",
     "ShapeError",
     "LoweringError",
+    "PerfError",
 ]
 
 
@@ -50,3 +51,9 @@ class ShapeError(ReproError, ValueError):
 class LoweringError(ReproError, ValueError):
     """The lowering pipeline cannot produce a program as configured
     (unknown schedule name, dependence-violating custom schedule, …)."""
+
+
+class PerfError(ReproError, ValueError):
+    """The performance observatory cannot fulfil a request: profiling a
+    path with no tensor-core program, fidelity attribution outside the
+    2D RDG model, a regression check without a baseline, …"""

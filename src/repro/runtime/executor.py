@@ -111,16 +111,19 @@ class Runtime:
         padded: np.ndarray,
         device: Device | None = None,
         oracle: bool = False,
+        profiler=None,
     ) -> tuple[np.ndarray, EventCounters]:
         """One faithful TCU sweep; returns ``(interior, counters)``.
 
         The sweep interprets the plan's lowered tile program;
         ``oracle=True`` runs the engine's eager tile computation instead
         (the correctness oracle the schedule-equivalence suite compares
-        against — results are guaranteed bit-identical).
+        against — results are guaranteed bit-identical).  ``profiler``
+        opts into per-instruction attribution (see
+        :mod:`repro.telemetry.perf`).
         """
         return self.plan.engine.apply_simulated(
-            padded, device=device, oracle=oracle
+            padded, device=device, oracle=oracle, profiler=profiler
         )
 
     def apply_simulated_batch(

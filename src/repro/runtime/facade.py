@@ -155,6 +155,7 @@ class CompiledStencil:
         shards: int = 1,
         max_workers: int | None = None,
         oracle: bool = False,
+        profiler=None,
     ) -> tuple[np.ndarray, EventCounters]:
         """Faithful TCU sweep; returns ``(interior, counters)``.
 
@@ -164,7 +165,17 @@ class CompiledStencil:
         ``shards > 1`` splits the sweep along the first interior axis
         over a thread pool, one simulated device per shard, and merges
         the per-shard event counters (``device`` is then ignored).
+        ``profiler`` opts the single-shard sweep into per-instruction
+        attribution; the profiler accumulators are not thread-safe, so
+        it cannot be combined with ``shards > 1``.
         """
+        if profiler is not None and shards > 1:
+            from repro.errors import PerfError
+
+            raise PerfError(
+                "per-instruction profiling does not support sharded "
+                "execution (profiler accumulators are per-thread)"
+            )
         with telemetry.span(
             "runtime.apply_simulated",
             category="runtime",
@@ -177,11 +188,24 @@ class CompiledStencil:
                 )
             else:
                 out, events = self.runtime.apply_simulated(
-                    padded, device=device, oracle=oracle
+                    padded, device=device, oracle=oracle, profiler=profiler
                 )
             sp.add_events(events)
             telemetry.absorb_events(events)
             return out, events
+
+    def profile(
+        self,
+        padded: np.ndarray | None = None,
+        size: int = 64,
+        seed: int = 0,
+    ):
+        """Per-instruction profile of one simulated sweep.
+
+        Delegates to :meth:`repro.runtime.plan.StencilPlan.profile`;
+        returns a :class:`repro.telemetry.perf.PlanProfile`.
+        """
+        return self.plan.profile(padded, size=size, seed=seed)
 
     def apply_simulated_batch(
         self,

@@ -27,6 +27,7 @@ latency-hiding opportunity) without touching semantics.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -127,7 +128,12 @@ def build_tile_program(tile: RDGTileCompute) -> TileProgram:
                     acc = dst
                 even, odd = f"e{ti}_{rb}_{wb}", f"o{ti}_{rb}_{wb}"
                 instrs.append(
-                    Instr(op="split", dst=(even, odd), srcs=(acc,), meta={})
+                    Instr(
+                        op="split",
+                        dst=(even, odd),
+                        srcs=(acc,),
+                        meta={"term": ti},
+                    )
                 )
                 for ob in range(ob_n):
                     for half, src in (("lo", even), ("hi", odd)):
@@ -205,21 +211,46 @@ def load_use_distance(program: TileProgram) -> float:
     return float(np.mean(dists)) if dists else 0.0
 
 
+def _run_instrs(program: TileProgram, step, counters, profiler) -> None:
+    """Drive ``step`` over the program's instructions.
+
+    The fast path is a bare loop; with a ``profiler`` each instruction
+    is bracketed by a wall-clock read and an
+    :class:`~repro.tcu.counters.EventCounters` snapshot so its time and
+    event delta can be attributed (``profiler.record(ins, ns, delta)``).
+    """
+    if profiler is None:
+        for ins in program.instrs:
+            step(ins)
+        return
+    for ins in program.instrs:
+        before = counters.snapshot()
+        t0 = time.perf_counter_ns()
+        step(ins)
+        profiler.record(ins, time.perf_counter_ns() - t0, counters.diff(before))
+
+
 def execute_program(
     program: TileProgram,
     warp: Warp,
     smem: SharedMemory,
     row: int,
     col: int,
+    profiler=None,
 ) -> np.ndarray:
-    """Interpret the program on the simulator; returns the output tile."""
+    """Interpret the program on the simulator; returns the output tile.
+
+    ``profiler`` (see :class:`repro.telemetry.perf.InstrProfiler`) is
+    strictly opt-in: when ``None`` the interpreter runs the bare
+    dispatch loop with no timing or snapshot overhead.
+    """
     validate_schedule(program)
     tile = program.tile
     env: dict[str, Fragment] = {}
     out = np.zeros((tile.out_rows, tile.out_cols), dtype=np.float64)
     out_final: dict[tuple[int, int], Fragment] = {}
 
-    for ins in program.instrs:
+    def step(ins: Instr) -> None:
         if ins.op == "load_x":
             kb, wb = ins.meta["kb"], ins.meta["wb"]
             env[ins.dst[0]] = warp.load_matrix_sync(
@@ -259,6 +290,8 @@ def execute_program(
             warp.cuda_core_axpy(out, term.scalar_weight, centre)
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown op {ins.op!r}")
+
+    _run_instrs(program, step, warp.counters, profiler)
 
     if not program.tile.decomposition.scalar_terms:
         for (rb, ob), frag in out_final.items():
@@ -308,6 +341,7 @@ def execute_program_1d(
     warp: Warp,
     smem: SharedMemory,
     base: int,
+    profiler=None,
 ) -> np.ndarray:
     """Interpret a 1D program; returns the 8x8 accumulator tile.
 
@@ -320,7 +354,9 @@ def execute_program_1d(
     engine = program.tile
     env: dict[str, Fragment] = {}
     result: Fragment | None = None
-    for ins in program.instrs:
+
+    def step(ins: Instr) -> None:
+        nonlocal result
         if ins.op == "load_x":
             kb = ins.meta["kb"]
             x_tile = smem.read_fragment_strided(
@@ -336,6 +372,8 @@ def execute_program_1d(
                 result = frag
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown 1D op {ins.op!r}")
+
+    _run_instrs(program, step, warp.counters, profiler)
     if result is None:
         raise ValueError("1D program has no final mma instruction")
     return result.to_matrix()

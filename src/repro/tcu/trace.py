@@ -26,7 +26,14 @@ from dataclasses import dataclass
 
 from repro.tcu.counters import EventCounters
 
-__all__ = ["TraceEvent", "TraceRecorder", "install", "uninstall", "maybe_trace"]
+__all__ = [
+    "TraceEvent",
+    "TraceRecorder",
+    "install",
+    "uninstall",
+    "maybe_trace",
+    "recorder_stats",
+]
 
 
 @dataclass(frozen=True)
@@ -139,3 +146,20 @@ def maybe_trace(counters: EventCounters, op: str, detail: str = "") -> None:
     recorder = _RECORDERS.get(id(counters))
     if recorder is not None:
         recorder.record(op, detail)
+
+
+def recorder_stats() -> dict[str, int]:
+    """Aggregate state of every installed recorder, for the exporters.
+
+    ``max_events`` is the smallest configured ring bound (0 when every
+    installed recorder is unbounded, or none is installed).
+    """
+    recorders = list(_RECORDERS.values())
+    bounds = [r.max_events for r in recorders if r.max_events is not None]
+    return {
+        "recorders": len(recorders),
+        "events_total": sum(r.total for r in recorders),
+        "events_retained": sum(len(r) for r in recorders),
+        "events_dropped": sum(r.dropped for r in recorders),
+        "max_events": min(bounds) if bounds else 0,
+    }

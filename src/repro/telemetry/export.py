@@ -31,6 +31,7 @@ from repro.telemetry.spans import Span, Tracer, TRACER
 __all__ = [
     "CHROME_TRACE_SCHEMA",
     "RUN_RECORD_SCHEMA",
+    "FIDELITY_REPORT_SCHEMA",
     "span_to_dict",
     "to_chrome_trace",
     "write_chrome_trace",
@@ -43,6 +44,7 @@ __all__ = [
 #: schema identifiers embedded in (and required of) emitted documents
 CHROME_TRACE_SCHEMA = "repro.telemetry.chrome-trace/v1"
 RUN_RECORD_SCHEMA = "repro.telemetry.run-record/v1"
+FIDELITY_REPORT_SCHEMA = "repro.telemetry.fidelity-report/v1"
 
 
 # ---------------------------------------------------------------------------
@@ -213,6 +215,8 @@ def run_record(
     cache stats, ``events`` a raw counter dict, and ``extra`` whatever
     the producer wants stamped (artifact paths, CLI args, figures).
     """
+    from repro.tcu.trace import recorder_stats
+
     tracer = tracer or TRACER
     record: dict[str, Any] = {
         "schema": RUN_RECORD_SCHEMA,
@@ -220,6 +224,12 @@ def run_record(
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "spans": [span_to_dict(r) for r in tracer.roots()],
         "metrics": registry.snapshot() if registry is not None else {},
+        "tracer": {
+            "finished_spans": len(tracer.roots()),
+            "dropped_spans": tracer.dropped,
+            "max_finished": tracer.max_finished,
+            "warp_trace": recorder_stats(),
+        },
     }
     if cache_stats is not None:
         record["cache"] = {
@@ -251,8 +261,20 @@ def write_run_record(
 # ---------------------------------------------------------------------------
 # Prometheus text exposition
 # ---------------------------------------------------------------------------
-def to_prometheus(registry: MetricsRegistry) -> str:
-    """Prometheus text exposition (version 0.0.4) of the registry."""
+def to_prometheus(
+    registry: MetricsRegistry, tracer: Tracer | None = None
+) -> str:
+    """Prometheus text exposition (version 0.0.4) of the registry.
+
+    Also exposes the span-buffer and warp-trace health gauges (finished/
+    dropped spans against the ring capacity, and the recorder aggregate
+    from :func:`repro.tcu.trace.recorder_stats`) so a scraper can alarm
+    on trace loss — a saturated ring silently truncates the very data a
+    post-mortem needs.  Pass ``tracer=None`` (the default) for the
+    process-global tracer.
+    """
+    from repro.tcu.trace import recorder_stats
+
     lines: list[str] = []
     with registry._lock:
         metrics = sorted(registry._metrics.items())
@@ -269,6 +291,31 @@ def to_prometheus(registry: MetricsRegistry) -> str:
             lines.append(f"{name}_count {metric.count}")
         else:
             lines.append(f"{name} {_fmt(metric.value)}")
+    tracer = tracer or TRACER
+    for gauge, help_text, value in [
+        (
+            "repro_tracer_finished_spans",
+            "Finished root spans retained in the tracer buffer",
+            len(tracer.roots()),
+        ),
+        (
+            "repro_tracer_dropped_spans",
+            "Root spans dropped by the bounded tracer buffer",
+            tracer.dropped,
+        ),
+        (
+            "repro_tracer_max_finished",
+            "Capacity of the tracer's finished-span ring buffer",
+            tracer.max_finished,
+        ),
+    ]:
+        lines.append(f"# HELP {gauge} {help_text}")
+        lines.append(f"# TYPE {gauge} gauge")
+        lines.append(f"{gauge} {_fmt(value)}")
+    for key, value in recorder_stats().items():
+        gauge = f"repro_warp_trace_{key}"
+        lines.append(f"# TYPE {gauge} gauge")
+        lines.append(f"{gauge} {_fmt(value)}")
     return "\n".join(lines) + "\n"
 
 

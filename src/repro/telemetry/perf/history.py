@@ -1,0 +1,280 @@
+"""Run-record history and regression detection.
+
+The missing third leg of the observatory: run-records
+(``repro.telemetry.run-record/v1``) are stamped next to every benchmark
+artifact, but nothing compared them across runs, so the performance
+trajectory was write-only.  Three pieces close the loop:
+
+* :class:`RunRecordStore` — an append-only history of validated
+  run-records, one JSON-Lines file per record name under
+  ``benchmarks/results/records/history/`` (``benchmarks/conftest``
+  appends on every artifact write);
+* :func:`compare_records` — counter/timing deltas between two records
+  with a configurable relative threshold.  Event counters are
+  **deterministic** on the simulator, so the default tolerance is tight
+  and any growth is a real algorithmic regression, not noise; wall
+  timings are only gated when a ``time_threshold`` is passed;
+* :func:`measure_reference` — runs the reference workload (256x256
+  Box-2D9P by default) and produces the joinable run-record that
+  ``repro perf check --baseline BENCH_baseline.json`` gates on, exiting
+  non-zero on regression (the CI ``perf-regression`` job).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+import time
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "DEFAULT_THRESHOLD",
+    "RunRecordStore",
+    "CounterDelta",
+    "RecordComparison",
+    "compare_records",
+    "load_record",
+    "measure_reference",
+]
+
+#: repo-root baseline the ``repro perf check`` gate compares against
+DEFAULT_BASELINE = "BENCH_baseline.json"
+
+#: default relative growth tolerated before a counter counts as regressed
+#: (counters are deterministic; 1% headroom absorbs benign re-blocking)
+DEFAULT_THRESHOLD = 0.01
+
+#: reference workload of the committed baseline (paper Fig. 9 kernel)
+REFERENCE_WORKLOAD = {"kernel": "Box-2D9P", "size": 256, "seed": 0}
+
+
+def _slug(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", name).strip("-") or "record"
+
+
+class RunRecordStore:
+    """Append-only JSONL history of validated run-records.
+
+    One ``<name>.jsonl`` file per record name under ``root``; every
+    appended line is a complete ``repro.telemetry.run-record/v1``
+    document, validated on the way in so the history never accumulates
+    malformed entries.
+    """
+
+    def __init__(self, root: str | pathlib.Path) -> None:
+        self.root = pathlib.Path(root)
+
+    def path_for(self, name: str) -> pathlib.Path:
+        """History file that ``name``'s records append to."""
+        return self.root / f"{_slug(name)}.jsonl"
+
+    def append(self, record: dict[str, Any]) -> pathlib.Path:
+        """Validate and append one record; returns the history file."""
+        from repro.telemetry.validate import validate_run_record
+
+        validate_run_record(record)
+        path = self.path_for(record["name"])
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+        return path
+
+    def load(self, name: str) -> list[dict[str, Any]]:
+        """Every stored record for ``name``, oldest first."""
+        path = self.path_for(name)
+        if not path.exists():
+            return []
+        return [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line.strip()
+        ]
+
+    def latest(self, name: str) -> dict[str, Any] | None:
+        """Most recent record for ``name``, or None."""
+        records = self.load(name)
+        return records[-1] if records else None
+
+    def names(self) -> list[str]:
+        """Record names with history, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p.stem for p in self.root.glob("*.jsonl"))
+
+    def __len__(self) -> int:
+        return len(self.names())
+
+
+# ---------------------------------------------------------------------------
+# comparison
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class CounterDelta:
+    """One compared quantity (an event counter or a timing)."""
+
+    name: str
+    baseline: float
+    current: float
+    regressed: bool
+
+    @property
+    def rel_change(self) -> float | None:
+        """Relative growth vs. baseline (None when baseline is zero)."""
+        if self.baseline:
+            return (self.current - self.baseline) / self.baseline
+        return None if self.current else 0.0
+
+
+@dataclass(frozen=True)
+class RecordComparison:
+    """Outcome of comparing two run-records."""
+
+    baseline_name: str
+    current_name: str
+    threshold: float
+    deltas: tuple[CounterDelta, ...]
+
+    @property
+    def regressions(self) -> tuple[CounterDelta, ...]:
+        return tuple(d for d in self.deltas if d.regressed)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        """Aligned delta table, regressions flagged."""
+        lines = [
+            f"baseline {self.baseline_name!r} vs current "
+            f"{self.current_name!r} (threshold {self.threshold:.1%})",
+            f"  {'counter':<30} {'baseline':>14} {'current':>14} "
+            f"{'change':>9}",
+        ]
+        for d in self.deltas:
+            rel = d.rel_change
+            change = "new" if rel is None else f"{rel:+.2%}"
+            flag = "  << REGRESSED" if d.regressed else ""
+            lines.append(
+                f"  {d.name:<30} {d.baseline:>14,.6g} {d.current:>14,.6g} "
+                f"{change:>9}{flag}"
+            )
+        verdict = (
+            "OK — no regressions"
+            if self.ok
+            else f"{len(self.regressions)} counter(s) regressed"
+        )
+        lines.append(f"  -> {verdict}")
+        return "\n".join(lines)
+
+
+def compare_records(
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+    time_threshold: float | None = None,
+) -> RecordComparison:
+    """Compare two run-records' event counters (and optionally timing).
+
+    Every counter is cost-like — more MMAs, more shared traffic, more
+    DRAM bytes are all worse — so a regression is growth beyond
+    ``baseline * (1 + threshold)``, or any appearance of a counter the
+    baseline did not have.  Wall time (``extra.timing_s``) is noisy on
+    shared machines and is only compared when ``time_threshold`` is
+    given.
+    """
+    base_events = baseline.get("events") or {}
+    cur_events = current.get("events") or {}
+    deltas: list[CounterDelta] = []
+    for name in sorted(set(base_events) | set(cur_events)):
+        b = float(base_events.get(name, 0))
+        c = float(cur_events.get(name, 0))
+        regressed = c > b * (1.0 + threshold) if b else c > 0
+        deltas.append(
+            CounterDelta(name=name, baseline=b, current=c, regressed=regressed)
+        )
+    if time_threshold is not None:
+        b_t = (baseline.get("extra") or {}).get("timing_s")
+        c_t = (current.get("extra") or {}).get("timing_s")
+        if b_t is not None and c_t is not None:
+            deltas.append(
+                CounterDelta(
+                    name="timing_s",
+                    baseline=float(b_t),
+                    current=float(c_t),
+                    regressed=float(c_t) > float(b_t) * (1.0 + time_threshold),
+                )
+            )
+    return RecordComparison(
+        baseline_name=str(baseline.get("name", "?")),
+        current_name=str(current.get("name", "?")),
+        threshold=threshold,
+        deltas=tuple(deltas),
+    )
+
+
+def load_record(path: str | pathlib.Path) -> dict[str, Any]:
+    """Load one run-record from a ``.json`` file (or the most recent
+    entry of a ``.jsonl`` history file) and validate it."""
+    from repro.telemetry.validate import validate_run_record
+
+    path = pathlib.Path(path)
+    text = path.read_text()
+    if path.suffix == ".jsonl":
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            raise ValueError(f"{path}: empty history file")
+        record = json.loads(lines[-1])
+    else:
+        record = json.loads(text)
+    validate_run_record(record)
+    return record
+
+
+# ---------------------------------------------------------------------------
+# the reference workload behind `repro perf check`
+# ---------------------------------------------------------------------------
+def measure_reference(
+    kernel: str = REFERENCE_WORKLOAD["kernel"],
+    size: int = REFERENCE_WORKLOAD["size"],
+    seed: int = REFERENCE_WORKLOAD["seed"],
+) -> dict[str, Any]:
+    """Run the reference workload; returns its joinable run-record.
+
+    The record's ``extra`` carries the workload parameters (so a future
+    check can re-run the *same* workload the baseline measured), the
+    plan-v2 hash and schedule name (joinable with plan-cache entries),
+    and the wall time of the sweep.
+    """
+    import numpy as np
+
+    from repro.runtime import compile as compile_stencil
+    from repro.stencil.kernels import get_kernel
+    from repro.telemetry.export import run_record
+    from repro.telemetry.perf.profile import profile_shape
+
+    k = get_kernel(kernel)
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=profile_shape(k.weights.ndim, size))
+    padded = np.pad(x, k.weights.radius)
+
+    compiled = compile_stencil(k.weights)
+    t0 = time.perf_counter()
+    _, events = compiled.apply_simulated(padded)
+    elapsed = time.perf_counter() - t0
+
+    return run_record(
+        f"perf-check-{k.name}",
+        counters=events,
+        extra={
+            "command": "perf-check",
+            "kernel": k.name,
+            "size": size,
+            "seed": seed,
+            "plan_key": compiled.key,
+            "schedule": compiled.schedule,
+            "timing_s": elapsed,
+        },
+    )

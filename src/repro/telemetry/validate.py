@@ -21,11 +21,16 @@ import sys
 from typing import Any
 
 from repro.errors import ReproError
-from repro.telemetry.export import CHROME_TRACE_SCHEMA, RUN_RECORD_SCHEMA
+from repro.telemetry.export import (
+    CHROME_TRACE_SCHEMA,
+    FIDELITY_REPORT_SCHEMA,
+    RUN_RECORD_SCHEMA,
+)
 
 __all__ = [
     "TelemetryError",
     "validate_chrome_trace",
+    "validate_fidelity_report",
     "validate_run_record",
     "validate_span_dict",
     "validate_file",
@@ -124,6 +129,75 @@ def validate_run_record(record: Any) -> None:
         _require_type(events, dict, "record.events")
         for k, v in events.items():
             _require_type(v, (int, float), f"record.events[{k!r}]")
+    tracer = record.get("tracer")
+    if tracer is not None:
+        _require_type(tracer, dict, "record.tracer")
+        for key in ("finished_spans", "dropped_spans", "max_finished"):
+            _require(key in tracer, "record.tracer", f"missing key {key!r}")
+            _require_type(tracer[key], int, f"record.tracer.{key}")
+        warp = tracer.get("warp_trace")
+        if warp is not None:
+            _require_type(warp, dict, "record.tracer.warp_trace")
+            for k, v in warp.items():
+                _require_type(v, int, f"record.tracer.warp_trace[{k!r}]")
+
+
+def validate_fidelity_report(report: Any) -> None:
+    """Validate a fidelity report against :data:`FIDELITY_REPORT_SCHEMA`."""
+    _require_type(report, dict, "report")
+    _require(
+        report.get("schema") == FIDELITY_REPORT_SCHEMA,
+        "report.schema",
+        f"expected {FIDELITY_REPORT_SCHEMA!r}, got {report.get('schema')!r}",
+    )
+    for key, types in (
+        ("name", str),
+        ("timestamp", str),
+        ("plan", dict),
+        ("workload", dict),
+        ("components", list),
+        ("model", dict),
+        ("max_rel_error", (int, float)),
+    ):
+        _require(key in report, "report", f"missing key {key!r}")
+        _require_type(report[key], types, f"report.{key}")
+    plan = report["plan"]
+    for key, types in (
+        ("key", str),
+        ("schedule", str),
+        ("ndim", int),
+        ("radius", int),
+        ("rank", int),
+        ("method", str),
+    ):
+        _require(key in plan, "report.plan", f"missing key {key!r}")
+        _require_type(plan[key], types, f"report.plan.{key}")
+    workload = report["workload"]
+    for key, types in (("shape", list), ("seed", int), ("tiles", int)):
+        _require(key in workload, "report.workload", f"missing key {key!r}")
+        _require_type(workload[key], types, f"report.workload.{key}")
+    _require(
+        len(report["components"]) >= 1,
+        "report.components",
+        "must contain at least one component",
+    )
+    for i, comp in enumerate(report["components"]):
+        path = f"report.components[{i}]"
+        _require_type(comp, dict, path)
+        for key, types in (
+            ("name", str),
+            ("equation", str),
+            ("source", str),
+            ("predicted", (int, float)),
+            ("measured", (int, float)),
+        ):
+            _require(key in comp, path, f"missing key {key!r}")
+            _require_type(comp[key], types, f"{path}.{key}")
+        _require("rel_error" in comp, path, "missing key 'rel_error'")
+        if comp["rel_error"] is not None:
+            _require_type(comp["rel_error"], (int, float), f"{path}.rel_error")
+    for key, value in report["model"].items():
+        _require_type(value, (int, float), f"report.model[{key!r}]")
 
 
 def validate_chrome_trace(trace: Any) -> None:
@@ -170,10 +244,13 @@ def validate_file(path: str | pathlib.Path) -> str:
         validate_chrome_trace(document)
     elif schema == RUN_RECORD_SCHEMA:
         validate_run_record(document)
+    elif schema == FIDELITY_REPORT_SCHEMA:
+        validate_fidelity_report(document)
     else:
         raise TelemetryError(
             f"{path}: unknown or missing schema {schema!r} (expected "
-            f"{CHROME_TRACE_SCHEMA!r} or {RUN_RECORD_SCHEMA!r})"
+            f"{CHROME_TRACE_SCHEMA!r}, {RUN_RECORD_SCHEMA!r} or "
+            f"{FIDELITY_REPORT_SCHEMA!r})"
         )
     return schema
 

@@ -1,0 +1,106 @@
+"""Model fidelity: the paper's equations must match the simulator exactly.
+
+The simulator *implements* the model, so every prediction derived from
+the plan's decomposition (Eq. 12 fragment loads, Eq. 16 MMA count, the
+Sec. III-B apex axpy, the Sec. III-C zero-shuffle claim) must measure
+with zero relative error — a nonzero error is a bug in the model or the
+interpreter, which is precisely what the fidelity report exists to
+surface.
+"""
+
+import pytest
+
+from repro.errors import PerfError
+from repro.runtime import compile as compile_stencil
+from repro.stencil.kernels import get_kernel
+from repro.telemetry.perf import (
+    FIDELITY_REPORT_SCHEMA,
+    fidelity_report,
+    predicted_components,
+)
+from repro.telemetry.validate import (
+    TelemetryError,
+    validate_fidelity_report,
+)
+
+
+def _plan(kernel):
+    return compile_stencil(get_kernel(kernel).weights).plan
+
+
+class TestExactness:
+    @pytest.mark.parametrize(
+        "kernel", ["Box-2D9P", "Heat-2D", "Star-2D13P", "Box-2D49P"]
+    )
+    def test_zero_relative_error_on_simulator(self, kernel):
+        report = fidelity_report(_plan(kernel), size=32)
+        assert report["max_rel_error"] == 0.0
+        for comp in report["components"]:
+            assert comp["measured"] == comp["predicted"], comp["name"]
+
+    def test_bvs_zero_shuffle_claim_is_checked(self):
+        report = fidelity_report(_plan("Box-2D9P"), size=16)
+        split = {c["name"]: c for c in report["components"]}["shuffle_ops"]
+        assert split["predicted"] == 0 and split["measured"] == 0
+        assert "III-C" in split["equation"]
+
+    def test_equations_are_cited(self):
+        names = {
+            c["equation"]
+            for c in predicted_components(_plan("Box-2D9P"), (16, 16))
+        }
+        assert any("Eq. 12" in e for e in names)
+        assert any("Eq. 16" in e for e in names)
+
+
+class TestReportShape:
+    def test_report_validates_and_is_joinable(self):
+        plan = _plan("Box-2D9P")
+        report = fidelity_report(plan, size=16)
+        validate_fidelity_report(report)
+        assert report["schema"] == FIDELITY_REPORT_SCHEMA
+        assert report["plan"]["key"] == plan.key
+        assert report["plan"]["schedule"] == plan.schedule
+
+    def test_model_context_matches_analysis_closed_forms(self):
+        from repro.analysis.compute_model import mma_ratio
+        from repro.analysis.memory_model import memory_ratio
+
+        plan = _plan("Box-2D49P")
+        report = fidelity_report(plan, size=32)
+        h = plan.radius
+        assert report["model"]["memory_ratio_eq14"] == float(memory_ratio(h))
+        assert report["model"]["mma_ratio_eq13_16"] == float(mma_ratio(h))
+
+    def test_doctored_report_fails_validation(self):
+        report = fidelity_report(_plan("Box-2D9P"), size=16)
+        report["components"] = []
+        with pytest.raises(TelemetryError, match="components"):
+            validate_fidelity_report(report)
+
+    def test_validate_file_dispatches_fidelity_schema(self, tmp_path):
+        import json
+
+        from repro.telemetry.validate import validate_file
+
+        report = fidelity_report(_plan("Box-2D9P"), size=16)
+        path = tmp_path / "fid.json"
+        path.write_text(json.dumps(report))
+        assert validate_file(path) == FIDELITY_REPORT_SCHEMA
+
+
+class TestRefusals:
+    @pytest.mark.parametrize("kernel", ["Heat-1D", "Heat-3D"])
+    def test_non_2d_plans_refused(self, kernel):
+        with pytest.raises(PerfError, match="2D"):
+            fidelity_report(_plan(kernel), size=16)
+
+    def test_cuda_core_plan_refused(self):
+        from repro.core.config import OptimizationConfig
+
+        compiled = compile_stencil(
+            get_kernel("Box-2D9P").weights,
+            config=OptimizationConfig(use_tensor_cores=False),
+        )
+        with pytest.raises(PerfError, match="tensor-core"):
+            fidelity_report(compiled.plan, size=16)

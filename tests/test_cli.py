@@ -287,3 +287,76 @@ class TestBestMesh:
     )
     def test_most_square_factorization(self, n, mesh):
         assert _best_mesh(n) == mesh
+
+
+class TestPerfObservatoryCommands:
+    @pytest.fixture(autouse=True)
+    def _clean_telemetry(self):
+        from repro import telemetry
+
+        telemetry.disable()
+        telemetry.reset()
+        yield
+        telemetry.disable()
+        telemetry.reset()
+
+    def test_profile_per_instr_prints_attribution(self, capsys):
+        assert main(["profile", "Box-2D9P", "--size", "16", "--per-instr"]) == 0
+        out = capsys.readouterr().out
+        assert "per-opcode attribution" in out
+        assert "per rank-1 PMA term" in out
+        for row in ("load_x", "mma2", "split", "apex", "[driver]", "[total]"):
+            assert row in out
+        assert "match the uninstrumented sweep bit-exactly" in out
+
+    def test_profile_per_instr_rejects_shards(self, capsys):
+        rc = main(["profile", "Box-2D9P", "--size", "16",
+                   "--per-instr", "--shards", "2"])
+        assert rc == 2
+        assert "single shard" in capsys.readouterr().err
+
+    def test_profile_record_is_joinable(self, capsys, tmp_path):
+        from repro.runtime import DEFAULT_PLAN_CACHE
+
+        record_file = tmp_path / "record.json"
+        assert main(["profile", "Heat-2D", "--size", "16",
+                     "--per-instr", "--record", str(record_file)]) == 0
+        record = json.loads(record_file.read_text())
+        assert record["extra"]["plan_key"] in DEFAULT_PLAN_CACHE.keys()
+        assert record["extra"]["schedule"] == "eager"
+        per_instr = record["extra"]["per_instr"]
+        assert per_instr["schema"] == "repro.telemetry.plan-profile/v1"
+        assert per_instr["plan"]["key"] == record["extra"]["plan_key"]
+
+    def test_stats_json_exposes_plan_cache_entries(self, capsys):
+        assert main(["run", "Heat-2D", "--size", "16"]) == 0
+        capsys.readouterr()
+        assert main(["stats", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        cache = payload["plan_cache"]
+        assert cache["keys"], "expected at least one cached plan"
+        entry = cache["entries"][-1]
+        assert set(entry) == {"key", "schedule", "ndim", "radius"}
+        assert entry["key"] in cache["keys"]
+
+    def test_perf_fidelity_table(self, capsys):
+        assert main(["perf", "fidelity", "Box-2D9P", "--size", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "Eq. 12" in out and "Eq. 16" in out
+        assert "max relative error: 0.00%" in out
+
+    def test_perf_fidelity_json_validates(self, capsys, tmp_path):
+        from repro.telemetry.validate import validate_file
+
+        out_file = tmp_path / "fid.json"
+        assert main(["perf", "fidelity", "Box-2D9P", "--size", "16",
+                     "--json", "--output", str(out_file)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["max_rel_error"] == 0.0
+        assert validate_file(out_file) == "repro.telemetry.fidelity-report/v1"
+
+    def test_perf_history_empty_root(self, capsys, tmp_path):
+        assert main(["perf", "history", "--root", str(tmp_path)]) == 0
+        assert "no history" in capsys.readouterr().out
+        rc = main(["perf", "history", "nope", "--root", str(tmp_path)])
+        assert rc == 2
