@@ -77,7 +77,7 @@ def _wrapper_cost_seconds(compiled, padded) -> float:
     out = padded[1:-1, 1:-1].copy()
     events = EventCounters()
 
-    def stub(padded, device=None, oracle=False, profiler=None):
+    def stub(padded, device=None, oracle=False, profiler=None, **kwargs):
         return out, events
 
     real = compiled.runtime.apply_simulated

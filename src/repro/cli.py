@@ -194,6 +194,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default=None, help="file to write (default: stdout)")
     p.add_argument("--no-bvs", action="store_true")
 
+    p = sub.add_parser(
+        "chaos",
+        help="deterministic fault injection with ABFT detection/recovery",
+    )
+    chaos_sub = p.add_subparsers(dest="chaos_command", required=True)
+    cr = chaos_sub.add_parser(
+        "run",
+        help="inject a seeded fault campaign into one kernel's sweep",
+    )
+    cr.add_argument("kernel")
+    cr.add_argument("--size", type=int, default=64)
+    cr.add_argument("--seed", type=int, default=0,
+                    help="seed for both the grid and the fault plan")
+    cr.add_argument("--faults", type=int, default=4,
+                    help="number of faults in the campaign")
+    cr.add_argument("--kinds", nargs="*", default=None,
+                    help="restrict fault kinds (default: all applicable)")
+    cr.add_argument("--shards", type=int, default=1)
+    cr.add_argument("--sticky", action="store_true",
+                    help="faults re-fire on recovery attempts "
+                         "(exercises the FaultError exhaustion path)")
+    cr.add_argument("--no-verify", action="store_true",
+                    help="negative control: inject without ABFT verification")
+    cr.add_argument("--json", action="store_true")
+    cr.add_argument("--record", default=None, metavar="PATH",
+                    help="write a run-record (with faults section) to PATH")
+    cp = chaos_sub.add_parser(
+        "report",
+        help="print the faults sections of run-record files",
+    )
+    cp.add_argument("paths", nargs="+")
+    cp.add_argument("--json", action="store_true")
+
     p = sub.add_parser("trace", help="print the warp-op trace of one tile")
     p.add_argument("kernel")
     p.add_argument("--limit", type=int, default=80)
@@ -941,6 +974,173 @@ def _best_mesh(n: int) -> tuple[int, int]:
     return best
 
 
+def _cmd_chaos_run(args: argparse.Namespace) -> int:
+    """Seeded fault campaign: clean sweep, injected sweep, compare.
+
+    Exit codes: 0 — every injected corruption detected/recovered and
+    the output is bit-identical to the fault-free sweep (or, under
+    ``--no-verify``, the negative control behaved as expected); 1 —
+    recovery claimed success but the output differs (never expected);
+    3 — recovery exhausted (:class:`~repro.errors.FaultError`), which
+    is the *correct* outcome for ``--sticky`` campaigns.
+    """
+    import json
+
+    from repro.errors import FaultError
+    from repro.faults import FaultPlan
+    from repro.runtime import compile as compile_stencil
+    from repro.stencil.kernels import get_kernel
+
+    k = get_kernel(args.kernel)
+    compiled = compile_stencil(k.weights)
+    rng = np.random.default_rng(args.seed)
+    shape = _sweep_shape(k.weights.ndim, args.size)
+    x = np.pad(rng.normal(size=shape), k.weights.radius)
+
+    clean, _ = compiled.apply_simulated(x, shards=args.shards)
+
+    plan = FaultPlan.random(
+        seed=args.seed,
+        kinds=args.kinds,
+        count=args.faults,
+        max_mma_site=max(4, compiled.plan.mma_per_tile) * 4,
+        shards=args.shards,
+        sticky=args.sticky,
+    )
+    verify = None if args.no_verify else "abft"
+    failed = None
+    out = None
+    try:
+        out, events = compiled.apply_simulated(
+            x, shards=args.shards, verify=verify, faults=plan
+        )
+    except FaultError as exc:
+        failed = exc
+    report = compiled.last_fault_report
+    identical = out is not None and np.array_equal(out, clean)
+
+    if args.no_verify:
+        # negative control: effective corruption must reach the output
+        expected = report.total_injected == 0 or not identical
+        rc = 0 if expected else 1
+    elif failed is not None:
+        rc = 3
+    else:
+        rc = 0 if identical and report.as_dict()["unrecovered"] == 0 else 1
+
+    if args.json:
+        doc = {
+            "kernel": k.name,
+            "shape": list(shape),
+            "seed": args.seed,
+            "shards": args.shards,
+            "verify": verify,
+            "plan": [str(s) for s in plan.specs],
+            "faults": report.as_dict(),
+            "output_bit_identical": bool(identical),
+            "fault_error": str(failed) if failed else None,
+            "exit_code": rc,
+        }
+        print(json.dumps(doc, indent=1, sort_keys=True))
+    else:
+        print(f"{k.name}: chaos campaign over {shape} "
+              f"(seed {args.seed}, verify={verify or 'off'}, "
+              f"shards={args.shards})")
+        print(plan.describe())
+        print()
+        print(report.describe())
+        print()
+        if k.weights.ndim == 2:
+            foot = _lowering_checksum_footprint(compiled)
+            print(f"hardware ABFT footprint: {foot['checksum_rows']} checksum "
+                  f"rows over {foot['baseline_rows']} accumulator rows "
+                  f"({foot['overhead_fraction']:.1%} of MMA work)")
+        if failed is not None:
+            print(f"recovery exhausted: {failed}")
+        elif args.no_verify:
+            print("negative control: output "
+                  + ("DIFFERS from the fault-free sweep (corruption "
+                     "reached the output, as expected without ABFT)"
+                     if not identical else
+                     "matches the fault-free sweep "
+                     + ("(no fault fired)" if report.total_injected == 0
+                        else "(UNEXPECTED: injections fired but had no "
+                             "effect)")))
+        else:
+            print("recovered output is "
+                  + ("bit-identical to the fault-free sweep"
+                     if identical else "NOT bit-identical — recovery BUG"))
+
+    if args.record:
+        from repro import telemetry
+
+        rec = telemetry.run_record(
+            k.name,
+            counters=None if out is None else events,
+            faults=report,
+            extra={
+                "command": "chaos run",
+                "size": args.size,
+                "seed": args.seed,
+                "shards": args.shards,
+                "verify": verify or "off",
+                "plan_key": compiled.key,
+                "fault_plan": [str(s) for s in plan.specs],
+                "output_bit_identical": bool(identical),
+                "exit_code": rc,
+            },
+        )
+        telemetry.validate_run_record(rec)
+        path = telemetry.write_run_record(args.record, rec)
+        if not args.json:
+            print(f"run record written to {path}")
+    return rc
+
+
+def _lowering_checksum_footprint(compiled) -> dict:
+    from repro.core.lowering import checksum_footprint
+
+    return checksum_footprint(compiled.lowered)
+
+
+def _cmd_chaos_report(paths: list[str], as_json: bool) -> int:
+    """Print the ``faults`` sections of run-record files."""
+    import json
+    import pathlib
+
+    from repro import telemetry
+
+    rc = 0
+    docs = []
+    for path in paths:
+        try:
+            record = json.loads(pathlib.Path(path).read_text())
+            telemetry.validate_run_record(record)
+        except (OSError, json.JSONDecodeError, telemetry.TelemetryError) as exc:
+            print(f"{path}: INVALID — {exc}", file=sys.stderr)
+            rc = 1
+            continue
+        faults = record.get("faults")
+        docs.append({"path": path, "name": record.get("name"),
+                     "faults": faults})
+        if as_json:
+            continue
+        print(f"{path}: {record.get('name')}")
+        if faults is None:
+            print("  (no faults section — v1 record or fault-free run)")
+            continue
+        for key in ("injected", "detected", "recovered", "retries", "shard"):
+            section = faults.get(key)
+            if isinstance(section, dict):
+                body = "  ".join(f"{k}={v}" for k, v in section.items())
+                print(f"  {key:<12} {body}")
+        print(f"  {'total':<12} injected={faults.get('injected_total', 0)}  "
+              f"unrecovered={faults.get('unrecovered', 0)}")
+    if as_json:
+        print(json.dumps(docs, indent=1, sort_keys=True))
+    return rc
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "kernels":
         return _cmd_kernels()
@@ -981,6 +1181,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_convergence(args.resolutions)
     if args.command == "codegen":
         return _cmd_codegen(args.kernel, args.output, args.no_bvs)
+    if args.command == "chaos":
+        if args.chaos_command == "run":
+            return _cmd_chaos_run(args)
+        return _cmd_chaos_report(args.paths, args.json)
     if args.command == "trace":
         return _cmd_trace(args.kernel, args.limit)
     if args.command == "verify":

@@ -146,12 +146,17 @@ class LoRAStencil1D:
         block: int = DEFAULT_BLOCK_1D,
         oracle: bool = False,
         profiler=None,
+        verify=None,
+        policy=None,
+        report=None,
     ) -> tuple[np.ndarray, EventCounters]:
         """Warp-level execution; returns ``(interior, counters)``.
 
         Sweeps through the shared block-sweep driver as a ``1 x n``
         grid; ``oracle=True`` computes tiles with the eager accumulator
-        chain instead of the lowered program.
+        chain instead of the lowered program.  ``verify="abft"``
+        checksum-verifies tiles/stagings with recovery bounded by
+        ``policy``, counting into ``report`` (see :mod:`repro.faults`).
         """
         padded = np.asarray(padded, dtype=np.float64)
         if padded.ndim != 1:
@@ -172,12 +177,20 @@ class LoRAStencil1D:
             ndim=1,
             shape_label=str(n),
         )
+        guard = None
+        if verify:
+            from repro.faults.abft import make_guard
+
+            guard = make_guard(
+                self, verify, policy=policy, report=report, label="1d"
+            )
         out, events = run_block_sweep(
             padded.reshape(1, -1),
             spec,
             self.tile_source(oracle=oracle, profiler=profiler),
             device=device,
             profiler=profiler,
+            guard=guard,
         )
         return out.reshape(-1), events
 

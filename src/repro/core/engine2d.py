@@ -175,6 +175,9 @@ class LoRAStencil2D:
         block: tuple[int, int] | None = None,
         oracle: bool = False,
         profiler=None,
+        verify=None,
+        policy=None,
+        report=None,
     ) -> tuple[np.ndarray, EventCounters]:
         """Warp-level execution on the TCU simulator.
 
@@ -183,7 +186,10 @@ class LoRAStencil2D:
         tile computation instead of the lowered program (identical by
         the schedule-equivalence guarantee; kept as the oracle).
         ``profiler`` opts into per-instruction attribution (see
-        :mod:`repro.telemetry.perf`).
+        :mod:`repro.telemetry.perf`).  ``verify="abft"`` checksum-
+        verifies every tile and staging copy with recovery bounded by
+        ``policy`` (a :class:`repro.faults.RecoveryPolicy`), counting
+        into ``report`` (a :class:`repro.faults.FaultReport`).
         """
         padded, (rows, cols) = validate_padded(padded, 2, self.radius)
         t = self.tile
@@ -196,12 +202,20 @@ class LoRAStencil2D:
             ndim=2,
             shape_label=f"{rows}x{cols}",
         )
+        guard = None
+        if verify:
+            from repro.faults.abft import make_guard
+
+            guard = make_guard(
+                self, verify, policy=policy, report=report, label="2d"
+            )
         return run_block_sweep(
             padded,
             spec,
             self.tile_source(oracle=oracle, profiler=profiler),
             device=device,
             profiler=profiler,
+            guard=guard,
         )
 
     # ------------------------------------------------------------------

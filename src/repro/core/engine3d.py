@@ -142,6 +142,9 @@ class LoRAStencil3D:
         block: tuple[int, int] | None = None,
         oracle: bool = False,
         profiler=None,
+        verify=None,
+        policy=None,
+        report=None,
     ) -> tuple[np.ndarray, EventCounters]:
         """Warp-level execution; returns ``(interior, counters)``.
 
@@ -152,7 +155,9 @@ class LoRAStencil3D:
         dual-unit split).  ``oracle=True`` runs every plane engine on
         its eager tile path instead.  ``profiler`` is threaded into
         every plane engine's sweep; the point-wise plane traffic lands
-        in the profile's driver residue.
+        in the profile's driver residue.  ``verify``/``policy``/
+        ``report`` thread into every plane engine's guarded sweep (the
+        point-wise planes carry no MM chain to checksum).
         """
         padded = np.asarray(padded, dtype=np.float64)
         if padded.ndim != 3:
@@ -193,6 +198,9 @@ class LoRAStencil3D:
                             block=block,
                             oracle=oracle,
                             profiler=profiler,
+                            verify=verify,
+                            policy=policy,
+                            report=report,
                         )
                         warp.cuda_core_axpy(out[z], 1.0, tile)
             gmem_out = device.global_array(np.zeros_like(out), name="output")

@@ -57,6 +57,7 @@ __all__ = [
     "register_schedule",
     "get_schedule",
     "available_schedules",
+    "checksum_footprint",
 ]
 
 # ---------------------------------------------------------------------------
@@ -357,6 +358,51 @@ def _bind(engine, lowered: LoweredProgram) -> None:
                 task.engine.bind_lowered(tile)
     else:
         engine.bind_lowered(lowered.tile)
+
+
+def checksum_footprint(lowered: LoweredProgram | LoweredTile) -> dict:
+    """Modeled hardware cost of carrying ABFT checksum rows (Eq. 12 chain).
+
+    On real ``m8n8k4`` tensor cores the Huang–Abraham encoding rides as
+    one extra accumulator row inside each MMA of the rank-1 chain: the
+    checksum row ``e·U_k`` joins the 8-row A fragment, so each ``mma``/
+    ``mma2`` instruction computes ``M + 1`` output rows instead of
+    ``M``.  This helper prices that from the scheduled program alone —
+    no execution — for the chaos CLI, the overhead benchmark and
+    ``docs/robustness.md``:
+
+    * ``mma_instrs`` — MMAs in the chain (``mma`` + ``mma2`` opcodes);
+    * ``baseline_rows`` / ``checksum_rows`` — accumulator rows computed
+      without / additionally-with the encoding;
+    * ``overhead_fraction`` — ``checksum_rows / baseline_rows``, the
+      classic ``1/M`` ABFT bound (0.125 for the FP64 ``m8n8k4`` shape).
+
+    The FP64 *simulator* instead verifies by oracle replay at
+    tolerance 0 (see :mod:`repro.faults.abft`); this footprint is the
+    cost the hardware formulation would add.
+    """
+    from repro.tcu.layouts import FP64_FRAGMENT_SHAPES, FragmentKind
+
+    tiles: tuple[LoweredTile | None, ...]
+    if isinstance(lowered, LoweredTile):
+        tiles = (lowered,)
+    else:
+        tiles = lowered.tiles
+    m_rows = FP64_FRAGMENT_SHAPES[FragmentKind.ACC][0]
+    n_mma = 0
+    for t in tiles:
+        if t is None:
+            continue
+        counts = t.op_counts()
+        n_mma += counts.get("mma", 0) + counts.get("mma2", 0)
+    baseline = n_mma * m_rows
+    return {
+        "mma_instrs": n_mma,
+        "mma_rows": m_rows,
+        "baseline_rows": baseline,
+        "checksum_rows": n_mma,
+        "overhead_fraction": (n_mma / baseline) if baseline else 0.0,
+    }
 
 
 def lower_engine(engine) -> LoweredTile | None:

@@ -114,6 +114,7 @@ def run_block_sweep(
     compute_tile: TileProvider,
     device: Device | None = None,
     profiler=None,
+    guard=None,
 ) -> tuple[np.ndarray, EventCounters]:
     """Sweep one grid block by block; returns ``(interior, counters)``.
 
@@ -130,8 +131,18 @@ def run_block_sweep(
     receives the sweep's geometry and event total here
     (``note_sweep``); per-instruction attribution happens inside the
     tile provider, which closes over the same profiler.
+
+    Fault tolerance rides on two optional hooks: a fault injector
+    attached to the device (``Device(injector=...)``) is offered every
+    staging copy (``on_stage``; warp-level MMA injection happens inside
+    the tile provider's ``mma_sync`` calls), and ``guard`` (a
+    :class:`repro.faults.abft.SweepGuard`) scrubs each staged block
+    against its DRAM source and ABFT-verifies each computed tile,
+    recovering per its policy.  Both default to ``None`` and cost one
+    ``is not None`` check each on the unguarded path.
     """
     device = device or Device()
+    injector = getattr(device, "injector", None)
     start = device.snapshot()
     warp = device.warp()
     rows, cols = spec.interior
@@ -153,18 +164,53 @@ def run_block_sweep(
                 avail_r = min(smem_shape[0], padded2d.shape[0] - br)
                 avail_c = min(smem_shape[1], padded2d.shape[1] - bc)
                 if avail_r > 0 and avail_c > 0:
-                    gmem_in.copy_to_shared(
-                        (slice(br, br + avail_r), slice(bc, bc + avail_c)),
-                        smem,
-                        0,
-                        0,
-                        use_async=spec.use_async_copy,
+                    stage_site = (
+                        injector.stage_site() if injector is not None else None
                     )
+
+                    def _stage(
+                        smem=smem,
+                        br=br,
+                        bc=bc,
+                        ar=avail_r,
+                        ac=avail_c,
+                        site=stage_site,
+                    ):
+                        gmem_in.copy_to_shared(
+                            (slice(br, br + ar), slice(bc, bc + ac)),
+                            smem,
+                            0,
+                            0,
+                            use_async=spec.use_async_copy,
+                        )
+                        if injector is not None:
+                            injector.on_stage(smem, ar, ac, site=site)
+
+                    _stage()
+                    if guard is not None:
+                        guard.check_stage(
+                            smem, padded2d, br, bc, avail_r, avail_c, _stage
+                        )
                 r_lim = min(block_r, rows - br)
                 c_lim = min(block_c, cols - bc)
                 for tr in range(0, r_lim, t_r):
                     for tc in range(0, c_lim, t_c):
+                        mark = (
+                            injector.mma_mark()
+                            if injector is not None
+                            else None
+                        )
                         out_tile = compute_tile(warp, smem, tr, tc)
+                        if guard is not None:
+                            out_tile = guard.check_tile(
+                                out_tile,
+                                compute_tile,
+                                warp,
+                                smem,
+                                tr,
+                                tc,
+                                mma_mark=mark,
+                            )
                         vr = min(t_r, rows - (br + tr))
                         vc = min(t_c, cols - (bc + tc))
                         gmem_out.write(

@@ -24,8 +24,11 @@ __all__ = [
     "KernelNotFoundError",
     "DecompositionError",
     "ShapeError",
+    "InputValidationError",
     "LoweringError",
     "PerfError",
+    "ExecutionError",
+    "FaultError",
 ]
 
 
@@ -57,3 +60,26 @@ class PerfError(ReproError, ValueError):
     """The performance observatory cannot fulfil a request: profiling a
     path with no tensor-core program, fidelity attribution outside the
     2D RDG model, a regression check without a baseline, …"""
+
+
+class InputValidationError(ReproError, ValueError):
+    """An input grid carries values the pipeline must not ingest
+    (NaN/Inf poison), or an execution-mode argument is malformed.
+
+    Sibling of :class:`ShapeError`: the *shape* is fine but the
+    *contents* are not.  Raised before any sweep starts, so poison
+    never propagates silently through a matrix chain."""
+
+
+class ExecutionError(ReproError, RuntimeError):
+    """A batch/shard worker failed; the message carries the shard or
+    grid index and row range so the failure is attributable without
+    digging through a raw future traceback."""
+
+
+class FaultError(ReproError, RuntimeError):
+    """Fault recovery was exhausted: a corrupted tile or shard could
+    not be recomputed within the recovery policy's retry budget.
+
+    The sweep raises instead of returning — callers never observe a
+    silently wrong result or a partial grid."""

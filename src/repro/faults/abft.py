@@ -1,0 +1,256 @@
+"""ABFT verification and tile-level recovery for block sweeps.
+
+The paper's central identity — a stencil tile is exactly the matrix
+chain ``Y = Σ_k U_k X V_k`` (Eq. 12's operand set) — makes the classic
+Huang–Abraham algorithm-based fault tolerance apply verbatim: with a
+checksum row ``e = (1, …, 1)``,
+
+    e · (Σ_k U_k X V_k)  =  Σ_k ((e · U_k) X) V_k,
+
+so a checksum row carried through the same rank-1 chain must equal the
+column sums of the produced tile, and any corrupted accumulator shows
+up as a checksum mismatch.  On real hardware the checksum row rides as
+one extra row inside the same MMAs (``O(1/m)`` overhead) and the
+comparison needs a rounding tolerance.  On this FP64 *simulator* we can
+do better: the schedule-equivalence guarantee (eager oracle path and
+lowered-program interpretation are bit-identical — pinned by
+``tests/properties/test_schedule_equivalence.py``) means the checksum
+reference can be recomputed through the oracle chain on a scratch warp
+and compared at **tolerance 0** — a fault-free sweep never false-
+positives, and any corruption that alters a row/column sum is caught
+with certainty.
+
+:class:`SweepGuard` packages verification with the recovery ladder of
+:func:`repro.core.sweep.run_block_sweep`:
+
+* staged shared-memory blocks are scrubbed against their DRAM source
+  (catches corrupted tile loads, dropped ``cp.async`` commit groups,
+  and NaN poison) with bounded re-staging;
+* computed tiles are checksum-verified; a mismatch triggers bounded
+  recomputation, then the oracle-path fallback, then a typed
+  :class:`~repro.errors.FaultError` — never a silently wrong tile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import FaultError, InputValidationError
+from repro.faults.report import FaultReport
+from repro.tcu.counters import EventCounters
+from repro.tcu.warp import Warp
+
+__all__ = [
+    "VERIFY_MODES",
+    "RecoveryPolicy",
+    "SweepGuard",
+    "make_guard",
+    "tile_checksums",
+    "term_checksum_vectors",
+]
+
+#: Supported values of the ``verify=`` execution-mode argument.
+VERIFY_MODES = ("abft",)
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Bounds on the self-healing machinery.
+
+    ``max_tile_retries`` recomputations per corrupted tile (then the
+    oracle fallback if ``oracle_fallback``, then
+    :class:`~repro.errors.FaultError`); ``max_restages`` re-issues of a
+    corrupted shared-memory staging copy; ``shard_retries`` resubmits
+    of a crashed/hung shard with exponential backoff starting at
+    ``backoff_base_s`` and capped at ``backoff_cap_s``;
+    ``shard_timeout_s`` per-shard wall-clock budget (``None`` = wait
+    forever); ``inline_fallback`` recomputes an exhausted shard in the
+    calling thread as graceful degradation before giving up.
+    """
+
+    max_tile_retries: int = 2
+    oracle_fallback: bool = True
+    max_restages: int = 2
+    shard_retries: int = 2
+    shard_timeout_s: float | None = None
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 1.0
+    inline_fallback: bool = True
+
+
+def validate_verify_mode(verify) -> str | None:
+    """Normalize the ``verify=`` argument (``None``/``False`` off)."""
+    if verify is None or verify is False:
+        return None
+    if verify is True:
+        return "abft"
+    if verify in VERIFY_MODES:
+        return verify
+    raise InputValidationError(
+        f"unknown verify mode {verify!r}; expected one of {VERIFY_MODES}"
+    )
+
+
+def tile_checksums(tile: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """The Huang–Abraham checksum pair ``(e·Y, Y·eᵀ)`` of one tile."""
+    return np.sum(tile, axis=0), np.sum(tile, axis=1)
+
+
+def _checksums_equal(tile: np.ndarray, ref: np.ndarray) -> bool:
+    """Tolerance-0 checksum comparison (NaN/Inf never compare equal)."""
+    col, row = tile_checksums(tile)
+    col_ref, row_ref = tile_checksums(ref)
+    return np.array_equal(col, col_ref) and np.array_equal(row, row_ref)
+
+
+def term_checksum_vectors(
+    u_matrices, v_matrices
+) -> list[dict[str, np.ndarray]]:
+    """Per-term ABFT checksum vectors ``e·U_k`` and ``V_k·eᵀ``.
+
+    Given the banded gather matrices of each rank-1 term, these are the
+    column sums of ``U_k`` and the row sums of ``V_k`` — the vectors
+    the hardware formulation carries through the chain.  Exposed for
+    inspection (``repro chaos``/``plan.abft_checksums()``); the
+    simulator's tolerance-0 verification recomputes the checksums
+    through the oracle chain instead (see the module docstring).
+    """
+    return [
+        {
+            "eU": np.asarray(u, dtype=np.float64).sum(axis=0),
+            "Ve": np.asarray(v, dtype=np.float64).sum(axis=1),
+        }
+        for u, v in zip(u_matrices, v_matrices)
+    ]
+
+
+class SweepGuard:
+    """Verification + recovery hooks for one guarded block sweep.
+
+    ``reference`` is the engine's *oracle* tile provider
+    (``tile_source(oracle=True)``); the guard replays it on a private
+    scratch warp with its own counter ledger, so the reference is
+    immune to warp-level injection and the device's event footprint
+    only grows by genuine recovery work (retries/restages).
+    """
+
+    def __init__(
+        self,
+        reference: Callable[..., np.ndarray],
+        policy: RecoveryPolicy | None = None,
+        report: FaultReport | None = None,
+        label: str = "",
+    ) -> None:
+        self.reference = reference
+        self.policy = policy or RecoveryPolicy()
+        self.report = report if report is not None else FaultReport()
+        self.label = label
+        self._scratch = Warp(EventCounters())
+
+    # ------------------------------------------------------------------
+    # staged shared memory: scrub against the DRAM source
+    # ------------------------------------------------------------------
+    def check_stage(
+        self,
+        smem,
+        padded2d: np.ndarray,
+        br: int,
+        bc: int,
+        avail_r: int,
+        avail_c: int,
+        restage: Callable[[], None],
+    ) -> None:
+        """Verify a staging copy; re-stage (bounded) on corruption."""
+        source = padded2d[br : br + avail_r, bc : bc + avail_c]
+
+        def _clean() -> bool:
+            return np.array_equal(smem.data[:avail_r, :avail_c], source)
+
+        if _clean():
+            return
+        self.report.bump("stage_detections")
+        for _ in range(self.policy.max_restages):
+            self.report.bump("restages")
+            restage()
+            if _clean():
+                self.report.bump("stage_recoveries")
+                return
+        self.report.bump("unrecovered")
+        raise FaultError(
+            f"shared-memory staging at block ({br}, {bc}) stayed corrupted "
+            f"after {self.policy.max_restages} re-stage attempts"
+        )
+
+    # ------------------------------------------------------------------
+    # computed tiles: ABFT checksum verify + recompute ladder
+    # ------------------------------------------------------------------
+    def check_tile(
+        self,
+        out_tile: np.ndarray,
+        compute_tile: Callable[..., np.ndarray],
+        warp,
+        smem,
+        tr: int,
+        tc: int,
+        mma_mark: int | None = None,
+    ) -> np.ndarray:
+        """Verify one tile's checksums; recover or raise on mismatch.
+
+        ``mma_mark`` is the injector's MMA ordinal at the start of the
+        original tile computation: each recovery replay seeks the clock
+        back there, so the replay traverses the *same* fault sites —
+        one-shot faults stay spent (a retry is clean), sticky faults
+        re-fire (and eventually exhaust the ladder), and faults armed
+        for later sites are not consumed early.
+        """
+        ref = self.reference(self._scratch, smem, tr, tc)
+        if _checksums_equal(out_tile, ref):
+            return out_tile
+        self.report.bump("tile_detections")
+        injector = getattr(warp, "injector", None)
+
+        def _seek() -> None:
+            if injector is not None and mma_mark is not None:
+                injector.mma_seek(mma_mark)
+
+        for _ in range(self.policy.max_tile_retries):
+            self.report.bump("tile_retries")
+            _seek()
+            candidate = compute_tile(warp, smem, tr, tc)
+            if _checksums_equal(candidate, ref):
+                self.report.bump("tile_recoveries")
+                return candidate
+        if self.policy.oracle_fallback:
+            _seek()
+            candidate = self.reference(warp, smem, tr, tc)
+            if _checksums_equal(candidate, ref):
+                self.report.bump("oracle_fallbacks")
+                return candidate
+        self.report.bump("unrecovered")
+        raise FaultError(
+            f"tile at block-local ({tr}, {tc}) failed ABFT verification "
+            f"after {self.policy.max_tile_retries} recomputations"
+            + (" and the oracle fallback" if self.policy.oracle_fallback else "")
+        )
+
+
+def make_guard(
+    engine,
+    verify,
+    policy: RecoveryPolicy | None = None,
+    report: FaultReport | None = None,
+    label: str = "",
+) -> SweepGuard | None:
+    """Build a :class:`SweepGuard` for an engine, or ``None`` if off."""
+    mode = validate_verify_mode(verify)
+    if mode is None:
+        return None
+    return SweepGuard(
+        engine.tile_source(oracle=True),
+        policy=policy,
+        report=report,
+        label=label,
+    )

@@ -27,18 +27,42 @@ the seams, which is the true cost of sharding.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Sequence
 
 import numpy as np
 
-from repro.errors import ShapeError
+from repro.errors import (
+    ExecutionError,
+    FaultError,
+    InputValidationError,
+    ReproError,
+    ShapeError,
+)
 from repro.runtime.plan import StencilPlan
 from repro.tcu.counters import EventCounters
 from repro.tcu.device import Device
 from repro.telemetry.spans import TRACER
 
 __all__ = ["Runtime"]
+
+
+def _validate_finite(arr: np.ndarray, what: str = "input grid") -> None:
+    """Reject NaN/Inf poison before it enters a sweep.
+
+    Raises :class:`~repro.errors.InputValidationError` (the
+    :class:`~repro.errors.ShapeError` sibling: the shape is fine, the
+    contents are not) so poison is attributable to the caller instead
+    of surfacing as a silently-NaN interior ten layers down.
+    """
+    if not np.isfinite(arr).all():
+        bad = int(arr.size - np.count_nonzero(np.isfinite(arr)))
+        raise InputValidationError(
+            f"{what} contains {bad} non-finite value(s) (NaN/Inf); "
+            "sanitize inputs before applying the stencil"
+        )
 
 
 def _shard_bounds(n: int, shards: int, align: int) -> list[tuple[int, int]]:
@@ -63,12 +87,18 @@ class Runtime:
 
     def __init__(self, plan: StencilPlan) -> None:
         self.plan = plan
+        #: the :class:`repro.faults.FaultReport` of the most recent
+        #: guarded/supervised execution (``None`` when fault tolerance
+        #: was off)
+        self.last_fault_report = None
 
     # ------------------------------------------------------------------
     # functional paths
     # ------------------------------------------------------------------
     def apply(self, padded: np.ndarray) -> np.ndarray:
         """Apply the plan to one padded grid; returns the interior."""
+        padded = np.asarray(padded, dtype=np.float64)
+        _validate_finite(padded)
         return self.plan.engine.apply(padded)
 
     def apply_batch(self, grids: Sequence[np.ndarray] | np.ndarray) -> np.ndarray:
@@ -100,7 +130,20 @@ class Runtime:
         """
         batch = self._stack(grids)
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            outs = list(pool.map(self.plan.engine.apply, batch))
+            futures = [
+                pool.submit(self.plan.engine.apply, grid) for grid in batch
+            ]
+            outs = []
+            for i, future in enumerate(futures):
+                try:
+                    outs.append(future.result())
+                except ReproError:
+                    raise
+                except Exception as exc:
+                    raise ExecutionError(
+                        f"grid {i} of {len(futures)} in threaded batch "
+                        f"failed: {exc}"
+                    ) from exc
         return np.stack(outs)
 
     # ------------------------------------------------------------------
@@ -112,6 +155,10 @@ class Runtime:
         device: Device | None = None,
         oracle: bool = False,
         profiler=None,
+        verify=None,
+        faults=None,
+        policy=None,
+        report=None,
     ) -> tuple[np.ndarray, EventCounters]:
         """One faithful TCU sweep; returns ``(interior, counters)``.
 
@@ -121,9 +168,41 @@ class Runtime:
         against — results are guaranteed bit-identical).  ``profiler``
         opts into per-instruction attribution (see
         :mod:`repro.telemetry.perf`).
+
+        ``verify="abft"`` checksum-verifies every tile and staging copy
+        (tolerance 0) with recovery bounded by ``policy`` (a
+        :class:`repro.faults.RecoveryPolicy`); ``faults`` (a
+        :class:`repro.faults.FaultPlan` or armed
+        :class:`repro.faults.FaultInjector`) injects deterministic
+        corruption; both tally into ``report`` (a
+        :class:`repro.faults.FaultReport`).
         """
+        padded = np.asarray(padded, dtype=np.float64)
+        _validate_finite(padded)
+        if faults is not None:
+            from repro.faults import as_injector
+
+            injector = as_injector(faults)
+            if device is None:
+                device = Device(injector=injector)
+            else:
+                device.injector = injector
+            if report is None:
+                report = injector.report
+        if verify and report is None:
+            from repro.faults import FaultReport
+
+            report = FaultReport()
+        if report is not None:
+            self.last_fault_report = report
         return self.plan.engine.apply_simulated(
-            padded, device=device, oracle=oracle, profiler=profiler
+            padded,
+            device=device,
+            oracle=oracle,
+            profiler=profiler,
+            verify=verify,
+            policy=policy,
+            report=report,
         )
 
     def apply_simulated_batch(
@@ -150,7 +229,21 @@ class Runtime:
                 return out, counters
 
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            results = list(pool.map(_run_grid, enumerate(batch)))
+            futures = [
+                pool.submit(_run_grid, (i, grid))
+                for i, grid in enumerate(batch)
+            ]
+            results = []
+            for i, future in enumerate(futures):
+                try:
+                    results.append(future.result())
+                except ReproError:
+                    raise
+                except Exception as exc:
+                    raise ExecutionError(
+                        f"grid {i} of {len(futures)} in simulated batch "
+                        f"failed: {exc}"
+                    ) from exc
         outs = np.stack([out for out, _ in results])
         merged = EventCounters()
         for _, counters in results:
@@ -162,6 +255,10 @@ class Runtime:
         padded: np.ndarray,
         shards: int = 2,
         max_workers: int | None = None,
+        verify=None,
+        faults=None,
+        policy=None,
+        report=None,
     ) -> tuple[np.ndarray, EventCounters]:
         """One grid's simulated sweep, tile-sharded along the first axis.
 
@@ -170,12 +267,23 @@ class Runtime:
         sub-grid on a private device, and the per-shard counters merge
         into one footprint.  With ``shards=1`` this is exactly
         :meth:`apply_simulated`.
+
+        Workers are not treated as infallible: any worker exception is
+        wrapped in a typed :class:`~repro.errors.ExecutionError`
+        carrying the shard index and row range.  When fault tolerance
+        is active (``verify``/``faults``/``policy`` given), shards are
+        *supervised*: a crashed worker or one exceeding the policy's
+        per-shard timeout is resubmitted with capped exponential
+        backoff, then recomputed inline in the calling thread as
+        graceful degradation; only an exhausted policy raises a typed
+        :class:`~repro.errors.FaultError` — never a partial grid.
         """
         padded = np.asarray(padded, dtype=np.float64)
         if padded.ndim != self.plan.ndim:
             raise ShapeError(
                 f"expected {self.plan.ndim}D input, got {padded.ndim}D"
             )
+        _validate_finite(padded)
         h = self.plan.radius
         n0 = padded.shape[0] - 2 * h
         if n0 <= 0:
@@ -185,8 +293,26 @@ class Runtime:
         bounds = _shard_bounds(n0, shards, self._shard_align())
         parent = TRACER.current()
 
-        def _run(item: tuple[int, tuple[int, int]]):
-            i, (s0, s1) = item
+        injector = None
+        if faults is not None:
+            from repro.faults import as_injector
+
+            injector = as_injector(faults)
+            if report is None:
+                report = injector.report
+        supervised = (
+            injector is not None or bool(verify) or policy is not None
+        )
+        if supervised:
+            from repro.faults import FaultReport, RecoveryPolicy
+
+            policy = policy or RecoveryPolicy()
+            report = report if report is not None else FaultReport()
+        self.last_fault_report = report
+
+        def _worker(i: int, s0: int, s1: int):
+            if injector is not None:
+                injector.on_shard(i)
             sub = padded[s0 : s1 + 2 * h]
             with TRACER.span(
                 "runtime.shard",
@@ -195,17 +321,125 @@ class Runtime:
                 shard=i,
                 rows=f"{s0}:{s1}",
             ) as sp:
-                out, counters = self.apply_simulated(sub, device=Device())
+                device = Device(injector=injector)
+                out, counters = self.plan.engine.apply_simulated(
+                    sub,
+                    device=device,
+                    verify=verify,
+                    policy=policy,
+                    report=report,
+                )
                 sp.add_events(counters)
                 return out, counters
 
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            results = list(pool.map(_run, enumerate(bounds)))
-        out = np.concatenate([out for out, _ in results], axis=0)
+        if not supervised:
+            results_list = []
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                futures = [
+                    pool.submit(_worker, i, s0, s1)
+                    for i, (s0, s1) in enumerate(bounds)
+                ]
+                for i, future in enumerate(futures):
+                    s0, s1 = bounds[i]
+                    try:
+                        results_list.append(future.result())
+                    except ReproError:
+                        raise
+                    except Exception as exc:
+                        raise ExecutionError(
+                            f"shard {i} of {len(bounds)} (rows {s0}:{s1}) "
+                            f"failed: {exc}"
+                        ) from exc
+            results = dict(enumerate(results_list))
+        else:
+            results = self._supervise_shards(bounds, _worker, policy, report, max_workers)
+
+        out = np.concatenate(
+            [results[i][0] for i in range(len(bounds))], axis=0
+        )
         merged = EventCounters()
-        for _, counters in results:
-            merged += counters
+        for i in range(len(bounds)):
+            merged += results[i][1]
         return out, merged
+
+    def _supervise_shards(
+        self, bounds, worker, policy, report, max_workers
+    ) -> dict[int, tuple]:
+        """Run shard workers under the recovery policy.
+
+        Timeout/crash → capped exponential-backoff resubmission
+        (``policy.shard_retries`` rounds) → inline recomputation in the
+        calling thread → typed :class:`~repro.errors.FaultError`.
+        """
+        results: dict[int, tuple] = {}
+        pending = dict(enumerate(bounds))
+        failed_ever: set[int] = set()
+        attempt = 0
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            while pending:
+                futures = {
+                    i: pool.submit(worker, i, *pending[i])
+                    for i in sorted(pending)
+                }
+                failed: dict[int, tuple[int, int]] = {}
+                for i, future in sorted(futures.items()):
+                    s0, s1 = pending[i]
+                    try:
+                        results[i] = future.result(
+                            timeout=policy.shard_timeout_s
+                        )
+                        if i in failed_ever:
+                            report.bump("shard_recoveries")
+                    except FutureTimeoutError:
+                        report.bump("shard_timeouts")
+                        failed[i] = (s0, s1)
+                    except FaultError:
+                        # injected crash, or a shard whose own recovery
+                        # ladder was exhausted — worth a fresh attempt
+                        report.bump("shard_crashes")
+                        failed[i] = (s0, s1)
+                    except ReproError:
+                        raise
+                    except Exception as exc:
+                        raise ExecutionError(
+                            f"shard {i} of {len(bounds)} (rows {s0}:{s1}) "
+                            f"failed: {exc}"
+                        ) from exc
+                failed_ever.update(failed)
+                pending = failed
+                if not pending:
+                    break
+                if attempt >= policy.shard_retries:
+                    break
+                delay = min(
+                    policy.backoff_cap_s,
+                    policy.backoff_base_s * (2.0**attempt),
+                )
+                if delay > 0:
+                    time.sleep(delay)
+                report.bump("shard_retries", len(pending))
+                attempt += 1
+        for i in sorted(pending):
+            s0, s1 = pending[i]
+            if policy.inline_fallback:
+                try:
+                    results[i] = worker(i, s0, s1)
+                    report.bump("shard_inline_recoveries")
+                    continue
+                except Exception as exc:
+                    report.bump("unrecovered")
+                    raise FaultError(
+                        f"shard {i} (rows {s0}:{s1}) failed after "
+                        f"{policy.shard_retries} backoff retries and "
+                        f"inline recomputation: {exc}"
+                    ) from exc
+            report.bump("unrecovered")
+            raise FaultError(
+                f"shard {i} (rows {s0}:{s1}) failed after "
+                f"{policy.shard_retries} backoff retries "
+                "(inline fallback disabled)"
+            )
+        return results
 
     # ------------------------------------------------------------------
     # internals
@@ -238,6 +472,7 @@ class Runtime:
             )
         if batch.shape[0] == 0:
             raise ShapeError("apply_batch needs at least one grid")
+        _validate_finite(batch, "input batch")
         return batch
 
     def _batch_1d(self, batch: np.ndarray) -> np.ndarray:

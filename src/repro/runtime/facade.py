@@ -148,6 +148,13 @@ class CompiledStencil:
                 return self.runtime.apply_batch_threaded(grids, max_workers)
             return self.runtime.apply_batch(grids)
 
+    @property
+    def last_fault_report(self):
+        """The :class:`repro.faults.FaultReport` of the most recent
+        guarded/supervised execution (``None`` if fault tolerance was
+        never active on this handle)."""
+        return self.runtime.last_fault_report
+
     def apply_simulated(
         self,
         padded: np.ndarray,
@@ -156,6 +163,9 @@ class CompiledStencil:
         max_workers: int | None = None,
         oracle: bool = False,
         profiler=None,
+        verify=None,
+        faults=None,
+        policy=None,
     ) -> tuple[np.ndarray, EventCounters]:
         """Faithful TCU sweep; returns ``(interior, counters)``.
 
@@ -168,6 +178,19 @@ class CompiledStencil:
         ``profiler`` opts the single-shard sweep into per-instruction
         attribution; the profiler accumulators are not thread-safe, so
         it cannot be combined with ``shards > 1``.
+
+        Fault tolerance (see :mod:`repro.faults` and
+        ``docs/robustness.md``): ``verify="abft"`` checksum-verifies
+        every tile and staging copy at tolerance 0, recovering
+        corrupted work under ``policy`` (a
+        :class:`repro.faults.RecoveryPolicy`, also governing shard
+        timeout/retry when sharded); ``faults`` (a
+        :class:`repro.faults.FaultPlan` or
+        :class:`repro.faults.FaultInjector`) arms deterministic fault
+        injection.  The resulting ledger is exposed as
+        :attr:`last_fault_report`, folded into the metrics registry
+        when telemetry is on, and stamped into run-records' ``faults``
+        section.
         """
         if profiler is not None and shards > 1:
             from repro.errors import PerfError
@@ -176,6 +199,15 @@ class CompiledStencil:
                 "per-instruction profiling does not support sharded "
                 "execution (profiler accumulators are per-thread)"
             )
+        fault_mode = bool(verify) or faults is not None or policy is not None
+        report = None
+        before = None
+        if fault_mode:
+            from repro.faults import FaultReport, as_injector
+
+            faults = as_injector(faults)
+            report = faults.report if faults is not None else FaultReport()
+            before = report.snapshot()
         with telemetry.span(
             "runtime.apply_simulated",
             category="runtime",
@@ -184,14 +216,34 @@ class CompiledStencil:
         ) as sp:
             if shards > 1:
                 out, events = self.runtime.apply_simulated_sharded(
-                    padded, shards=shards, max_workers=max_workers
+                    padded,
+                    shards=shards,
+                    max_workers=max_workers,
+                    verify=verify,
+                    faults=faults,
+                    policy=policy,
+                    report=report,
                 )
             else:
                 out, events = self.runtime.apply_simulated(
-                    padded, device=device, oracle=oracle, profiler=profiler
+                    padded,
+                    device=device,
+                    oracle=oracle,
+                    profiler=profiler,
+                    verify=verify,
+                    faults=faults,
+                    policy=policy,
+                    report=report,
                 )
             sp.add_events(events)
             telemetry.absorb_events(events)
+            if report is not None:
+                sp.annotate(
+                    faults_injected=report.total_injected,
+                    faults_detected=report.total_detected,
+                    faults_recovered=report.total_recovered,
+                )
+                telemetry.absorb_faults(report.delta(before))
             return out, events
 
     def profile(

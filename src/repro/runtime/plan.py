@@ -175,6 +175,29 @@ class StencilPlan:
             return ()
         return tuple(self.engine.tile._v_mats)
 
+    def abft_checksums(self) -> tuple[dict[str, np.ndarray], ...]:
+        """Per-term ABFT checksum vectors for the rank-1 MM chain.
+
+        For each rank-1 term ``U_k X V_k`` of a 2D plan, the
+        Huang–Abraham encodings ``e·U_k`` (row checksum, absorbed into
+        the left gather) and ``V_k·eᵀ`` (column checksum, absorbed into
+        the right gather): with them the checksum of the tile result is
+        one extra row/column carried through the same MMAs — the
+        hardware formulation ``docs/robustness.md`` derives from
+        Eq. 12.  2D plans only; the 1D banded chain and 3D plane split
+        have no single ``(U, V)`` pair per term.
+        """
+        if self.ndim != 2:
+            from repro.errors import PerfError
+
+            raise PerfError(
+                "ABFT checksum vectors are defined on the 2D rank-1 MM "
+                f"chain (this plan is {self.ndim}D)"
+            )
+        from repro.faults.abft import term_checksum_vectors
+
+        return term_checksum_vectors(self.u_matrices, self.v_matrices)
+
     @property
     def bvs_order(self) -> np.ndarray | None:
         """BVS row permutation applied to ``V`` (None when BVS is off)."""

@@ -19,11 +19,19 @@ __all__ = ["Device"]
 
 
 class Device:
-    """One simulated GPU context: counters + memory factories + warps."""
+    """One simulated GPU context: counters + memory factories + warps.
 
-    def __init__(self) -> None:
+    ``injector`` (a :class:`repro.faults.injector.FaultInjector`) arms
+    deterministic fault injection on every warp created from this
+    device and on the block-sweep staging copies; ``None`` (the
+    default) keeps the fast path branch-free beyond one attribute
+    check.
+    """
+
+    def __init__(self, injector=None) -> None:
         self.counters = EventCounters()
         self.peak_shared_bytes = 0
+        self.injector = injector
 
     def shared(self, shape: tuple[int, int], name: str = "smem") -> SharedMemory:
         """Allocate a shared-memory tile (per thread block)."""
@@ -36,8 +44,8 @@ class Device:
         return GlobalMemory(array, self.counters, name=name)
 
     def warp(self) -> Warp:
-        """A warp wired to this device's counters."""
-        return Warp(self.counters)
+        """A warp wired to this device's counters (and fault injector)."""
+        return Warp(self.counters, injector=self.injector)
 
     # -- measurement helpers ------------------------------------------------
     def snapshot(self) -> EventCounters:

@@ -36,10 +36,17 @@ BVS_EVEN_ODD_ORDER: tuple[int, ...] = (0, 2, 4, 6, 1, 3, 5, 7)
 
 
 class Warp:
-    """A warp of 32 threads driving one tensor core."""
+    """A warp of 32 threads driving one tensor core.
 
-    def __init__(self, counters: EventCounters) -> None:
+    ``injector`` (a :class:`repro.faults.injector.FaultInjector`) opts
+    the warp into deterministic fault injection: each ``mma_sync``
+    offers its A/B/C operands to the injector before the tensor core
+    fires.  ``None`` (the default) costs one attribute check per MMA.
+    """
+
+    def __init__(self, counters: EventCounters, injector=None) -> None:
         self.counters = counters
+        self.injector = injector
 
     # ------------------------------------------------------------------
     # fragment traffic
@@ -102,6 +109,8 @@ class Warp:
             raise TypeError(f"right operand must be a B fragment, got {b.kind}")
         if acc is not None and acc.kind is not FragmentKind.ACC:
             raise TypeError(f"accumulator must be an ACC fragment, got {acc.kind}")
+        if self.injector is not None:
+            a, b, acc = self.injector.on_mma(a, b, acc)
         self.counters.mma_ops += 1
         maybe_trace(self.counters, "mma")
         d = a.to_matrix() @ b.to_matrix()

@@ -68,6 +68,7 @@ __all__ = [
     "capture",
     "absorb_events",
     "absorb_cache_stats",
+    "absorb_faults",
     "to_chrome_trace",
     "write_chrome_trace",
     "load_chrome_trace",
@@ -146,3 +147,13 @@ def absorb_cache_stats(stats, name: str = "plan_cache") -> None:
     """Mirror plan-cache stats into the registry (if enabled)."""
     if TRACER.enabled:
         REGISTRY.absorb_cache_stats(stats, name=name)
+
+
+def absorb_faults(flat: dict) -> None:
+    """Fold a fault-report delta into the registry (if enabled).
+
+    ``flat`` is a :meth:`repro.faults.FaultReport.delta` dict; the
+    single place the instrumented facade reports fault counters from.
+    """
+    if TRACER.enabled:
+        REGISTRY.absorb_faults(flat)

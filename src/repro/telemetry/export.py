@@ -31,6 +31,7 @@ from repro.telemetry.spans import Span, Tracer, TRACER
 __all__ = [
     "CHROME_TRACE_SCHEMA",
     "RUN_RECORD_SCHEMA",
+    "RUN_RECORD_SCHEMAS",
     "FIDELITY_REPORT_SCHEMA",
     "span_to_dict",
     "to_chrome_trace",
@@ -43,8 +44,16 @@ __all__ = [
 
 #: schema identifiers embedded in (and required of) emitted documents
 CHROME_TRACE_SCHEMA = "repro.telemetry.chrome-trace/v1"
-RUN_RECORD_SCHEMA = "repro.telemetry.run-record/v1"
+RUN_RECORD_SCHEMA = "repro.telemetry.run-record/v2"
 FIDELITY_REPORT_SCHEMA = "repro.telemetry.fidelity-report/v1"
+
+#: run-record schema versions the validator accepts: v2 added the
+#: optional ``faults`` section (injection/detection/recovery ledger);
+#: v1 records (committed baselines, old histories) remain valid.
+RUN_RECORD_SCHEMAS = (
+    "repro.telemetry.run-record/v1",
+    RUN_RECORD_SCHEMA,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -205,6 +214,7 @@ def run_record(
     registry: MetricsRegistry | None = None,
     cache_stats=None,
     counters=None,
+    faults=None,
     extra: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """One structured, schema-tagged record of a run.
@@ -212,8 +222,11 @@ def run_record(
     The record is self-describing (``schema`` key) and deliberately
     flat: ``spans`` is the serialized span forest (empty when tracing
     was off), ``metrics`` the registry snapshot, ``cache`` the plan-
-    cache stats, ``events`` a raw counter dict, and ``extra`` whatever
-    the producer wants stamped (artifact paths, CLI args, figures).
+    cache stats, ``events`` a raw counter dict, ``faults`` the
+    injection/detection/recovery ledger (a
+    :class:`repro.faults.FaultReport` or its ``as_dict()``), and
+    ``extra`` whatever the producer wants stamped (artifact paths, CLI
+    args, figures).
     """
     from repro.tcu.trace import recorder_stats
 
@@ -240,6 +253,10 @@ def run_record(
     if counters is not None:
         record["events"] = (
             counters if isinstance(counters, dict) else counters.as_dict()
+        )
+    if faults is not None:
+        record["faults"] = (
+            faults if isinstance(faults, dict) else faults.as_dict()
         )
     record["extra"] = {k: _jsonable(v) for k, v in (extra or {}).items()}
     return record

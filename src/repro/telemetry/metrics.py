@@ -232,6 +232,21 @@ class MetricsRegistry:
                     help=f"simulated hardware events: {field}",
                 ).inc(value)
 
+    def absorb_faults(self, flat: dict) -> None:
+        """Fold a flat fault-counter delta into same-named counters.
+
+        ``flat`` is a :meth:`repro.faults.FaultReport.delta` (or
+        ``flatten``) mapping metric-style names
+        (``repro_faults_injected_total``, ``..._detected_total``,
+        ``..._recovered_total``, per-kind/per-mechanism tallies) to
+        increments; zero entries are skipped.
+        """
+        for name, value in flat.items():
+            if value:
+                self.counter(
+                    name, help="fault injections / detections / recoveries"
+                ).inc(value)
+
     def absorb_cache_stats(self, stats, name: str = "plan_cache") -> None:
         """Mirror a cache-stats snapshot into ``repro_<name>_*`` gauges.
 

@@ -25,6 +25,7 @@ from repro.telemetry.export import (
     CHROME_TRACE_SCHEMA,
     FIDELITY_REPORT_SCHEMA,
     RUN_RECORD_SCHEMA,
+    RUN_RECORD_SCHEMAS,
 )
 
 __all__ = [
@@ -79,13 +80,34 @@ def validate_span_dict(span: Any, path: str = "span") -> None:
         validate_span_dict(child, f"{path}.children[{i}]")
 
 
+def _validate_faults_section(faults: Any, path: str = "record.faults") -> None:
+    """Validate the optional ``faults`` ledger (run-record v2).
+
+    Shape: a dict of counters, where each value is either a number or
+    one nesting level of ``{kind: number}`` (the per-kind/per-mechanism
+    breakdowns :meth:`repro.faults.FaultReport.as_dict` produces).
+    """
+    _require_type(faults, dict, path)
+    for key, value in faults.items():
+        sub = f"{path}[{key!r}]"
+        if isinstance(value, dict):
+            for k, v in value.items():
+                _require_type(v, (int, float), f"{sub}[{k!r}]")
+        else:
+            _require_type(value, (int, float), sub)
+
+
 def validate_run_record(record: Any) -> None:
-    """Validate a run-record against :data:`RUN_RECORD_SCHEMA`."""
+    """Validate a run-record against :data:`RUN_RECORD_SCHEMAS`.
+
+    Both v1 records (no ``faults`` section) and v2 records are
+    accepted; committed baselines and perf histories predate v2.
+    """
     _require_type(record, dict, "record")
     _require(
-        record.get("schema") == RUN_RECORD_SCHEMA,
+        record.get("schema") in RUN_RECORD_SCHEMAS,
         "record.schema",
-        f"expected {RUN_RECORD_SCHEMA!r}, got {record.get('schema')!r}",
+        f"expected one of {RUN_RECORD_SCHEMAS!r}, got {record.get('schema')!r}",
     )
     for key, types in (
         ("name", str),
@@ -140,6 +162,9 @@ def validate_run_record(record: Any) -> None:
             _require_type(warp, dict, "record.tracer.warp_trace")
             for k, v in warp.items():
                 _require_type(v, int, f"record.tracer.warp_trace[{k!r}]")
+    faults = record.get("faults")
+    if faults is not None:
+        _validate_faults_section(faults)
 
 
 def validate_fidelity_report(report: Any) -> None:
@@ -242,14 +267,14 @@ def validate_file(path: str | pathlib.Path) -> str:
     schema = document.get("schema") if isinstance(document, dict) else None
     if schema == CHROME_TRACE_SCHEMA:
         validate_chrome_trace(document)
-    elif schema == RUN_RECORD_SCHEMA:
+    elif schema in RUN_RECORD_SCHEMAS:
         validate_run_record(document)
     elif schema == FIDELITY_REPORT_SCHEMA:
         validate_fidelity_report(document)
     else:
         raise TelemetryError(
             f"{path}: unknown or missing schema {schema!r} (expected "
-            f"{CHROME_TRACE_SCHEMA!r}, {RUN_RECORD_SCHEMA!r} or "
+            f"{CHROME_TRACE_SCHEMA!r}, one of {RUN_RECORD_SCHEMAS!r} or "
             f"{FIDELITY_REPORT_SCHEMA!r})"
         )
     return schema

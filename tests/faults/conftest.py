@@ -1,0 +1,29 @@
+"""Shared helpers for the chaos suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.stencil.kernels import get_kernel
+
+
+@pytest.fixture(scope="module")
+def compiled_2d():
+    """One compiled 2D kernel shared by the module (plans are immutable)."""
+    return repro.compile(get_kernel("Box-2D9P").weights)
+
+
+def padded_grid(kernel_name: str, size: int = 48, seed: int = 0xC0FFEE):
+    """A seeded padded input grid following the CLI shape conventions."""
+    k = get_kernel(kernel_name)
+    rng = np.random.default_rng(seed)
+    ndim = k.weights.ndim
+    if ndim == 1:
+        shape = (size * size,)
+    elif ndim == 2:
+        shape = (size, size)
+    else:
+        shape = (min(size, 8), size, size)
+    return k, np.pad(rng.normal(size=shape), k.weights.radius)

@@ -1,0 +1,189 @@
+"""FaultInjector mechanics: bit flips, copy semantics, firing ledger."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InputValidationError
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFaultError,
+    as_injector,
+    flip_float64_bit,
+)
+from repro.tcu.counters import EventCounters
+from repro.tcu.fragment import Fragment
+from repro.tcu.layouts import FragmentKind
+from repro.tcu.memory import SharedMemory
+from repro.tcu.warp import Warp
+
+pytestmark = [
+    # corrupted operands legitimately overflow / produce NaN mid-chain
+    pytest.mark.filterwarnings("ignore:invalid value encountered:RuntimeWarning"),
+    pytest.mark.filterwarnings("ignore:overflow encountered:RuntimeWarning"),
+]
+
+
+def _injector(*specs):
+    return FaultInjector(FaultPlan(specs=tuple(specs)))
+
+
+def _fragments(rng):
+    a = Fragment.from_matrix(FragmentKind.A, rng.normal(size=(8, 4)))
+    b = Fragment.from_matrix(FragmentKind.B, rng.normal(size=(4, 8)))
+    acc = Fragment.from_matrix(FragmentKind.ACC, rng.normal(size=(8, 8)))
+    return a, b, acc
+
+
+class TestBitFlip:
+    def test_flip_is_involutive(self):
+        for v in (0.0, 1.0, -3.25, 1e300, 1e-300):
+            for bit in (0, 31, 52, 62, 63):
+                flipped = flip_float64_bit(v, bit)
+                assert flip_float64_bit(flipped, bit) == v
+
+    def test_bit62_always_large_perturbation(self):
+        # exponent MSB: the flip can never be absorbed by rounding
+        for v in (0.0, 0.5, 1.0, 1.99, 2.0, -7.0, 1234.5):
+            flipped = flip_float64_bit(v, 62)
+            assert flipped != v
+            delta = abs(flipped - v)
+            assert np.isnan(flipped) or np.isinf(flipped) or delta >= 1.5
+
+    def test_bit62_of_zero_is_two(self):
+        assert flip_float64_bit(0.0, 62) == 2.0
+
+
+class TestOnMMA:
+    def test_fires_once_at_site(self, rng):
+        inj = _injector(FaultSpec(kind="flip_a", site=2))
+        frags = _fragments(rng)
+        for i in range(5):
+            a, b, acc = inj.on_mma(*frags)
+            corrupted = not np.array_equal(
+                a.registers, frags[0].registers
+            )
+            assert corrupted == (i == 2)
+        assert [e["site"] for e in inj.events] == [2]
+        assert inj.report.total_injected == 1
+
+    def test_sticky_refires(self, rng):
+        inj = _injector(FaultSpec(kind="flip_b", site=0, sticky=True))
+        frags = _fragments(rng)
+        inj.on_mma(*frags)
+        inj.reset_thread()
+        _, b, _ = inj.on_mma(*frags)
+        assert not np.array_equal(b.registers, frags[1].registers)
+        assert inj.report.total_injected == 2
+
+    def test_original_fragments_untouched(self, rng):
+        # transient SEU model: shared weight fragments must survive
+        inj = _injector(
+            FaultSpec(kind="flip_a", site=0),
+            FaultSpec(kind="nan_acc", site=1),
+        )
+        a, b, acc = _fragments(rng)
+        snap = (a.registers.copy(), b.registers.copy(), acc.registers.copy())
+        inj.on_mma(a, b, acc)
+        inj.on_mma(a, b, acc)
+        assert np.array_equal(a.registers, snap[0])
+        assert np.array_equal(b.registers, snap[1])
+        assert np.array_equal(acc.registers, snap[2])
+
+    def test_nan_acc_poisons(self, rng):
+        inj = _injector(FaultSpec(kind="nan_acc", site=0, lane=3))
+        a, b, acc = _fragments(rng)
+        _, _, acc2 = inj.on_mma(a, b, acc)
+        assert np.isnan(acc2.registers).sum() == 1
+
+    def test_flip_acc_without_acc_hits_a(self, rng):
+        inj = _injector(FaultSpec(kind="flip_acc", site=0))
+        a, b, _ = _fragments(rng)
+        a2, _, acc2 = inj.on_mma(a, b, None)
+        assert acc2 is None
+        assert not np.array_equal(a2.registers, a.registers)
+
+    def test_warp_offers_operands(self, rng):
+        inj = _injector(FaultSpec(kind="flip_a", site=0, lane=0, reg=0))
+        warp = Warp(EventCounters(), injector=inj)
+        clean_warp = Warp(EventCounters())
+        a, b, acc = _fragments(rng)
+        d_fault = warp.mma_sync(a, b, acc)
+        d_clean = clean_warp.mma_sync(a, b, acc)
+        assert not np.array_equal(d_fault.to_matrix(), d_clean.to_matrix())
+        # counters still charge the mma
+        assert warp.counters.mma_ops == 1
+
+
+class TestOnStage:
+    def _smem(self, rng, rows=8, cols=8):
+        smem = SharedMemory((rows, cols), EventCounters())
+        smem.data[:rows, :cols] = rng.normal(size=(rows, cols))
+        return smem
+
+    def test_flip_smem(self, rng):
+        inj = _injector(FaultSpec(kind="flip_smem", site=0, lane=5))
+        smem = self._smem(rng)
+        before = smem.data.copy()
+        inj.on_stage(smem, 8, 8)
+        assert (smem.data != before).sum() == 1
+
+    def test_drop_commit_zeroes_last_group(self, rng):
+        inj = _injector(FaultSpec(kind="drop_commit", site=0))
+        smem = self._smem(rng)
+        inj.on_stage(smem, 8, 8)
+        assert np.array_equal(smem.data[6:8, :8], np.zeros((2, 8)))
+
+    def test_nan_smem(self, rng):
+        inj = _injector(FaultSpec(kind="nan_smem", site=0, lane=9))
+        smem = self._smem(rng)
+        inj.on_stage(smem, 8, 8)
+        assert np.isnan(smem.data).sum() == 1
+
+    def test_site_ordinal_counts_stagings(self, rng):
+        inj = _injector(FaultSpec(kind="flip_smem", site=2))
+        smem = self._smem(rng)
+        before = smem.data.copy()
+        inj.on_stage(smem, 8, 8)
+        inj.on_stage(smem, 8, 8)
+        assert np.array_equal(smem.data, before)
+        inj.on_stage(smem, 8, 8)
+        assert not np.array_equal(smem.data, before)
+
+
+class TestOnShard:
+    def test_crash_raises(self):
+        inj = _injector(FaultSpec(kind="shard_crash", site=1))
+        inj.on_shard(0)  # wrong shard: no fire
+        with pytest.raises(InjectedFaultError, match="shard 1"):
+            inj.on_shard(1)
+        assert inj.report.total_injected == 1
+
+    def test_hang_sleeps_and_records(self):
+        inj = _injector(FaultSpec(kind="shard_hang", site=0, hang_s=0.01))
+        inj.on_shard(0)
+        assert inj.events[0]["kind"] == "shard_hang"
+
+    def test_shard_resets_site_clocks(self, rng):
+        inj = _injector(FaultSpec(kind="flip_a", site=0, shard=1))
+        frags = _fragments(rng)
+        inj.on_shard(0)
+        a, _, _ = inj.on_mma(*frags)  # shard 0, site 0: no match
+        assert np.array_equal(a.registers, frags[0].registers)
+        inj.on_shard(1)
+        a, _, _ = inj.on_mma(*frags)  # shard 1, site 0: fires
+        assert not np.array_equal(a.registers, frags[0].registers)
+
+
+class TestAsInjector:
+    def test_coercions(self):
+        plan = FaultPlan.random(seed=0, count=1)
+        inj = FaultInjector(plan)
+        assert as_injector(None) is None
+        assert as_injector(inj) is inj
+        assert isinstance(as_injector(plan), FaultInjector)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(InputValidationError):
+            as_injector("chaos")

@@ -1,0 +1,147 @@
+"""Early NaN/Inf rejection and typed worker-exception wrapping."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import (
+    ExecutionError,
+    FaultError,
+    InputValidationError,
+    ReproError,
+    ShapeError,
+)
+from tests.faults.conftest import padded_grid
+
+
+def _compiled(kernel_name="Box-2D9P"):
+    k, x = padded_grid(kernel_name, size=32)
+    return repro.compile(k.weights), x
+
+
+class TestErrorTaxonomy:
+    def test_input_validation_error_is_shape_error_sibling(self):
+        assert issubclass(InputValidationError, ReproError)
+        assert issubclass(InputValidationError, ValueError)
+        assert issubclass(ShapeError, ValueError)
+        assert not issubclass(InputValidationError, ShapeError)
+
+    def test_execution_and_fault_errors_are_typed(self):
+        assert issubclass(ExecutionError, ReproError)
+        assert issubclass(ExecutionError, RuntimeError)
+        assert issubclass(FaultError, ReproError)
+        assert issubclass(FaultError, RuntimeError)
+
+
+class TestNonFiniteRejection:
+    @pytest.mark.parametrize("poison", [np.nan, np.inf, -np.inf])
+    def test_apply_rejects(self, poison):
+        compiled, x = _compiled()
+        x[4, 7] = poison
+        with pytest.raises(InputValidationError, match="non-finite"):
+            compiled.apply(x)
+
+    def test_apply_simulated_rejects(self):
+        compiled, x = _compiled()
+        x[0, 0] = np.nan
+        with pytest.raises(InputValidationError, match="non-finite"):
+            compiled.apply_simulated(x)
+
+    def test_apply_simulated_sharded_rejects(self):
+        compiled, x = _compiled()
+        x[10, 3] = np.inf
+        with pytest.raises(InputValidationError, match="non-finite"):
+            compiled.apply_simulated(x, shards=2)
+
+    def test_message_counts_poisoned_values(self):
+        compiled, x = _compiled()
+        x[:3, 0] = np.nan
+        with pytest.raises(InputValidationError, match="3 non-finite"):
+            compiled.apply(x)
+
+    def test_clean_grid_unaffected(self):
+        compiled, x = _compiled()
+        out = compiled.apply(x)
+        assert np.isfinite(out).all()
+
+
+class TestWorkerExceptionWrapping:
+    def test_threaded_batch_wraps_with_grid_index(self, rng):
+        compiled, x = _compiled()
+        good = [x, x.copy(), x.copy()]
+
+        # sabotage the engine for one worker via a bad grid shape is a
+        # ShapeError (ReproError, re-raised untouched); to exercise the
+        # *generic* wrap we inject a non-Repro failure through a mock
+        class Boom(RuntimeError):
+            pass
+
+        original = compiled.plan.engine.apply
+        calls = []
+
+        def sabotaged(grid):
+            calls.append(1)
+            if len(calls) == 2:
+                raise Boom("spurious")
+            return original(grid)
+
+        compiled.plan.engine.apply = sabotaged
+        try:
+            with pytest.raises(ExecutionError, match=r"grid \d of 3"):
+                compiled.runtime.apply_batch_threaded(good)
+        finally:
+            compiled.plan.engine.apply = original
+
+    def test_repro_errors_pass_through_unwrapped(self):
+        compiled, x = _compiled()
+        bad = [x, np.nan * x]
+        # the stack itself raises on the poisoned grid — typed, unwrapped
+        with pytest.raises(ReproError) as excinfo:
+            compiled.runtime.apply_batch_threaded(bad)
+        assert not isinstance(excinfo.value, ExecutionError)
+
+    def test_sharded_wraps_with_shard_context(self):
+        compiled, x = _compiled()
+
+        class Boom(RuntimeError):
+            pass
+
+        original = compiled.plan.engine.apply_simulated
+        calls = []
+
+        def sabotaged(*args, **kwargs):
+            calls.append(1)
+            if len(calls) == 1:
+                raise Boom("worker died")
+            return original(*args, **kwargs)
+
+        compiled.plan.engine.apply_simulated = sabotaged
+        try:
+            with pytest.raises(
+                ExecutionError, match=r"shard \d of \d \(rows \d+:\d+\)"
+            ):
+                compiled.runtime.apply_simulated_sharded(x, shards=2)
+        finally:
+            compiled.plan.engine.apply_simulated = original
+
+    def test_simulated_batch_wraps_with_grid_index(self):
+        compiled, x = _compiled()
+
+        class Boom(RuntimeError):
+            pass
+
+        original = compiled.plan.engine.apply_simulated
+        calls = []
+
+        def sabotaged(*args, **kwargs):
+            calls.append(1)
+            if len(calls) == 2:
+                raise Boom("worker died")
+            return original(*args, **kwargs)
+
+        compiled.plan.engine.apply_simulated = sabotaged
+        try:
+            with pytest.raises(ExecutionError, match=r"grid \d of 2"):
+                compiled.runtime.apply_simulated_batch([x, x.copy()])
+        finally:
+            compiled.plan.engine.apply_simulated = original

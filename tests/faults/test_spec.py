@@ -1,0 +1,84 @@
+"""FaultSpec/FaultPlan: validation and seed determinism."""
+
+import pytest
+
+from repro.errors import InputValidationError
+from repro.faults import (
+    DEFAULT_FLIP_BIT,
+    FAULT_KINDS,
+    MMA_KINDS,
+    SHARD_KINDS,
+    STAGE_KINDS,
+    FaultPlan,
+    FaultSpec,
+)
+
+
+class TestFaultSpec:
+    def test_kind_partition(self):
+        assert set(FAULT_KINDS) == (
+            set(MMA_KINDS) | set(STAGE_KINDS) | set(SHARD_KINDS)
+        )
+        assert len(FAULT_KINDS) == len(set(FAULT_KINDS))
+
+    def test_defaults(self):
+        s = FaultSpec(kind="flip_a", site=3)
+        assert s.bit == DEFAULT_FLIP_BIT
+        assert s.shard is None
+        assert not s.sticky
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(InputValidationError, match="unknown fault kind"):
+            FaultSpec(kind="meltdown")
+
+    def test_negative_site_rejected(self):
+        with pytest.raises(InputValidationError, match="site"):
+            FaultSpec(kind="flip_a", site=-1)
+
+    def test_bad_bit_rejected(self):
+        with pytest.raises(InputValidationError, match="bit"):
+            FaultSpec(kind="flip_a", bit=64)
+
+    def test_shard_kind_site_is_shard(self):
+        s = FaultSpec(kind="shard_crash", site=2)
+        assert s.shard == 2
+
+    def test_describe_mentions_kind_and_site(self):
+        s = FaultSpec(kind="flip_smem", site=1, sticky=True)
+        text = s.describe()
+        assert "flip_smem" in text and "site=1" in text and "sticky" in text
+
+
+class TestFaultPlan:
+    def test_random_is_deterministic(self):
+        a = FaultPlan.random(seed=42, count=8, shards=3)
+        b = FaultPlan.random(seed=42, count=8, shards=3)
+        assert a.specs == b.specs
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan.random(seed=1, count=8)
+        b = FaultPlan.random(seed=2, count=8)
+        assert a.specs != b.specs
+
+    def test_shard_kinds_only_when_sharded(self):
+        solo = FaultPlan.random(seed=5, count=32, shards=1)
+        assert not solo.by_kind(*SHARD_KINDS)
+
+    def test_unknown_kind_filter_rejected(self):
+        with pytest.raises(InputValidationError, match="unknown fault kind"):
+            FaultPlan.random(seed=0, kinds=["meltdown"])
+
+    def test_by_kind_and_len(self):
+        plan = FaultPlan.random(seed=7, kinds=["flip_a", "nan_smem"], count=6)
+        assert len(plan) == 6
+        assert set(s.kind for s in plan.specs) <= {"flip_a", "nan_smem"}
+        assert len(plan.by_kind("flip_a")) + len(plan.by_kind("nan_smem")) == 6
+
+    def test_with_specs_replaces(self):
+        plan = FaultPlan.random(seed=0, count=2)
+        sub = plan.with_specs(plan.specs[:1])
+        assert len(sub) == 1 and sub.seed == plan.seed
+
+    def test_describe_lists_every_spec(self):
+        plan = FaultPlan.random(seed=3, count=5)
+        assert plan.describe().count("\n") == 5

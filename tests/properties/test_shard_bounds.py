@@ -1,0 +1,75 @@
+"""Property tests for the shard-boundary splitter.
+
+``_shard_bounds(n, shards, align)`` partitions the interior rows of a
+sharded sweep; every guarantee the executor relies on is pinned here:
+full coverage of ``[0, n)``, no overlap, alignment of every chunk but
+the last, and sane degeneracy (``n < align``, ``shards > n``).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.runtime.executor import _shard_bounds
+
+sizes = st.integers(min_value=1, max_value=4096)
+shard_counts = st.integers(min_value=1, max_value=64)
+alignments = st.sampled_from([1, 4, 8, 16, 64])
+
+
+class TestShardBoundsProperties:
+    @given(sizes, shard_counts, alignments)
+    @settings(max_examples=300, deadline=None)
+    def test_covers_interval_exactly(self, n, shards, align):
+        bounds = _shard_bounds(n, shards, align)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == n
+        for (_, e0), (s1, _) in zip(bounds, bounds[1:]):
+            assert e0 == s1  # contiguous: no gap, no overlap
+
+    @given(sizes, shard_counts, alignments)
+    @settings(max_examples=300, deadline=None)
+    def test_chunks_nonempty_and_ordered(self, n, shards, align):
+        bounds = _shard_bounds(n, shards, align)
+        for s, e in bounds:
+            assert 0 <= s < e <= n
+
+    @given(sizes, shard_counts, alignments)
+    @settings(max_examples=300, deadline=None)
+    def test_all_but_last_aligned(self, n, shards, align):
+        bounds = _shard_bounds(n, shards, align)
+        for s, e in bounds[:-1]:
+            assert (e - s) % align == 0
+        # every start is aligned too (tiles never straddle a boundary)
+        for s, _ in bounds:
+            assert s % align == 0
+
+    @given(sizes, shard_counts, alignments)
+    @settings(max_examples=300, deadline=None)
+    def test_never_more_chunks_than_requested(self, n, shards, align):
+        assert 1 <= len(_shard_bounds(n, shards, align)) <= shards
+
+
+class TestShardBoundsDegenerate:
+    def test_n_smaller_than_align_collapses_to_one_shard(self):
+        assert _shard_bounds(5, 4, 8) == [(0, 5)]
+
+    def test_more_shards_than_rows(self):
+        bounds = _shard_bounds(3, 16, 1)
+        assert bounds[0][0] == 0 and bounds[-1][1] == 3
+        assert len(bounds) <= 3
+
+    def test_single_shard_is_whole_interval(self):
+        assert _shard_bounds(100, 1, 8) == [(0, 100)]
+
+    def test_exact_division(self):
+        assert _shard_bounds(64, 4, 8) == [
+            (0, 16), (16, 32), (32, 48), (48, 64),
+        ]
+
+    def test_zero_or_negative_shards_rejected(self):
+        with pytest.raises(ShapeError, match="shards"):
+            _shard_bounds(64, 0, 8)
+        with pytest.raises(ShapeError, match="shards"):
+            _shard_bounds(64, -2, 8)

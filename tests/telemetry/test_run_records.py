@@ -90,7 +90,9 @@ class TestBenchmarkRecordContract:
         path = telemetry.write_run_record(
             tmp_path / "records" / "fig8.json", record
         )
-        assert validate_file(path) == "repro.telemetry.run-record/v1"
+        from repro.telemetry.export import RUN_RECORD_SCHEMA
+
+        assert validate_file(path) == RUN_RECORD_SCHEMA
         assert record["cache"]["misses"] == 1
         assert "repro_tcu_mma_ops_total" in record["metrics"]
         assert record["extra"]["benchmark"] == "fig8"
@@ -106,3 +108,48 @@ class TestBenchmarkRecordContract:
         )
         assert record["spans"] == []
         telemetry.write_run_record(tmp_path / "quiet.json", record)
+
+
+class TestFaultsSection:
+    def test_fault_report_stamps_and_validates(self, tmp_path):
+        from repro.faults import FaultReport
+        from repro.telemetry.export import RUN_RECORD_SCHEMA
+
+        report = FaultReport()
+        report.record_injection("flip_a")
+        report.bump("tile_detections")
+        report.bump("tile_recoveries")
+        record = telemetry.run_record(
+            "chaos",
+            registry=telemetry.REGISTRY,
+            extra={},
+            faults=report,
+        )
+        assert record["schema"] == RUN_RECORD_SCHEMA
+        assert record["faults"]["injected"] == {"flip_a": 1}
+        assert record["faults"]["detected"]["tile"] == 1
+        path = telemetry.write_run_record(tmp_path / "chaos.json", record)
+        assert validate_file(path) == RUN_RECORD_SCHEMA
+
+    def test_v1_record_without_faults_still_validates(self, tmp_path):
+        """Records stamped by older builds must keep validating."""
+        import json
+
+        record = telemetry.run_record(
+            "legacy", registry=telemetry.REGISTRY, extra={}
+        )
+        record["schema"] = "repro.telemetry.run-record/v1"
+        assert "faults" not in record
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(record))
+        assert validate_file(path) == "repro.telemetry.run-record/v1"
+
+    def test_malformed_faults_section_rejected(self):
+        from repro.telemetry.validate import validate_run_record
+
+        record = telemetry.run_record(
+            "bad", registry=telemetry.REGISTRY, extra={}
+        )
+        record["faults"] = {"injected": {"flip_a": "lots"}}
+        with pytest.raises(ValueError, match="faults"):
+            validate_run_record(record)

@@ -224,7 +224,9 @@ class TestTelemetryCommands:
         assert main(
             ["profile", "Heat-2D", "--size", "16", "--record", str(record_file)]
         ) == 0
-        assert validate_file(record_file) == "repro.telemetry.run-record/v1"
+        from repro.telemetry.export import RUN_RECORD_SCHEMA
+
+        assert validate_file(record_file) == RUN_RECORD_SCHEMA
         record = json.loads(record_file.read_text())
         assert record["extra"]["command"] == "profile"
         assert record["events"]["mma_ops"] > 0
