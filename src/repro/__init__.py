@@ -35,6 +35,7 @@ deprecated in favour of :func:`repro.compile`.
 """
 
 from repro.errors import (
+    BackendError,
     DecompositionError,
     KernelNotFoundError,
     LoweringError,
@@ -94,6 +95,7 @@ __all__ = [
     "ShapeError",
     "LoweringError",
     "PerfError",
+    "BackendError",
     # stencil substrate
     "Shape",
     "StencilPattern",

@@ -101,16 +101,26 @@ class LoRAStencilMethod(StencilMethod):
         return self.engine.apply(padded)
 
     def simulated_sweep(
-        self, grid_shape: tuple[int, ...], seed: int = 0
+        self,
+        grid_shape: tuple[int, ...],
+        seed: int = 0,
+        backend: str | None = None,
     ) -> tuple[np.ndarray, EventCounters]:
-        """Run one simulated sweep of the bound engine on a random grid."""
+        """Run one simulated sweep of the bound engine on a random grid.
+
+        ``backend`` selects the execution backend; counters are
+        bit-identical across backends, so footprints measured under the
+        vectorized backend match the interpreter's exactly.
+        """
         rng = np.random.default_rng(seed)
         h = self._engine_radius()
         padded = rng.normal(size=tuple(s + 2 * h for s in grid_shape))
         # through the compiled facade, so telemetry spans/metrics see it
         if isinstance(self.engine, LoRAStencil1D):
-            return self.compiled.apply_simulated(padded.reshape(-1))
-        return self.compiled.apply_simulated(padded)
+            return self.compiled.apply_simulated(
+                padded.reshape(-1), backend=backend
+            )
+        return self.compiled.apply_simulated(padded, backend=backend)
 
     def footprint(self, grid_shape: tuple[int, ...] | None = None) -> FootprintScale:
         grid_shape = grid_shape or self.default_measure_grid()

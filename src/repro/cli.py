@@ -53,6 +53,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--schedule", default=None, metavar="NAME",
                    help="instruction schedule to lower with "
                         "(eager, prefetch, or a registered name)")
+    _add_backend_flag(p)
     p.add_argument("--ir", action="store_true",
                    help="dump the lowered tile program(s)")
     p.add_argument("--json", action="store_true",
@@ -62,6 +63,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("kernel")
     p.add_argument("--size", type=int, default=64, help="grid edge (default 64)")
     p.add_argument("--seed", type=int, default=0)
+    _add_backend_flag(p)
     p.add_argument("--json", action="store_true",
                    help="emit a machine-readable run-record instead of text")
     _add_telemetry_flag(p)
@@ -83,6 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--per-instr", action="store_true",
                    help="attribute events per TileProgram instruction "
                         "(opcode / rank-1 term tables; single shard only)")
+    _add_backend_flag(p)
 
     p = sub.add_parser(
         "stats", help="dump the metrics registry and plan-cache stats"
@@ -120,6 +123,10 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--time-threshold", type=float, default=None,
                     help="also gate wall time at this relative tolerance "
                          "(timing is advisory when omitted)")
+    _add_backend_flag(pc)
+    pc.add_argument("--min-speedup", type=float, default=None, metavar="X",
+                    help="require baseline_time / current_time >= X "
+                         "(e.g. 10 to pin the vectorized backend's win)")
     pc.add_argument("--record", default=None, metavar="DIR",
                     help="append the measured record to this history dir")
     pc.add_argument("--json", action="store_true",
@@ -243,6 +250,16 @@ def _add_telemetry_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="execution backend: interpreter, vectorized, or oracle "
+             "(default: REPRO_BACKEND, else interpreter)",
+    )
+
+
 def _cmd_kernels() -> int:
     from repro.experiments.report import format_table
     from repro.stencil.kernels import KERNELS
@@ -299,7 +316,13 @@ def _sweep_shape(ndim: int, size: int) -> tuple[int, ...]:
     return (min(size, 8), size, size)
 
 
-def _cmd_run(kernel_name: str, size: int, seed: int, as_json: bool = False) -> int:
+def _cmd_run(
+    kernel_name: str,
+    size: int,
+    seed: int,
+    as_json: bool = False,
+    backend: str | None = None,
+) -> int:
     import json
 
     from repro.baselines.lorastencil import LoRAStencilMethod
@@ -308,7 +331,8 @@ def _cmd_run(kernel_name: str, size: int, seed: int, as_json: bool = False) -> i
     k = get_kernel(kernel_name)
     method = LoRAStencilMethod(k)
     shape = _sweep_shape(k.weights.ndim, size)
-    out, events = method.simulated_sweep(shape, seed=seed)
+    out, events = method.simulated_sweep(shape, seed=seed, backend=backend)
+    used_backend = backend or method.plan.backend
     if as_json:
         from repro import telemetry
 
@@ -323,6 +347,7 @@ def _cmd_run(kernel_name: str, size: int, seed: int, as_json: bool = False) -> i
                 "plan_key": method.plan.key,
                 "method": method.plan.method,
                 "rank": method.plan.rank,
+                "backend": used_backend,
                 "arithmetic_intensity": events.arithmetic_intensity(),
             },
         )
@@ -333,7 +358,8 @@ def _cmd_run(kernel_name: str, size: int, seed: int, as_json: bool = False) -> i
           f"({'fused 3x, ' if method.steps_per_sweep > 1 else ''}"
           f"engine radius {method._engine_radius()})")
     print(f"  plan {method.plan.key[:16]}…  "
-          f"({method.plan.method}, rank {method.plan.rank})")
+          f"({method.plan.method}, rank {method.plan.rank}, "
+          f"backend {used_backend})")
     for name, value in events.as_dict().items():
         if value:
             print(f"  {name:28s} {value:>12,}")
@@ -349,6 +375,7 @@ def _cmd_profile(
     emit: str | None,
     record_path: str | None,
     per_instr: bool = False,
+    backend: str | None = None,
 ) -> int:
     from repro import telemetry
     from repro.runtime import DEFAULT_PLAN_CACHE
@@ -370,14 +397,14 @@ def _cmd_profile(
                 rng = np.random.default_rng(seed)
                 shape = _sweep_shape(k.weights.ndim, size)
                 x = np.pad(rng.normal(size=shape), k.weights.radius)
-            compiled = compile_stencil(k.weights)
+            compiled = compile_stencil(k.weights, backend=backend)
             out, events = compiled.apply_simulated(x, shards=shards)
     finally:
         telemetry.disable()
 
     print(f"{k.name}: profiled sweep over {shape}, plan "
           f"{compiled.key[:16]}… ({compiled.plan.method}, "
-          f"rank {compiled.plan.rank})")
+          f"rank {compiled.plan.rank}, backend {compiled.plan.backend})")
     print(f"lowering: {compiled.lowered.describe()}")
     for name, seconds in compiled.lowered.pass_times:
         print(f"  pass {name:<16} {seconds * 1e3:8.3f} ms")
@@ -414,6 +441,7 @@ def _cmd_profile(
             "shards": shards,
             "plan_key": compiled.key,
             "schedule": compiled.schedule,
+            "backend": compiled.plan.backend,
         }
         if profile is not None:
             extra["per_instr"] = profile.as_dict()
@@ -493,18 +521,23 @@ def _cmd_perf_check(args: argparse.Namespace) -> int:
     )
 
     if args.update_baseline:
-        record = measure_reference(kernel, size=size, seed=seed)
+        record = measure_reference(
+            kernel, size=size, seed=seed, backend=args.backend
+        )
         baseline_path.parent.mkdir(parents=True, exist_ok=True)
         baseline_path.write_text(json.dumps(record, indent=1, sort_keys=True))
         print(f"baseline written to {baseline_path} "
-              f"({kernel}, {size}x{size}, seed {seed})")
+              f"({kernel}, {size}x{size}, seed {seed}, backend "
+              f"{record['extra']['backend']})")
         return 0
     if baseline is None:
         print(f"perf check: baseline {baseline_path} not found "
               f"(create it with --update-baseline)", file=sys.stderr)
         return 2
 
-    current = measure_reference(kernel, size=size, seed=seed)
+    current = measure_reference(
+        kernel, size=size, seed=seed, backend=args.backend
+    )
     if args.record:
         path = RunRecordStore(args.record).append(current)
         print(f"record appended to {path}")
@@ -516,13 +549,34 @@ def _cmd_perf_check(args: argparse.Namespace) -> int:
         ),
         time_threshold=args.time_threshold,
     )
+    # optional speedup gate: counters must already be bit-stable across
+    # backends, so a vectorized run may additionally pin its wall-clock
+    # win over an interpreter baseline
+    base_time = base_extra.get("timing_s")
+    cur_time = current["extra"]["timing_s"]
+    speedup = (
+        base_time / cur_time
+        if isinstance(base_time, (int, float)) and cur_time
+        else None
+    )
+    speedup_ok = True
+    if args.min_speedup is not None:
+        speedup_ok = speedup is not None and speedup >= args.min_speedup
+    ok = comparison.ok and speedup_ok
     if args.json:
         print(json.dumps(
             {
                 "baseline": str(baseline_path),
-                "workload": {"kernel": kernel, "size": size, "seed": seed},
-                "ok": comparison.ok,
+                "workload": {
+                    "kernel": kernel,
+                    "size": size,
+                    "seed": seed,
+                    "backend": current["extra"]["backend"],
+                },
+                "ok": ok,
                 "threshold": comparison.threshold,
+                "speedup": speedup,
+                "min_speedup": args.min_speedup,
                 "deltas": [
                     {
                         "name": d.name,
@@ -538,9 +592,20 @@ def _cmd_perf_check(args: argparse.Namespace) -> int:
             sort_keys=True,
         ))
     else:
-        print(f"workload: {kernel}, {size}x{size}, seed {seed}")
+        print(f"workload: {kernel}, {size}x{size}, seed {seed}, "
+              f"backend {current['extra']['backend']}")
         print(comparison.render())
-    return 0 if comparison.ok else 1
+        if speedup is not None:
+            gate = ""
+            if args.min_speedup is not None:
+                gate = (f"  [gate >= {args.min_speedup:g}x: "
+                        f"{'ok' if speedup_ok else 'FAIL'}]")
+            print(f"speedup vs baseline: {speedup:.1f}x "
+                  f"({base_time:.3f}s -> {cur_time:.3f}s){gate}")
+        elif args.min_speedup is not None:
+            print("speedup gate FAILED: baseline carries no timing_s",
+                  file=sys.stderr)
+    return 0 if ok else 1
 
 
 def _cmd_perf_diff(args: argparse.Namespace) -> int:
@@ -848,6 +913,7 @@ def _cmd_plan(
     as_json: bool = False,
     schedule: str | None = None,
     show_ir: bool = False,
+    backend: str | None = None,
 ) -> int:
     """Compile (or fetch) a kernel's plan and report plan-cache stats."""
     import json
@@ -866,7 +932,7 @@ def _cmd_plan(
         if (no_tensor_cores or schedule)
         else None
     )
-    compiled = compile_stencil(k.weights, config=config)
+    compiled = compile_stencil(k.weights, config=config, backend=backend)
     if as_json:
         from repro import telemetry
 
@@ -886,6 +952,7 @@ def _cmd_plan(
                     "block": list(plan.block),
                     "mma_per_tile": plan.mma_per_tile,
                     "schedule": plan.schedule,
+                    "backend": plan.backend,
                     "n_instrs": plan.lowered.n_instrs,
                     "load_use_distance": plan.lowered.load_use_distance,
                     "predicted_gstencil_per_s": plan.predicted_gstencil_per_s,
@@ -900,7 +967,7 @@ def _cmd_plan(
     if show_ir:
         print()
         print(compiled.lowered.render_ir())
-    again = compile_stencil(k.weights, config=config)
+    again = compile_stencil(k.weights, config=config, backend=backend)
     shared = "hit (same plan object)" if again.plan is compiled.plan else "MISS"
     print()
     print(f"cache      {DEFAULT_PLAN_CACHE.stats().summary()}")
@@ -1148,12 +1215,14 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_decompose(args.kernel)
     if args.command == "plan":
         return _cmd_plan(args.kernel, args.no_tensor_cores, args.json,
-                         args.schedule, args.ir)
+                         args.schedule, args.ir, args.backend)
     if args.command == "run":
-        return _cmd_run(args.kernel, args.size, args.seed, args.json)
+        return _cmd_run(args.kernel, args.size, args.seed, args.json,
+                        args.backend)
     if args.command == "profile":
         return _cmd_profile(args.kernel, args.size, args.seed, args.shards,
-                            args.emit, args.record, args.per_instr)
+                            args.emit, args.record, args.per_instr,
+                            args.backend)
     if args.command == "stats":
         return _cmd_stats(args.prometheus, args.json)
     if args.command == "perf":
@@ -1195,8 +1264,14 @@ def _dispatch(args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     """Parse ``argv`` (default ``sys.argv``) and dispatch one command."""
     args = build_parser().parse_args(argv)
+    from repro.errors import BackendError
+
     if not getattr(args, "telemetry", False):
-        return _dispatch(args)
+        try:
+            return _dispatch(args)
+        except BackendError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     # --telemetry: trace the whole command, then append a span-tree and
     # metrics epilogue (skipped under --json so stdout stays parseable —
@@ -1208,6 +1283,9 @@ def main(argv: list[str] | None = None) -> int:
     try:
         with telemetry.TRACER.span(f"cli.{args.command}", category="cli"):
             rc = _dispatch(args)
+    except BackendError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     finally:
         telemetry.disable()
     if not getattr(args, "json", False):

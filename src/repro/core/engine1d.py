@@ -149,15 +149,23 @@ class LoRAStencil1D:
         verify=None,
         policy=None,
         report=None,
+        backend: str | None = None,
     ) -> tuple[np.ndarray, EventCounters]:
         """Warp-level execution; returns ``(interior, counters)``.
 
         Sweeps through the shared block-sweep driver as a ``1 x n``
-        grid; ``oracle=True`` computes tiles with the eager accumulator
-        chain instead of the lowered program.  ``verify="abft"``
+        grid; ``backend`` selects the execution backend, with the legacy
+        ``oracle=True`` flag equivalent to ``backend="oracle"`` (the
+        eager accumulator chain instead of the lowered program).  The
+        vectorized backend computes every tile at once, bit-identically,
+        but rejects ``verify``/``policy``/``report`` with a typed
+        :class:`~repro.errors.BackendError`.  ``verify="abft"``
         checksum-verifies tiles/stagings with recovery bounded by
         ``policy``, counting into ``report`` (see :mod:`repro.faults`).
         """
+        from repro.runtime.backends import engine_backend
+
+        backend = engine_backend(backend, oracle)
         padded = np.asarray(padded, dtype=np.float64)
         if padded.ndim != 1:
             raise ShapeError(f"expected 1D input, got {padded.ndim}D")
@@ -177,6 +185,28 @@ class LoRAStencil1D:
             ndim=1,
             shape_label=str(n),
         )
+        if backend == "vectorized":
+            if verify or policy is not None or report is not None:
+                from repro.errors import BackendError
+
+                raise BackendError(
+                    "the vectorized backend does not support ABFT "
+                    "verification or fault recovery; use "
+                    "backend='interpreter'"
+                )
+            lowered = self.lowered
+            vector = lowered.vector if lowered is not None else None
+            if vector is not None:
+                out, events = run_block_sweep(
+                    padded.reshape(1, -1),
+                    spec,
+                    None,
+                    device=device,
+                    profiler=profiler,
+                    vector=vector,
+                )
+                return out.reshape(-1), events
+            backend = "interpreter"  # CUDA-core config: nothing to batch
         guard = None
         if verify:
             from repro.faults.abft import make_guard
@@ -187,7 +217,7 @@ class LoRAStencil1D:
         out, events = run_block_sweep(
             padded.reshape(1, -1),
             spec,
-            self.tile_source(oracle=oracle, profiler=profiler),
+            self.tile_source(oracle=backend == "oracle", profiler=profiler),
             device=device,
             profiler=profiler,
             guard=guard,

@@ -178,19 +178,29 @@ class LoRAStencil2D:
         verify=None,
         policy=None,
         report=None,
+        backend: str | None = None,
     ) -> tuple[np.ndarray, EventCounters]:
         """Warp-level execution on the TCU simulator.
 
         Returns ``(interior, counters)`` where ``counters`` holds the
-        events of this sweep only.  ``oracle=True`` runs the eager
-        tile computation instead of the lowered program (identical by
-        the schedule-equivalence guarantee; kept as the oracle).
+        events of this sweep only.  ``backend`` selects the execution
+        backend (``"interpreter"`` | ``"vectorized"`` | ``"oracle"``);
+        the legacy ``oracle=True`` flag is equivalent to
+        ``backend="oracle"``, running the eager tile computation instead
+        of the lowered program (identical by the schedule-equivalence
+        guarantee; kept as the oracle).  The vectorized backend computes
+        all tiles at once with bit-identical numerics and counters, but
+        does not compose with ``verify``/``policy``/``report`` (typed
+        :class:`~repro.errors.BackendError`).
         ``profiler`` opts into per-instruction attribution (see
         :mod:`repro.telemetry.perf`).  ``verify="abft"`` checksum-
         verifies every tile and staging copy with recovery bounded by
         ``policy`` (a :class:`repro.faults.RecoveryPolicy`), counting
         into ``report`` (a :class:`repro.faults.FaultReport`).
         """
+        from repro.runtime.backends import engine_backend
+
+        backend = engine_backend(backend, oracle)
         padded, (rows, cols) = validate_padded(padded, 2, self.radius)
         t = self.tile
         spec = SweepSpec(
@@ -202,6 +212,27 @@ class LoRAStencil2D:
             ndim=2,
             shape_label=f"{rows}x{cols}",
         )
+        if backend == "vectorized":
+            if verify or policy is not None or report is not None:
+                from repro.errors import BackendError
+
+                raise BackendError(
+                    "the vectorized backend does not support ABFT "
+                    "verification or fault recovery; use "
+                    "backend='interpreter'"
+                )
+            lowered = self.lowered
+            vector = lowered.vector if lowered is not None else None
+            if vector is not None:
+                return run_block_sweep(
+                    padded,
+                    spec,
+                    None,
+                    device=device,
+                    profiler=profiler,
+                    vector=vector,
+                )
+            backend = "interpreter"  # CUDA-core config: nothing to batch
         guard = None
         if verify:
             from repro.faults.abft import make_guard
@@ -212,7 +243,7 @@ class LoRAStencil2D:
         return run_block_sweep(
             padded,
             spec,
-            self.tile_source(oracle=oracle, profiler=profiler),
+            self.tile_source(oracle=backend == "oracle", profiler=profiler),
             device=device,
             profiler=profiler,
             guard=guard,

@@ -145,6 +145,7 @@ class LoRAStencil3D:
         verify=None,
         policy=None,
         report=None,
+        backend: str | None = None,
     ) -> tuple[np.ndarray, EventCounters]:
         """Warp-level execution; returns ``(interior, counters)``.
 
@@ -152,13 +153,29 @@ class LoRAStencil3D:
         block-sweep driver (each plane engine interprets its own lowered
         tile program); the point-wise planes charge CUDA-core FLOPs and
         DRAM traffic without touching the tensor cores (Alg. 2's
-        dual-unit split).  ``oracle=True`` runs every plane engine on
-        its eager tile path instead.  ``profiler`` is threaded into
-        every plane engine's sweep; the point-wise plane traffic lands
-        in the profile's driver residue.  ``verify``/``policy``/
-        ``report`` thread into every plane engine's guarded sweep (the
-        point-wise planes carry no MM chain to checksum).
+        dual-unit split).  ``backend`` threads into every plane engine's
+        sweep; the legacy ``oracle=True`` flag is equivalent to
+        ``backend="oracle"`` (every plane engine on its eager tile
+        path).  The vectorized backend rejects ``verify``/``policy``/
+        ``report`` with a typed :class:`~repro.errors.BackendError`.
+        ``profiler`` is threaded into every plane engine's sweep; the
+        point-wise plane traffic lands in the profile's driver residue.
+        ``verify``/``policy``/``report`` thread into every plane
+        engine's guarded sweep (the point-wise planes carry no MM chain
+        to checksum).
         """
+        from repro.runtime.backends import engine_backend
+
+        backend = engine_backend(backend, oracle)
+        if backend == "vectorized" and (
+            verify or policy is not None or report is not None
+        ):
+            from repro.errors import BackendError
+
+            raise BackendError(
+                "the vectorized backend does not support ABFT "
+                "verification or fault recovery; use backend='interpreter'"
+            )
         padded = np.asarray(padded, dtype=np.float64)
         if padded.ndim != 3:
             raise ShapeError(f"expected 3D input, got {padded.ndim}D")
@@ -196,11 +213,11 @@ class LoRAStencil3D:
                             padded[z + task.index],
                             device=device,
                             block=block,
-                            oracle=oracle,
                             profiler=profiler,
                             verify=verify,
                             policy=policy,
                             report=report,
+                            backend=backend,
                         )
                         warp.cuda_core_axpy(out[z], 1.0, tile)
             gmem_out = device.global_array(np.zeros_like(out), name="output")

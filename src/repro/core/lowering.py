@@ -29,12 +29,13 @@ only moves the load->use distance available for latency hiding.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 import numpy as np
 
 from repro.core.config import OptimizationConfig
+from repro.core.vectorize import VectorProgram, build_vector_program
 from repro.errors import LoweringError
 from repro.tcu.program import (
     TileProgram,
@@ -106,11 +107,19 @@ register_schedule("prefetch", schedule_prefetch)
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
 class LoweredTile:
-    """One scheduled tile program plus its schedule statistics."""
+    """One scheduled tile program plus its schedule statistics.
+
+    ``vector`` is the batched-NumPy compilation of the same scheduled
+    program (the ``vectorize`` pass artifact); ``None`` until that pass
+    runs, and excluded from equality/repr — it is derived state.
+    """
 
     program: TileProgram
     schedule: str
     load_use_distance: float
+    vector: VectorProgram | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def n_instrs(self) -> int:
@@ -281,11 +290,27 @@ def _pass_schedule(ctx: LoweringContext) -> None:
     ctx.tiles = tuple(tiles)
 
 
+def _pass_vectorize(ctx: LoweringContext) -> None:
+    """Compile each scheduled program for the vectorized backend.
+
+    Materializes the banded U/V operands as dense matrix-domain arrays
+    (once per plan) and attaches the resulting
+    :class:`~repro.core.vectorize.VectorProgram` to the lowered tile.
+    CUDA-core tiles (``None``) pass through: they have no program on
+    either backend.
+    """
+    ctx.tiles = tuple(
+        t if t is None else replace(t, vector=build_vector_program(t.program))
+        for t in ctx.tiles
+    )
+
+
 #: The default pipeline: the paper's staging as named passes.
 DEFAULT_PASSES: tuple[tuple[str, Callable[[LoweringContext], None]], ...] = (
     ("decompose", _pass_decompose),
     ("build_tile_ir", _pass_build_tile_ir),
     ("schedule", _pass_schedule),
+    ("vectorize", _pass_vectorize),
 )
 
 
@@ -434,4 +459,5 @@ def lower_engine(engine) -> LoweredTile | None:
         program=program,
         schedule=engine.config.schedule,
         load_use_distance=load_use_distance(program),
+        vector=build_vector_program(program),
     )

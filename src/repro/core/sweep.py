@@ -115,6 +115,7 @@ def run_block_sweep(
     device: Device | None = None,
     profiler=None,
     guard=None,
+    vector=None,
 ) -> tuple[np.ndarray, EventCounters]:
     """Sweep one grid block by block; returns ``(interior, counters)``.
 
@@ -140,7 +141,25 @@ def run_block_sweep(
     against its DRAM source and ABFT-verifies each computed tile,
     recovering per its policy.  Both default to ``None`` and cost one
     ``is not None`` check each on the unguarded path.
+
+    ``vector`` (a :class:`~repro.core.vectorize.VectorProgram`) switches
+    the sweep to the vectorized backend: all tiles at once, bit-identical
+    numerics and counters, no per-tile hooks — so it refuses to combine
+    with ``guard`` or a device-attached fault injector.
     """
+    if vector is not None:
+        from repro.core.vectorize import run_vector_sweep
+
+        if guard is not None:
+            from repro.errors import BackendError
+
+            raise BackendError(
+                "the vectorized backend does not support ABFT sweep "
+                "guards; use backend='interpreter'"
+            )
+        return run_vector_sweep(
+            padded2d, spec, vector, device=device, profiler=profiler
+        )
     device = device or Device()
     injector = getattr(device, "injector", None)
     start = device.snapshot()

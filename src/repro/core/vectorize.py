@@ -1,0 +1,383 @@
+"""The vectorized execution backend: batched NumPy over whole sweeps.
+
+The per-thread interpreter (:func:`repro.tcu.program.execute_program`)
+steps one warp tile at a time, fragment by fragment — the reference
+semantics, and ~1s for a single 256x256 Box-2D9P sweep.  This module
+compiles the *same scheduled* :class:`~repro.tcu.program.TileProgram`
+into broadcast ``np.matmul`` over **all tiles of the sweep at once**:
+
+* the banded U/V operands are materialized once per plan from the
+  engine's fragments (``Fragment.from_matrix``/``to_matrix`` is an exact
+  permutation gather, so matrix-domain math is bit-identical to
+  fragment-domain math);
+* every tile's input window is gathered into one ``(n_tiles, k_rows,
+  w_cols)`` batch via ``sliding_window_view`` over a zero-extended copy
+  of the padded grid (shared memory is zero-initialized and clamp-filled,
+  so the windows match the staged blocks exactly, including edge tiles);
+* the instruction walk follows the plan's *scheduled* order, so every
+  registered schedule runs identically on both backends;
+* broadcast ``np.matmul`` with an elementwise accumulator add is
+  bit-identical to the interpreter's per-tile 2D ``@`` (``einsum`` is
+  **not**, and is deliberately not used).
+
+EventCounters are *derived*, not measured: the per-tile program cost is
+probed by interpreting the program once against a scratch shared tile
+(counter deltas are value-independent — bank conflicts depend only on
+addresses, shuffle groups only on ownership maps — and shift-invariant
+across tile origins), then scaled by the tile count; staging and DRAM
+traffic is priced block-for-block with the driver's arithmetic.  The
+result matches the interpreter **bit-for-bit**, which the
+schedule-equivalence property suite pins.
+
+Fault injection and ABFT verification hook the per-thread execution the
+vectorized path skips, so :func:`run_vector_sweep` refuses devices with
+an attached injector; engines reject ``verify=`` up front with a typed
+:class:`~repro.errors.BackendError`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.core.rdg import RDGTileCompute
+from repro.errors import BackendError
+from repro.tcu.counters import EventCounters
+from repro.tcu.memory import SharedMemory
+from repro.tcu.program import (
+    TileProgram,
+    execute_program,
+    execute_program_1d,
+)
+from repro.tcu.warp import Warp
+from repro.telemetry.spans import TRACER
+
+__all__ = ["VectorProgram", "build_vector_program", "run_vector_sweep"]
+
+_FP64_BYTES = 8
+_STORE_LANES = 32
+
+#: max flat offset a 1D tile reads past its base, plus one
+#: (k-block kb, element (r, q) -> base + 4*kb + 8*q + r)
+_1D_TAIL = 56
+
+
+class _ProbeRecorder:
+    """Collects per-instruction counter deltas from one probe tile."""
+
+    __slots__ = ("deltas",)
+
+    def __init__(self) -> None:
+        self.deltas: list[EventCounters] = []
+
+    def record(self, ins, ns: int, delta: EventCounters) -> None:
+        self.deltas.append(delta)
+
+
+@dataclass
+class VectorProgram:
+    """A scheduled tile program with batched operands, ready to sweep.
+
+    Built once per plan by :func:`build_vector_program` (the lowering
+    pipeline's ``vectorize`` pass); holds dense matrix-domain copies of
+    the fragment operands the interpreter indexes per tile, plus a lazy
+    per-``smem_shape`` probe cache of the program's exact per-tile
+    event cost.
+    """
+
+    program: TileProgram
+    kind: str  # "2d" | "1d"
+    #: 2D: (term, rb, kb) -> (8, 4) banded-U block
+    u_ops: dict = field(repr=False)
+    #: 2D: (term, wb, ob, half) -> (4, 8) banded-V block (half 0 = "lo")
+    v_ops: dict = field(repr=False)
+    #: scalar apex weights, indexed by the apex instruction's ``scalar``
+    scalar_weights: tuple = ()
+    _probe_cache: dict = field(default_factory=dict, repr=False)
+
+    # -- per-tile event cost ------------------------------------------------
+    def probe(
+        self, smem_shape: tuple[int, int]
+    ) -> tuple[tuple[EventCounters, ...], EventCounters]:
+        """Interpret the program once on a scratch shared tile.
+
+        Returns ``(per-instruction deltas in schedule order, per-tile
+        total)``.  Counter deltas are value-independent and invariant
+        under the tile-origin address shift, so one probe per shared
+        shape prices every tile of every block exactly.
+        """
+        cached = self._probe_cache.get(smem_shape)
+        if cached is None:
+            counters = EventCounters()
+            warp = Warp(counters)
+            smem = SharedMemory(smem_shape, counters, name="probe")
+            recorder = _ProbeRecorder()
+            if self.kind == "1d":
+                execute_program_1d(self.program, warp, smem, 0, recorder)
+            else:
+                execute_program(self.program, warp, smem, 0, 0, recorder)
+            cached = (tuple(recorder.deltas), counters.snapshot())
+            self._probe_cache[smem_shape] = cached
+        return cached
+
+    # -- batched instruction walks ------------------------------------------
+    def execute_batch_2d(
+        self, x: np.ndarray, n_tiles: int, profiler=None, deltas=None
+    ) -> np.ndarray:
+        """Run the scheduled program over ``x`` = (n_tiles, k_rows,
+        w_cols) input windows; returns (n_tiles, out_rows, out_cols)."""
+        tile = self.program.tile
+        use_bvs = tile.config.use_bvs
+        radius = tile.radius
+        t_r, t_c = tile.out_rows, tile.out_cols
+        env: dict[str, np.ndarray] = {}
+        out_final: dict[tuple[int, int], np.ndarray] = {}
+        out = np.zeros((x.shape[0], t_r, t_c), dtype=np.float64)
+
+        def step(ins) -> None:
+            if ins.op == "load_x":
+                kb, wb = ins.meta["kb"], ins.meta["wb"]
+                env[ins.dst[0]] = np.ascontiguousarray(
+                    x[:, 4 * kb : 4 * kb + 4, 8 * wb : 8 * wb + 8]
+                )
+            elif ins.op == "mma":
+                ti, rb, kb = ins.meta["term"], ins.meta["rb"], ins.meta["kb"]
+                d = np.matmul(self.u_ops[(ti, rb, kb)], env[ins.srcs[0]])
+                if len(ins.srcs) > 1:
+                    d = d + env[ins.srcs[1]]
+                env[ins.dst[0]] = d
+            elif ins.op == "split":
+                t = env[ins.srcs[0]]
+                if use_bvs:
+                    even = np.ascontiguousarray(t[:, :, 0::2])
+                    odd = np.ascontiguousarray(t[:, :, 1::2])
+                else:
+                    even = np.ascontiguousarray(t[:, :, 0:4])
+                    odd = np.ascontiguousarray(t[:, :, 4:8])
+                env[ins.dst[0]], env[ins.dst[1]] = even, odd
+            elif ins.op == "mma2":
+                ti, wb, ob = ins.meta["term"], ins.meta["wb"], ins.meta["ob"]
+                half = 0 if ins.meta["half"] == "lo" else 1
+                d = np.matmul(env[ins.srcs[0]], self.v_ops[(ti, wb, ob, half)])
+                if len(ins.srcs) > 1:
+                    d = d + env[ins.srcs[1]]
+                env[ins.dst[0]] = d
+                out_final[(ins.meta["rb"], ob)] = d
+            elif ins.op == "apex":
+                # replicate the interpreter exactly: (re)assign every
+                # output block, then add the scalar apex term over the
+                # whole tile
+                for (rb, ob), acc in out_final.items():
+                    out[:, 8 * rb : 8 * rb + 8, 8 * ob : 8 * ob + 8] = acc
+                w = self.scalar_weights[ins.meta["scalar"]]
+                out[:] += w * x[
+                    :, radius : radius + t_r, radius : radius + t_c
+                ]
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown op {ins.op!r}")
+
+        self._walk(step, n_tiles, profiler, deltas)
+
+        if not self.scalar_weights:
+            for (rb, ob), acc in out_final.items():
+                out[:, 8 * rb : 8 * rb + 8, 8 * ob : 8 * ob + 8] = acc
+        return out
+
+    def execute_batch_1d(
+        self,
+        ext: np.ndarray,
+        bases: np.ndarray,
+        n_tiles: int,
+        profiler=None,
+        deltas=None,
+    ) -> np.ndarray:
+        """Run the scheduled 1D program over all tiles of a flat sweep;
+        returns the (n_tiles, 8, 8) accumulator batch."""
+        env: dict[str, np.ndarray] = {}
+        result: np.ndarray | None = None
+        rows = np.arange(4)[:, None]
+        cols = 8 * np.arange(8)[None, :]
+
+        def step(ins) -> None:
+            nonlocal result
+            if ins.op == "load_x":
+                kb = ins.meta["kb"]
+                idx = bases[:, None, None] + 4 * kb + rows + cols
+                env[ins.dst[0]] = ext[idx]
+            elif ins.op == "mma":
+                d = np.matmul(self.u_ops[ins.meta["kb"]], env[ins.srcs[0]])
+                if len(ins.srcs) > 1:
+                    d = d + env[ins.srcs[1]]
+                env[ins.dst[0]] = d
+                if ins.meta.get("final"):
+                    result = d
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown 1D op {ins.op!r}")
+
+        self._walk(step, n_tiles, profiler, deltas)
+        if result is None:
+            raise ValueError("1D program has no final mma instruction")
+        return result
+
+    def _walk(self, step, n_tiles: int, profiler, deltas) -> None:
+        """Step the scheduled instruction list, one batched op each.
+
+        With a profiler, each instruction is charged its wall-time and
+        its probed per-tile event delta scaled by the tile count —
+        integer scaling is exact, so per-term/per-op attribution sums to
+        the interpreter's totals bit-for-bit (at one record per batched
+        instruction instead of one per tile).
+        """
+        instrs = self.program.instrs
+        if profiler is None:
+            for ins in instrs:
+                step(ins)
+            return
+        for ins, delta in zip(instrs, deltas):
+            t0 = time.perf_counter_ns()
+            step(ins)
+            profiler.record(
+                ins,
+                time.perf_counter_ns() - t0,
+                delta.scaled(n_tiles),
+                count=n_tiles,
+            )
+
+
+def build_vector_program(program: TileProgram) -> VectorProgram:
+    """Materialize the batched operands of a scheduled program."""
+    tile = program.tile
+    if isinstance(tile, RDGTileCompute):
+        u_ops = {}
+        v_ops = {}
+        for ti, rows in enumerate(tile._u_frags):
+            for rb, blocks in enumerate(rows):
+                for kb, frag in enumerate(blocks):
+                    u_ops[(ti, rb, kb)] = frag.to_matrix()
+        for ti, wbs in enumerate(tile._v_frags):
+            for wb, obs in enumerate(wbs):
+                for ob, halves in enumerate(obs):
+                    for half, frag in enumerate(halves):
+                        v_ops[(ti, wb, ob, half)] = frag.to_matrix()
+        scalars = tuple(
+            term.scalar_weight for term in tile.decomposition.scalar_terms
+        )
+        return VectorProgram(
+            program=program,
+            kind="2d",
+            u_ops=u_ops,
+            v_ops=v_ops,
+            scalar_weights=scalars,
+        )
+    # 1D engines: one banded-U fragment per k-block
+    u_ops = {kb: frag.to_matrix() for kb, frag in enumerate(tile._u_frags)}
+    return VectorProgram(program=program, kind="1d", u_ops=u_ops, v_ops={})
+
+
+# ---------------------------------------------------------------------------
+# the batched sweep driver
+# ---------------------------------------------------------------------------
+def run_vector_sweep(
+    padded2d: np.ndarray,
+    spec,
+    vector: VectorProgram,
+    device=None,
+    profiler=None,
+) -> tuple[np.ndarray, EventCounters]:
+    """Sweep one grid with the vectorized backend.
+
+    Mirrors :func:`repro.core.sweep.run_block_sweep` — same spec, same
+    return convention, same ``tcu.sweep`` telemetry span — but computes
+    every tile of the sweep in one batched instruction walk and prices
+    the driver's staging/DRAM traffic analytically, block for block.
+    """
+    from repro.tcu.device import Device
+
+    device = device or Device()
+    if getattr(device, "injector", None) is not None:
+        raise BackendError(
+            "the vectorized backend does not support fault injection; "
+            "use backend='interpreter'"
+        )
+    start = device.snapshot()
+    counters = device.counters
+    rows, cols = spec.interior
+    t_r, t_c = spec.tile
+    block_r, block_c = spec.blocked()
+    smem_shape = spec.smem_shape()
+    device.peak_shared_bytes = max(
+        device.peak_shared_bytes,
+        smem_shape[0] * smem_shape[1] * _FP64_BYTES,
+    )
+
+    with TRACER.span(
+        "tcu.sweep", category="tcu", ndim=spec.ndim, shape=spec.shape_label
+    ) as span:
+        # -- staging traffic, priced block-for-block ------------------------
+        for br in range(0, rows, block_r):
+            for bc in range(0, cols, block_c):
+                avail_r = min(smem_shape[0], padded2d.shape[0] - br)
+                avail_c = min(smem_shape[1], padded2d.shape[1] - bc)
+                if avail_r <= 0 or avail_c <= 0:
+                    continue
+                size = avail_r * avail_c
+                counters.global_load_bytes += size * _FP64_BYTES
+                counters.shared_store_requests += max(
+                    1, math.ceil(size / _STORE_LANES)
+                )
+                if spec.use_async_copy:
+                    counters.async_copies += 1
+                else:
+                    counters.register_intermediate_bytes += size * _FP64_BYTES
+
+        # -- all tiles at once ----------------------------------------------
+        n_a = -(-rows // t_r)
+        n_b = -(-cols // t_c)
+        n_tiles = n_a * n_b
+        deltas, per_tile = vector.probe(smem_shape)
+
+        if vector.kind == "1d":
+            k_rows = vector.program.tile.k_rows
+            ext = np.zeros(
+                (n_b - 1) * t_c + k_rows + _1D_TAIL, dtype=np.float64
+            )
+            flat = padded2d.reshape(-1)
+            ext[: flat.shape[0]] = flat
+            bases = np.arange(n_b) * t_c
+            accs = vector.execute_batch_1d(
+                ext, bases, n_tiles, profiler, deltas
+            )
+            # accumulator (r, q) holds output base + 8*q + r
+            full = np.ascontiguousarray(accs.transpose(0, 2, 1)).reshape(-1)
+            out = np.ascontiguousarray(full[:cols]).reshape(1, cols)
+        else:
+            tile = vector.program.tile
+            k_rows, w_cols = tile.k_rows, tile.w_cols
+            ext = np.zeros(
+                ((n_a - 1) * t_r + k_rows, (n_b - 1) * t_c + w_cols),
+                dtype=np.float64,
+            )
+            ext[: padded2d.shape[0], : padded2d.shape[1]] = padded2d
+            windows = sliding_window_view(ext, (k_rows, w_cols))[
+                ::t_r, ::t_c
+            ]
+            x = np.ascontiguousarray(
+                windows.reshape(n_tiles, k_rows, w_cols)
+            )
+            tiles = vector.execute_batch_2d(x, n_tiles, profiler, deltas)
+            full = tiles.reshape(n_a, n_b, t_r, t_c).transpose(0, 2, 1, 3)
+            out = np.ascontiguousarray(
+                full.reshape(n_a * t_r, n_b * t_c)[:rows, :cols]
+            )
+
+        counters += per_tile.scaled(n_tiles)
+        counters.global_store_bytes += rows * cols * _FP64_BYTES
+        events = device.events_since(start)
+        span.add_events(events)
+    if profiler is not None:
+        profiler.note_sweep(spec, events)
+    return out, events

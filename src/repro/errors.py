@@ -27,6 +27,7 @@ __all__ = [
     "InputValidationError",
     "LoweringError",
     "PerfError",
+    "BackendError",
     "ExecutionError",
     "FaultError",
 ]
@@ -60,6 +61,13 @@ class PerfError(ReproError, ValueError):
     """The performance observatory cannot fulfil a request: profiling a
     path with no tensor-core program, fidelity attribution outside the
     2D RDG model, a regression check without a baseline, …"""
+
+
+class BackendError(ReproError, ValueError):
+    """An execution backend cannot fulfil a request: an unknown backend
+    name (including via ``REPRO_BACKEND``), or an explicit
+    ``backend="vectorized"`` combined with fault injection / ABFT
+    verification, which only the per-thread interpreter supports."""
 
 
 class InputValidationError(ReproError, ValueError):

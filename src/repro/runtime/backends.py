@@ -1,0 +1,196 @@
+"""Execution-backend registry behind the unified ``backend=`` API.
+
+Three backends execute a compiled plan:
+
+* ``interpreter`` — the per-thread :class:`~repro.tcu.program.TileProgram`
+  interpreter: every m8n8k4 MMA, shuffle and shared-memory transaction is
+  *measured* by stepping fragments one tile at a time.  The reference
+  semantics, and the only backend that composes with ABFT verification
+  and fault injection.
+* ``vectorized`` — batched NumPy over whole tile sweeps: all tiles of a
+  rank-1 term at once via broadcast ``matmul``, with the banded U/V
+  operands materialized once per plan and staging traffic priced
+  analytically.  Bit-identical grids *and* EventCounters to the
+  interpreter (the schedule-equivalence suite gates this), an order of
+  magnitude faster in wall-clock.
+* ``oracle`` — the pre-lowering eager tile math, bypassing the scheduled
+  program entirely.  The correctness oracle the property suite checks
+  both other backends against; supersedes the deprecated
+  ``oracle=True`` flag.
+
+``default_backend()`` reads the ``REPRO_BACKEND`` environment variable,
+so CI can run the whole suite under another backend without touching
+call sites.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass
+
+from repro.errors import BackendError
+
+__all__ = [
+    "ENV_BACKEND",
+    "DEFAULT_BACKEND",
+    "ORACLE_UNSET",
+    "ExecutionBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "default_backend",
+    "resolve_backend",
+    "engine_backend",
+    "shim_oracle",
+]
+
+#: environment variable consulted by :func:`default_backend`
+ENV_BACKEND = "REPRO_BACKEND"
+
+#: backend used when neither an argument nor the environment selects one
+DEFAULT_BACKEND = "interpreter"
+
+
+@dataclass(frozen=True)
+class ExecutionBackend:
+    """One registered way of executing a compiled plan."""
+
+    name: str
+    description: str
+    #: "measured" — counters accumulate per simulated transaction;
+    #: "derived" — counters are priced analytically (still bit-identical)
+    counters: str
+    #: does this backend compose with verify= / fault injection?
+    supports_faults: bool
+
+
+_BACKENDS: dict[str, ExecutionBackend] = {}
+
+
+def register_backend(backend: ExecutionBackend) -> ExecutionBackend:
+    """Register (or replace) a backend under its name."""
+    _BACKENDS[backend.name] = backend
+    return backend
+
+
+register_backend(
+    ExecutionBackend(
+        name="interpreter",
+        description="per-thread TileProgram interpreter (reference)",
+        counters="measured",
+        supports_faults=True,
+    )
+)
+register_backend(
+    ExecutionBackend(
+        name="vectorized",
+        description="batched NumPy over whole tile sweeps",
+        counters="derived",
+        supports_faults=False,
+    )
+)
+register_backend(
+    ExecutionBackend(
+        name="oracle",
+        description="eager pre-lowering tile math (correctness oracle)",
+        counters="measured",
+        supports_faults=True,
+    )
+)
+
+
+def get_backend(name: str) -> ExecutionBackend:
+    """Look up a backend; raises :class:`BackendError` on unknown names."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        known = ", ".join(sorted(_BACKENDS))
+        raise BackendError(
+            f"unknown execution backend {name!r} (known: {known})"
+        ) from None
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, registration order."""
+    return tuple(_BACKENDS)
+
+
+def default_backend() -> str:
+    """The session default: ``REPRO_BACKEND`` if set, else interpreter."""
+    name = os.environ.get(ENV_BACKEND, "").strip()
+    if not name:
+        return DEFAULT_BACKEND
+    if name not in _BACKENDS:
+        known = ", ".join(sorted(_BACKENDS))
+        raise BackendError(
+            f"{ENV_BACKEND}={name!r} is not a known execution backend "
+            f"(known: {known})"
+        )
+    return name
+
+
+def resolve_backend(
+    requested: str | None,
+    plan_default: str | None = None,
+    fault_mode: bool = False,
+) -> str:
+    """Resolve the backend an apply path should run.
+
+    ``requested`` (an explicit ``backend=`` argument) wins; otherwise the
+    plan's compiled-in backend, otherwise :func:`default_backend`.  Fault
+    mode (verify= / faults= / policy= / report=) needs the per-thread
+    interpreter: an *explicit* vectorized request is a typed error, while
+    a merely *defaulted* vectorized backend (plan default or
+    ``REPRO_BACKEND``) silently downgrades to the interpreter so fault
+    tests keep passing under a vectorized session default.
+    """
+    name = requested
+    if name is None:
+        name = plan_default if plan_default is not None else default_backend()
+    backend = get_backend(name)
+    if fault_mode and not backend.supports_faults:
+        if requested is not None:
+            raise BackendError(
+                f"backend {name!r} does not support ABFT verification or "
+                "fault injection; use backend='interpreter'"
+            )
+        return DEFAULT_BACKEND
+    return name
+
+
+#: sentinel distinguishing "oracle= not passed" from ``oracle=False`` so
+#: the deprecation shim only fires on explicit use
+ORACLE_UNSET = object()
+
+
+def shim_oracle(oracle, backend: str | None, stacklevel: int = 3) -> str | None:
+    """Map the deprecated ``oracle=`` flag onto ``backend=``.
+
+    Returns ``backend`` untouched when ``oracle`` is :data:`ORACLE_UNSET`;
+    otherwise emits a :class:`DeprecationWarning` and, when ``oracle`` is
+    truthy and no explicit backend was given, selects ``"oracle"``.
+    """
+    if oracle is ORACLE_UNSET:
+        return backend
+    warnings.warn(
+        "the oracle= parameter is deprecated; use backend='oracle' "
+        "(or backend='interpreter') instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    if backend is None and oracle:
+        return "oracle"
+    return backend
+
+
+def engine_backend(backend: str | None, oracle: bool = False) -> str:
+    """Resolve an engine-level ``backend=``/``oracle=`` pair.
+
+    Engines keep a plain ``oracle`` flag (they sit below the runtime
+    shims); an explicit ``backend`` wins over it.
+    """
+    if backend is None:
+        return "oracle" if oracle else "interpreter"
+    get_backend(backend)
+    return backend

@@ -41,6 +41,11 @@ from repro.errors import (
     ReproError,
     ShapeError,
 )
+from repro.runtime.backends import (
+    ORACLE_UNSET as _ORACLE_UNSET,
+    resolve_backend,
+    shim_oracle as _shim_oracle,
+)
 from repro.runtime.plan import StencilPlan
 from repro.tcu.counters import EventCounters
 from repro.tcu.device import Device
@@ -153,20 +158,27 @@ class Runtime:
         self,
         padded: np.ndarray,
         device: Device | None = None,
-        oracle: bool = False,
+        oracle=_ORACLE_UNSET,
         profiler=None,
         verify=None,
         faults=None,
         policy=None,
         report=None,
+        backend: str | None = None,
     ) -> tuple[np.ndarray, EventCounters]:
         """One faithful TCU sweep; returns ``(interior, counters)``.
 
-        The sweep interprets the plan's lowered tile program;
-        ``oracle=True`` runs the engine's eager tile computation instead
-        (the correctness oracle the schedule-equivalence suite compares
-        against — results are guaranteed bit-identical).  ``profiler``
-        opts into per-instruction attribution (see
+        ``backend`` selects the execution backend (``"interpreter"`` |
+        ``"vectorized"`` | ``"oracle"``), defaulting to the plan's
+        compiled-in backend; the interpreter steps the plan's lowered
+        tile program, ``"oracle"`` runs the engine's eager tile
+        computation instead (the correctness oracle the schedule-
+        equivalence suite compares against — results are guaranteed
+        bit-identical), and ``"vectorized"`` batches every tile of the
+        sweep (bit-identical grids and counters, but no fault
+        tolerance).  The ``oracle=`` flag is deprecated: passing it
+        warns, and ``oracle=True`` maps to ``backend="oracle"``.
+        ``profiler`` opts into per-instruction attribution (see
         :mod:`repro.telemetry.perf`).
 
         ``verify="abft"`` checksum-verifies every tile and staging copy
@@ -177,6 +189,16 @@ class Runtime:
         corruption; both tally into ``report`` (a
         :class:`repro.faults.FaultReport`).
         """
+        backend = _shim_oracle(oracle, backend)
+        fault_mode = (
+            bool(verify)
+            or faults is not None
+            or policy is not None
+            or report is not None
+        )
+        backend = resolve_backend(
+            backend, plan_default=self.plan.backend, fault_mode=fault_mode
+        )
         padded = np.asarray(padded, dtype=np.float64)
         _validate_finite(padded)
         if faults is not None:
@@ -198,11 +220,11 @@ class Runtime:
         return self.plan.engine.apply_simulated(
             padded,
             device=device,
-            oracle=oracle,
             profiler=profiler,
             verify=verify,
             policy=policy,
             report=report,
+            backend=backend,
         )
 
     def apply_simulated_batch(
@@ -259,6 +281,7 @@ class Runtime:
         faults=None,
         policy=None,
         report=None,
+        backend: str | None = None,
     ) -> tuple[np.ndarray, EventCounters]:
         """One grid's simulated sweep, tile-sharded along the first axis.
 
@@ -277,7 +300,18 @@ class Runtime:
         backoff, then recomputed inline in the calling thread as
         graceful degradation; only an exhausted policy raises a typed
         :class:`~repro.errors.FaultError` — never a partial grid.
+
+        ``backend`` threads into every shard's sweep (the vectorized
+        backend batches each shard's tiles on its private device; it
+        rejects fault-tolerant execution with a typed
+        :class:`~repro.errors.BackendError`).
         """
+        fault_mode = (
+            bool(verify) or faults is not None or policy is not None
+        )
+        backend = resolve_backend(
+            backend, plan_default=self.plan.backend, fault_mode=fault_mode
+        )
         padded = np.asarray(padded, dtype=np.float64)
         if padded.ndim != self.plan.ndim:
             raise ShapeError(
@@ -328,6 +362,7 @@ class Runtime:
                     verify=verify,
                     policy=policy,
                     report=report,
+                    backend=backend,
                 )
                 sp.add_events(counters)
                 return out, counters

@@ -20,6 +20,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.config import OptimizationConfig
+from repro.runtime.backends import (
+    ORACLE_UNSET as _ORACLE_UNSET,
+    default_backend,
+    get_backend,
+    resolve_backend,
+    shim_oracle as _shim_oracle,
+)
 from repro.runtime.cache import PlanCache
 from repro.runtime.executor import Runtime
 from repro.runtime.plan import StencilPlan, build_plan, plan_key
@@ -161,17 +168,25 @@ class CompiledStencil:
         device: Device | None = None,
         shards: int = 1,
         max_workers: int | None = None,
-        oracle: bool = False,
+        oracle=_ORACLE_UNSET,
         profiler=None,
         verify=None,
         faults=None,
         policy=None,
+        backend: str | None = None,
     ) -> tuple[np.ndarray, EventCounters]:
         """Faithful TCU sweep; returns ``(interior, counters)``.
 
-        The sweep interprets the plan's lowered tile program
-        (:attr:`program`); ``oracle=True`` runs the eager tile path
-        instead — bit-identical by the schedule-equivalence guarantee.
+        ``backend`` selects the execution backend (``"interpreter"`` |
+        ``"vectorized"`` | ``"oracle"``); it defaults to the plan's
+        compiled-in backend.  The interpreter steps the plan's lowered
+        tile program; ``backend="oracle"`` runs the eager tile path
+        instead — bit-identical by the schedule-equivalence guarantee;
+        ``backend="vectorized"`` batches every tile of the sweep with
+        bit-identical numerics and counters, but rejects fault-tolerant
+        execution (below) with a :class:`~repro.errors.BackendError`.
+        The ``oracle=`` flag is deprecated: passing it warns, and
+        ``oracle=True`` maps to ``backend="oracle"``.
         ``shards > 1`` splits the sweep along the first interior axis
         over a thread pool, one simulated device per shard, and merges
         the per-shard event counters (``device`` is then ignored).
@@ -199,7 +214,11 @@ class CompiledStencil:
                 "per-instruction profiling does not support sharded "
                 "execution (profiler accumulators are per-thread)"
             )
+        backend = _shim_oracle(oracle, backend)
         fault_mode = bool(verify) or faults is not None or policy is not None
+        backend = resolve_backend(
+            backend, plan_default=self.plan.backend, fault_mode=fault_mode
+        )
         report = None
         before = None
         if fault_mode:
@@ -223,17 +242,18 @@ class CompiledStencil:
                     faults=faults,
                     policy=policy,
                     report=report,
+                    backend=backend,
                 )
             else:
                 out, events = self.runtime.apply_simulated(
                     padded,
                     device=device,
-                    oracle=oracle,
                     profiler=profiler,
                     verify=verify,
                     faults=faults,
                     policy=policy,
                     report=report,
+                    backend=backend,
                 )
             sp.add_events(events)
             telemetry.absorb_events(events)
@@ -251,13 +271,17 @@ class CompiledStencil:
         padded: np.ndarray | None = None,
         size: int = 64,
         seed: int = 0,
+        backend: str | None = None,
     ):
         """Per-instruction profile of one simulated sweep.
 
         Delegates to :meth:`repro.runtime.plan.StencilPlan.profile`;
         returns a :class:`repro.telemetry.perf.PlanProfile`.
+        ``backend`` selects the profiled execution backend (vectorized
+        profiles attribute the same event totals in one record per
+        batched instruction).
         """
-        return self.plan.profile(padded, size=size, seed=seed)
+        return self.plan.profile(padded, size=size, seed=seed, backend=backend)
 
     def apply_simulated_batch(
         self,
@@ -293,13 +317,15 @@ def compile(
     tile_shape: tuple[int, int] | None = None,
     dtype: np.dtype | type | str = np.float64,
     cache: PlanCache | None = _MISSING,  # type: ignore[assignment]
+    backend: str | None = None,
 ) -> CompiledStencil:
     """Compile (or fetch from cache) a stencil execution plan.
 
     The single entry point unifying ``LoRAStencil1D/2D/3D``: dimension
     is inferred from the weights (or forced via ``ndim``), the heavy
     derivation work happens at most once per distinct
-    ``(weights, config, tile_shape, dtype)`` thanks to the plan cache.
+    ``(weights, config, tile_shape, dtype, backend)`` thanks to the
+    plan cache.
 
     Parameters
     ----------
@@ -317,18 +343,35 @@ def compile(
     cache:
         ``PlanCache`` to consult (default: the process-wide
         :data:`DEFAULT_PLAN_CACHE`); ``None`` compiles uncached.
+    backend:
+        Execution backend the plan's apply paths default to
+        (``"interpreter"`` | ``"vectorized"`` | ``"oracle"``); defaults
+        to :func:`repro.runtime.backends.default_backend` (the
+        ``REPRO_BACKEND`` environment variable, else the interpreter).
+        Part of the plan key: plans compiled for different backends
+        never alias in the cache.
     """
     if cache is _MISSING:
         cache = DEFAULT_PLAN_CACHE
+    if backend is None:
+        backend = default_backend()
+    else:
+        get_backend(backend)
     with telemetry.span("runtime.compile", category="runtime") as sp:
         if cache is None:
             sp.annotate(cache="bypass")
             return CompiledStencil(
-                build_plan(weights, ndim, config, tile_shape, dtype), None
+                build_plan(
+                    weights, ndim, config, tile_shape, dtype, backend=backend
+                ),
+                None,
             )
-        key = plan_key(weights, ndim, config, tile_shape, dtype)
+        key = plan_key(weights, ndim, config, tile_shape, dtype, backend=backend)
         plan = cache.get_or_build(
-            key, lambda: build_plan(weights, ndim, config, tile_shape, dtype)
+            key,
+            lambda: build_plan(
+                weights, ndim, config, tile_shape, dtype, backend=backend
+            ),
         )
         sp.annotate(key=key[:16])
         telemetry.absorb_cache_stats(cache.stats())

@@ -51,8 +51,10 @@ __all__ = ["StencilPlan", "plan_key", "build_plan", "canonical_weights"]
 
 #: Bump when the plan layout changes incompatibly — keys must not collide
 #: across layouts.  v2: plans carry the lowered tile program and the key
-#: covers the schedule knob.
-_KEY_VERSION = b"repro-stencil-plan-v2"
+#: covers the schedule knob.  v3: the key covers the execution backend,
+#: so a vectorized plan is never served where an interpreter plan was
+#: requested.
+_KEY_VERSION = b"repro-stencil-plan-v3"
 
 
 def canonical_weights(
@@ -93,15 +95,24 @@ def plan_key(
     config: OptimizationConfig | None = None,
     tile_shape: tuple[int, int] | None = None,
     dtype: np.dtype | type | str = np.float64,
+    backend: str | None = None,
 ) -> str:
     """Content hash of one plan's inputs (stable across processes).
 
     The key covers the exact weight values and shape, the optimization
-    config, the output tile shape and the compute dtype; two plans with
+    config, the output tile shape, the compute dtype and the execution
+    backend (``None`` resolves through
+    :func:`repro.runtime.backends.default_backend`); two plans with
     equal keys are interchangeable.
     """
+    from repro.runtime.backends import default_backend, get_backend
+
     arr, nd = canonical_weights(weights, ndim)
     cfg = config or OptimizationConfig()
+    if backend is None:
+        backend = default_backend()
+    else:
+        get_backend(backend)
     h = hashlib.sha256()
     h.update(_KEY_VERSION)
     h.update(f"ndim={nd};shape={arr.shape}".encode())
@@ -112,6 +123,7 @@ def plan_key(
     )
     h.update(f"tile={tuple(tile_shape) if tile_shape else None}".encode())
     h.update(f"dtype={np.dtype(dtype).name}".encode())
+    h.update(f"backend={backend}".encode())
     return h.hexdigest()
 
 
@@ -136,6 +148,8 @@ class StencilPlan:
     decomposition: Decomposition | None
     block: tuple[int, ...]
     lowered: LoweredProgram = field(repr=False)
+    #: execution backend the plan was compiled for (apply-path default)
+    backend: str = "interpreter"
 
     # -- structure --------------------------------------------------------
     @property
@@ -266,6 +280,7 @@ class StencilPlan:
         size: int = 64,
         seed: int = 0,
         device=None,
+        backend: str | None = None,
     ):
         """Per-instruction profile of one simulated sweep of this plan.
 
@@ -282,7 +297,8 @@ class StencilPlan:
         from repro.telemetry.perf import profile_plan
 
         return profile_plan(
-            self, padded, size=size, seed=seed, device=device
+            self, padded, size=size, seed=seed, device=device,
+            backend=backend,
         )
 
     # -- reporting --------------------------------------------------------
@@ -294,6 +310,7 @@ class StencilPlan:
             f"  method          {self.method}",
             f"  rank            {self.rank}",
             f"  config          {self.config.label()}",
+            f"  backend         {self.backend}",
             f"  block schedule  {'x'.join(map(str, self.block))}",
             f"  lowering        {self.lowered.describe()}",
             f"  mma per tile    {self.mma_per_tile}",
@@ -318,14 +335,19 @@ def build_plan(
     config: OptimizationConfig | None = None,
     tile_shape: tuple[int, int] | None = None,
     dtype: np.dtype | type | str = np.float64,
+    backend: str | None = None,
 ) -> StencilPlan:
     """Compile one plan from scratch (no cache consultation).
 
     This is the slow path :func:`repro.compile` runs on a cache miss: it
     drives the :mod:`repro.core.lowering` pass pipeline — decomposition,
-    canonical tile IR, instruction scheduling — and wraps the engine and
-    the lowered program in an immutable plan.
+    canonical tile IR, instruction scheduling, operand vectorization —
+    and wraps the engine and the lowered program in an immutable plan.
+    ``backend`` (default: :func:`~repro.runtime.backends.default_backend`)
+    becomes the plan's apply-path default.
     """
+    from repro.runtime.backends import default_backend, get_backend
+
     arr, nd = canonical_weights(weights, ndim)
     if np.dtype(dtype) != np.float64:
         raise ShapeError(
@@ -333,7 +355,11 @@ def build_plan(
             f"got {np.dtype(dtype).name}"
         )
     cfg = config or OptimizationConfig()
-    key = plan_key(arr, nd, cfg, tile_shape, dtype)
+    if backend is None:
+        backend = default_backend()
+    else:
+        get_backend(backend)
+    key = plan_key(arr, nd, cfg, tile_shape, dtype, backend=backend)
 
     if nd != 2 and tile_shape is not None:
         raise ShapeError("tile_shape applies to 2D plans only")
@@ -360,6 +386,7 @@ def build_plan(
         decomposition=decomposition,
         block=block,
         lowered=lowered,
+        backend=backend,
     )
 
 

@@ -240,13 +240,17 @@ def measure_reference(
     kernel: str = REFERENCE_WORKLOAD["kernel"],
     size: int = REFERENCE_WORKLOAD["size"],
     seed: int = REFERENCE_WORKLOAD["seed"],
+    backend: str | None = None,
 ) -> dict[str, Any]:
     """Run the reference workload; returns its joinable run-record.
 
     The record's ``extra`` carries the workload parameters (so a future
     check can re-run the *same* workload the baseline measured), the
-    plan-v2 hash and schedule name (joinable with plan-cache entries),
-    and the wall time of the sweep.
+    plan hash, schedule name and execution backend (joinable with
+    plan-cache entries), and the wall time of the sweep.  ``backend``
+    selects the execution backend; event counters are bit-identical
+    across backends, so a vectorized measurement stays comparable to an
+    interpreter baseline — only ``timing_s`` moves.
     """
     import numpy as np
 
@@ -260,7 +264,7 @@ def measure_reference(
     x = rng.normal(size=profile_shape(k.weights.ndim, size))
     padded = np.pad(x, k.weights.radius)
 
-    compiled = compile_stencil(k.weights)
+    compiled = compile_stencil(k.weights, backend=backend)
     t0 = time.perf_counter()
     _, events = compiled.apply_simulated(padded)
     elapsed = time.perf_counter() - t0
@@ -275,6 +279,7 @@ def measure_reference(
             "seed": seed,
             "plan_key": compiled.key,
             "schedule": compiled.schedule,
+            "backend": compiled.plan.backend,
             "timing_s": elapsed,
         },
     )

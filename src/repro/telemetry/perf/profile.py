@@ -65,9 +65,14 @@ class OpStats:
         self.time_ns = 0
         self.events = EventCounters()
 
-    def add(self, ns: int, delta: EventCounters) -> None:
-        """Fold one instruction's wall-time and event delta in."""
-        self.count += 1
+    def add(self, ns: int, delta: EventCounters, count: int = 1) -> None:
+        """Fold one instruction's wall-time and event delta in.
+
+        ``count`` lets a batched execution charge many per-tile
+        instruction instances in one call (the vectorized backend runs
+        each instruction once across all tiles).
+        """
+        self.count += count
         self.time_ns += ns
         self.events += delta
 
@@ -98,12 +103,19 @@ class InstrProfiler:
         self.sweeps: list[tuple[str, int, EventCounters]] = []
 
     # -- interpreter hook --------------------------------------------------
-    def record(self, ins, ns: int, delta: EventCounters) -> None:
-        """Charge one executed instruction (called by ``_run_instrs``)."""
+    def record(
+        self, ins, ns: int, delta: EventCounters, count: int = 1
+    ) -> None:
+        """Charge one executed instruction (called by ``_run_instrs``).
+
+        The vectorized backend passes ``count=n_tiles``: one batched
+        execution stands for that many per-tile instruction instances,
+        keeping :meth:`instr_count` backend-invariant.
+        """
         stats = self.by_op.get(ins.op)
         if stats is None:
             stats = self.by_op[ins.op] = OpStats()
-        stats.add(ns, delta)
+        stats.add(ns, delta, count)
         term = ins.meta.get("term")
         if term is not None:
             key = f"term {term}"
@@ -114,7 +126,7 @@ class InstrProfiler:
         tstats = self.by_term.get(key)
         if tstats is None:
             tstats = self.by_term[key] = OpStats()
-        tstats.add(ns, delta)
+        tstats.add(ns, delta, count)
 
     # -- sweep-driver hook -------------------------------------------------
     def note_sweep(self, spec, events: EventCounters) -> None:
@@ -287,12 +299,19 @@ def profile_plan(
     size: int = 64,
     seed: int = 0,
     device=None,
+    backend: str | None = None,
 ) -> PlanProfile:
     """Run one instrumented sweep of ``plan``; returns its profile.
 
     ``padded`` defaults to a seeded random grid of edge ``size`` padded
-    by the plan's radius.  Raises :class:`~repro.errors.PerfError` for
-    CUDA-core plans, which lower to no tensor-core program.
+    by the plan's radius.  ``backend`` selects the profiled execution
+    backend: the vectorized backend attributes the same event totals
+    per instruction (derived from a one-tile probe, scaled) and charges
+    ``n_tiles`` instruction instances per batched execution, so its
+    per-op/per-term breakdown *and* instruction counts match the
+    interpreter's bit-for-bit.  Raises
+    :class:`~repro.errors.PerfError` for CUDA-core plans, which lower
+    to no tensor-core program.
     """
     if not plan.config.use_tensor_cores:
         raise PerfError(
@@ -306,10 +325,12 @@ def profile_plan(
     else:
         padded = np.asarray(padded, dtype=np.float64)
 
+    if backend is None:
+        backend = getattr(plan, "backend", None)
     profiler = InstrProfiler()
     t0 = time.perf_counter_ns()
     _, events = plan.engine.apply_simulated(
-        padded, device=device, profiler=profiler
+        padded, device=device, profiler=profiler, backend=backend
     )
     wall = time.perf_counter_ns() - t0
 

@@ -56,6 +56,7 @@ class TestPipeline:
             "decompose",
             "build_tile_ir",
             "schedule",
+            "vectorize",
         ]
 
     def test_lower_records_pass_times(self):
@@ -64,6 +65,7 @@ class TestPipeline:
             "decompose",
             "build_tile_ir",
             "schedule",
+            "vectorize",
         ]
         assert all(t >= 0.0 for _, t in lowered.pass_times)
 
@@ -107,6 +109,7 @@ class TestPipeline:
             "lowering.decompose",
             "lowering.build_tile_ir",
             "lowering.schedule",
+            "lowering.vectorize",
             "lowering.audit",
         ]
 

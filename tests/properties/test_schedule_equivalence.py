@@ -7,6 +7,11 @@ a free optimization knob: the canonical ("eager") emission order, the
 prefetch schedule, and arbitrary randomized topological orders must all
 match the eager engine path exactly — across 1D/2D/3D plans and the
 BVS / async-copy config ablations.
+
+The same contract now gates the **vectorized backend**: the batched
+NumPy walk of the scheduled program must match both the interpreter and
+the oracle bit-for-bit, grids and EventCounters alike, under every
+schedule and ablation this suite sweeps.
 """
 
 import itertools
@@ -95,9 +100,16 @@ class TestProgramMatchesOracle:
         for config in _configs(schedule):
             compiled = repro.compile(WEIGHTS_2D, config=config, cache=None)
             out, ev = compiled.apply_simulated(padded)
-            ref_out, ref_ev = compiled.apply_simulated(padded, oracle=True)
+            ref_out, ref_ev = compiled.apply_simulated(
+                padded, backend="oracle"
+            )
+            vec_out, vec_ev = compiled.apply_simulated(
+                padded, backend="vectorized"
+            )
             assert np.array_equal(out, ref_out)
             assert ev == ref_ev
+            assert np.array_equal(out, vec_out)
+            assert ev == vec_ev
             assert np.allclose(
                 out, reference_apply(padded, WEIGHTS_2D), atol=1e-10
             )
@@ -108,9 +120,16 @@ class TestProgramMatchesOracle:
         for config in _configs(schedule):
             compiled = repro.compile(WEIGHTS_1D, config=config, cache=None)
             out, ev = compiled.apply_simulated(padded)
-            ref_out, ref_ev = compiled.apply_simulated(padded, oracle=True)
+            ref_out, ref_ev = compiled.apply_simulated(
+                padded, backend="oracle"
+            )
+            vec_out, vec_ev = compiled.apply_simulated(
+                padded, backend="vectorized"
+            )
             assert np.array_equal(out, ref_out)
             assert ev == ref_ev
+            assert np.array_equal(out, vec_out)
+            assert ev == vec_ev
             assert np.allclose(
                 out, reference_apply(padded, WEIGHTS_1D), atol=1e-10
             )
@@ -121,9 +140,16 @@ class TestProgramMatchesOracle:
         for config in _configs(schedule):
             compiled = repro.compile(WEIGHTS_3D, config=config, cache=None)
             out, ev = compiled.apply_simulated(padded)
-            ref_out, ref_ev = compiled.apply_simulated(padded, oracle=True)
+            ref_out, ref_ev = compiled.apply_simulated(
+                padded, backend="oracle"
+            )
+            vec_out, vec_ev = compiled.apply_simulated(
+                padded, backend="vectorized"
+            )
             assert np.array_equal(out, ref_out)
             assert ev == ref_ev
+            assert np.array_equal(out, vec_out)
+            assert ev == vec_ev
             assert np.allclose(
                 out, reference_apply(padded, WEIGHTS_3D), atol=1e-10
             )
@@ -190,7 +216,7 @@ class TestOracleWiring:
         assert compiled.program is None
         padded = _grid((16, 16), WEIGHTS_2D.radius)
         out, ev = compiled.apply_simulated(padded)
-        ref_out, ref_ev = compiled.apply_simulated(padded, oracle=True)
+        ref_out, ref_ev = compiled.apply_simulated(padded, backend="oracle")
         assert np.array_equal(out, ref_out)
         assert ev == ref_ev
 

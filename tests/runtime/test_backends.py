@@ -1,0 +1,351 @@
+"""The unified ``backend=`` execution API.
+
+Covers the registry itself, the backend-equivalence matrix (bit-identical
+grids AND EventCounters across interpreter / vectorized / oracle, over
+1D/2D/3D kernels and schedules), the fault-mode composition rules, the
+``oracle=`` deprecation shims, plan-key/plan-cache backend coverage, the
+``REPRO_BACKEND`` session default, and a hypothesis property over random
+grid shapes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.core.config import OptimizationConfig
+from repro.errors import BackendError
+from repro.runtime import PlanCache
+from repro.runtime.backends import (
+    DEFAULT_BACKEND,
+    ExecutionBackend,
+    _BACKENDS,
+    available_backends,
+    default_backend,
+    engine_backend,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.runtime.plan import plan_key
+from repro.stencil.kernels import get_kernel
+
+
+def _padded(weights, shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.pad(rng.normal(size=shape), weights.radius)
+
+
+BACKENDS = ("interpreter", "vectorized", "oracle")
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+class TestRegistry:
+    def test_builtin_backends_registered_in_order(self):
+        assert available_backends() == BACKENDS
+
+    def test_get_backend_attributes(self):
+        assert get_backend("interpreter").supports_faults
+        assert get_backend("oracle").supports_faults
+        vec = get_backend("vectorized")
+        assert not vec.supports_faults
+        assert vec.counters == "derived"
+        assert get_backend("interpreter").counters == "measured"
+
+    def test_unknown_backend_is_typed_error(self):
+        with pytest.raises(BackendError, match="unknown execution backend"):
+            get_backend("simd")
+
+    def test_register_backend_roundtrip(self):
+        custom = ExecutionBackend(
+            name="test-only",
+            description="registry round-trip fixture",
+            counters="measured",
+            supports_faults=False,
+        )
+        try:
+            assert register_backend(custom) is custom
+            assert get_backend("test-only") is custom
+            assert "test-only" in available_backends()
+        finally:
+            _BACKENDS.pop("test-only", None)
+
+    def test_engine_backend_resolution(self):
+        assert engine_backend(None) == "interpreter"
+        assert engine_backend(None, oracle=True) == "oracle"
+        assert engine_backend("vectorized", oracle=True) == "vectorized"
+        with pytest.raises(BackendError):
+            engine_backend("nope")
+
+
+# ---------------------------------------------------------------------------
+# backend-equivalence matrix: grids and counters bit-identical
+# ---------------------------------------------------------------------------
+EQUIV_CASES = [
+    ("1D5P", (257,)),
+    ("Heat-1D", (130,)),
+    ("Box-2D9P", (24, 40)),
+    ("Star-2D13P", (17, 23)),
+    ("Box-2D49P", (32, 32)),
+    ("Heat-3D", (4, 12, 16)),
+    ("Box-3D27P", (3, 10, 12)),
+]
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("name,shape", EQUIV_CASES)
+    def test_matrix(self, name, shape):
+        k = get_kernel(name)
+        compiled = repro.compile(k.weights, cache=None)
+        padded = _padded(k.weights, shape)
+        results = {
+            b: compiled.apply_simulated(padded, backend=b) for b in BACKENDS
+        }
+        out0, ev0 = results["interpreter"]
+        for b in ("vectorized", "oracle"):
+            out, ev = results[b]
+            assert np.array_equal(out0, out), b
+            assert ev0 == ev, b
+
+    @pytest.mark.parametrize("schedule", ["eager", "prefetch"])
+    def test_vectorized_tracks_schedule(self, schedule):
+        k = get_kernel("Box-2D9P")
+        config = OptimizationConfig(schedule=schedule)
+        compiled = repro.compile(k.weights, config=config, cache=None)
+        padded = _padded(k.weights, (24, 28))
+        out_i, ev_i = compiled.apply_simulated(padded)
+        out_v, ev_v = compiled.apply_simulated(padded, backend="vectorized")
+        assert np.array_equal(out_i, out_v)
+        assert ev_i == ev_v
+
+    def test_compiled_in_backend_is_apply_default(self):
+        k = get_kernel("Box-2D9P")
+        compiled = repro.compile(k.weights, cache=None, backend="vectorized")
+        assert compiled.plan.backend == "vectorized"
+        reference = repro.compile(k.weights, cache=None)
+        padded = _padded(k.weights, (16, 24))
+        out_v, ev_v = compiled.apply_simulated(padded)  # no backend= arg
+        out_i, ev_i = reference.apply_simulated(padded)
+        assert np.array_equal(out_i, out_v)
+        assert ev_i == ev_v
+
+    def test_sharded_backend_equivalence(self):
+        k = get_kernel("Box-2D9P")
+        compiled = repro.compile(k.weights, cache=None)
+        padded = _padded(k.weights, (48, 40))
+        out_i, ev_i = compiled.apply_simulated(padded, shards=3)
+        out_v, ev_v = compiled.apply_simulated(
+            padded, shards=3, backend="vectorized"
+        )
+        assert np.array_equal(out_i, out_v)
+        assert ev_i == ev_v
+
+    def test_cuda_core_plan_falls_back_silently(self):
+        # no lowered tile program exists; an explicit vectorized request
+        # runs the same eager CUDA-core path instead of erroring
+        k = get_kernel("Box-2D9P")
+        config = OptimizationConfig(use_tensor_cores=False)
+        compiled = repro.compile(k.weights, config=config, cache=None)
+        assert compiled.program is None
+        padded = _padded(k.weights, (16, 16))
+        out_i, ev_i = compiled.apply_simulated(padded)
+        out_v, ev_v = compiled.apply_simulated(padded, backend="vectorized")
+        assert np.array_equal(out_i, out_v)
+        assert ev_i == ev_v
+
+
+# ---------------------------------------------------------------------------
+# fault-mode composition rules
+# ---------------------------------------------------------------------------
+class TestFaultModeRules:
+    def test_explicit_vectorized_with_verify_raises(self):
+        k = get_kernel("Box-2D9P")
+        compiled = repro.compile(k.weights, cache=None)
+        padded = _padded(k.weights, (16, 16))
+        with pytest.raises(BackendError, match="does not support"):
+            compiled.apply_simulated(
+                padded, verify="abft", backend="vectorized"
+            )
+
+    def test_defaulted_vectorized_downgrades_for_verify(self):
+        # plan compiled for the vectorized backend: fault mode silently
+        # falls back to the interpreter rather than erroring
+        k = get_kernel("Box-2D9P")
+        compiled = repro.compile(k.weights, cache=None, backend="vectorized")
+        padded = _padded(k.weights, (16, 16))
+        out, ev = compiled.apply_simulated(padded, verify="abft")
+        ref_out, ref_ev = repro.compile(k.weights, cache=None).apply_simulated(
+            padded, verify="abft"
+        )
+        assert np.array_equal(out, ref_out)
+        assert ev == ref_ev
+
+    def test_resolve_backend_rules_directly(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert resolve_backend(None) == DEFAULT_BACKEND
+        assert resolve_backend(None, plan_default="vectorized") == "vectorized"
+        assert resolve_backend("oracle", plan_default="vectorized") == "oracle"
+        # defaulted vectorized + fault mode -> silent downgrade
+        assert (
+            resolve_backend(None, plan_default="vectorized", fault_mode=True)
+            == DEFAULT_BACKEND
+        )
+        with pytest.raises(BackendError, match="does not support"):
+            resolve_backend("vectorized", fault_mode=True)
+        with pytest.raises(BackendError, match="unknown execution backend"):
+            resolve_backend("nope")
+
+
+# ---------------------------------------------------------------------------
+# oracle= deprecation shims
+# ---------------------------------------------------------------------------
+class TestOracleDeprecation:
+    def test_facade_oracle_true_warns_and_still_works(self):
+        k = get_kernel("Box-2D9P")
+        compiled = repro.compile(k.weights, cache=None)
+        padded = _padded(k.weights, (16, 24))
+        ref_out, ref_ev = compiled.apply_simulated(padded, backend="oracle")
+        with pytest.warns(DeprecationWarning, match="oracle= parameter"):
+            out, ev = compiled.apply_simulated(padded, oracle=True)
+        assert np.array_equal(out, ref_out)
+        assert ev == ref_ev
+
+    def test_facade_oracle_false_warns_but_runs_default(self):
+        k = get_kernel("Box-2D9P")
+        compiled = repro.compile(k.weights, cache=None)
+        padded = _padded(k.weights, (16, 24))
+        ref_out, ref_ev = compiled.apply_simulated(padded)
+        with pytest.warns(DeprecationWarning, match="oracle= parameter"):
+            out, ev = compiled.apply_simulated(padded, oracle=False)
+        assert np.array_equal(out, ref_out)
+        assert ev == ref_ev
+
+    def test_executor_oracle_warns(self):
+        k = get_kernel("Box-2D9P")
+        compiled = repro.compile(k.weights, cache=None)
+        padded = _padded(k.weights, (16, 24))
+        with pytest.warns(DeprecationWarning, match="oracle= parameter"):
+            compiled.runtime.apply_simulated(padded, oracle=True)
+
+    def test_explicit_backend_wins_over_oracle_flag(self):
+        k = get_kernel("Box-2D9P")
+        compiled = repro.compile(k.weights, cache=None)
+        padded = _padded(k.weights, (16, 24))
+        ref_out, ref_ev = compiled.apply_simulated(padded, backend="vectorized")
+        with pytest.warns(DeprecationWarning):
+            out, ev = compiled.apply_simulated(
+                padded, oracle=True, backend="vectorized"
+            )
+        assert np.array_equal(out, ref_out)
+        assert ev == ref_ev
+
+    def test_no_warning_without_oracle_argument(self, recwarn):
+        k = get_kernel("Box-2D9P")
+        compiled = repro.compile(k.weights, cache=None)
+        compiled.apply_simulated(_padded(k.weights, (16, 16)))
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]
+
+
+# ---------------------------------------------------------------------------
+# plan-key v3 / plan-cache coverage
+# ---------------------------------------------------------------------------
+class TestPlanKeyAndCache:
+    def test_plan_key_covers_backend(self):
+        k = get_kernel("Box-2D9P")
+        w = k.weights.as_matrix()
+        keys = {plan_key(w, 2, backend=b) for b in BACKENDS}
+        assert len(keys) == len(BACKENDS)
+
+    def test_default_key_matches_explicit_interpreter(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        k = get_kernel("Box-2D9P")
+        w = k.weights.as_matrix()
+        assert plan_key(w, 2) == plan_key(w, 2, backend="interpreter")
+
+    def test_cache_roundtrip_per_backend(self):
+        k = get_kernel("Box-2D9P")
+        cache = PlanCache(maxsize=8)
+        vec = repro.compile(k.weights, cache=cache, backend="vectorized")
+        interp = repro.compile(k.weights, cache=cache, backend="interpreter")
+        assert vec.plan.key != interp.plan.key
+        again = repro.compile(k.weights, cache=cache, backend="vectorized")
+        assert again.plan is vec.plan  # cache hit, no recompilation
+        assert cache.stats().hits >= 1
+
+    def test_unknown_backend_rejected_at_compile(self):
+        k = get_kernel("Box-2D9P")
+        with pytest.raises(BackendError, match="unknown execution backend"):
+            repro.compile(k.weights, cache=None, backend="fpga")
+
+
+# ---------------------------------------------------------------------------
+# REPRO_BACKEND session default
+# ---------------------------------------------------------------------------
+class TestEnvDefault:
+    def test_env_selects_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "vectorized")
+        assert default_backend() == "vectorized"
+        k = get_kernel("Box-2D9P")
+        compiled = repro.compile(k.weights, cache=None)
+        assert compiled.plan.backend == "vectorized"
+
+    def test_env_unset_or_blank_is_interpreter(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert default_backend() == "interpreter"
+        monkeypatch.setenv("REPRO_BACKEND", "  ")
+        assert default_backend() == "interpreter"
+
+    def test_env_invalid_is_typed_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "turbo")
+        with pytest.raises(BackendError, match="REPRO_BACKEND"):
+            default_backend()
+
+    def test_env_default_matches_interpreter_numerics(self, monkeypatch):
+        k = get_kernel("Box-2D9P")
+        ref = repro.compile(k.weights, cache=None)
+        padded = _padded(k.weights, (16, 24))
+        ref_out, ref_ev = ref.apply_simulated(padded)
+        monkeypatch.setenv("REPRO_BACKEND", "vectorized")
+        compiled = repro.compile(k.weights, cache=None)
+        out, ev = compiled.apply_simulated(padded)
+        assert np.array_equal(out, ref_out)
+        assert ev == ref_ev
+
+
+# ---------------------------------------------------------------------------
+# hypothesis property: random grid shapes
+# ---------------------------------------------------------------------------
+class TestShapeProperty:
+    @given(
+        rows=st.integers(min_value=9, max_value=48),
+        cols=st.integers(min_value=9, max_value=48),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_2d_vectorized_matches_interpreter(self, rows, cols, seed):
+        k = get_kernel("Box-2D9P")
+        compiled = repro.compile(k.weights)  # default cache: reuse the plan
+        padded = _padded(k.weights, (rows, cols), seed=seed)
+        out_i, ev_i = compiled.apply_simulated(padded)
+        out_v, ev_v = compiled.apply_simulated(padded, backend="vectorized")
+        assert np.array_equal(out_i, out_v)
+        assert ev_i == ev_v
+
+    @given(
+        n=st.integers(min_value=65, max_value=400),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_1d_vectorized_matches_interpreter(self, n, seed):
+        k = get_kernel("1D5P")
+        compiled = repro.compile(k.weights)
+        padded = _padded(k.weights, (n,), seed=seed)
+        out_i, ev_i = compiled.apply_simulated(padded)
+        out_v, ev_v = compiled.apply_simulated(padded, backend="vectorized")
+        assert np.array_equal(out_i, out_v)
+        assert ev_i == ev_v

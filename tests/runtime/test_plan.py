@@ -68,11 +68,12 @@ class TestPlanKey:
     def test_stable_across_processes(self):
         """The key must not depend on PYTHONHASHSEED or process state."""
         w = get_kernel("Heat-2D").weights
-        here = plan_key(w)
+        here = plan_key(w, backend="interpreter")
         code = (
             "from repro.runtime import plan_key\n"
             "from repro.stencil.kernels import get_kernel\n"
-            "print(plan_key(get_kernel('Heat-2D').weights))\n"
+            "print(plan_key(get_kernel('Heat-2D').weights,"
+            " backend='interpreter'))\n"
         )
         out = subprocess.run(
             [sys.executable, "-c", code],
