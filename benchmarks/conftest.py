@@ -11,10 +11,14 @@ leaves the full set of paper artifacts on disk.
 
 Alongside each artifact, :func:`write_result` stamps a structured
 telemetry **run-record** (``benchmarks/results/records/<name>.json``,
-schema ``repro.telemetry.run-record/v1``) carrying the process-wide
+schema ``repro.telemetry.run-record/v3``) carrying the process-wide
 metrics registry and plan-cache stats at write time — the machine-
-readable sibling of the printed figure.  Records are schema-validated
-on write; ``tests/telemetry/test_run_records.py`` holds the contract.
+readable sibling of the printed figure.  The structured event log
+(``repro.telemetry.event/v1``) and shard-health snapshot fold in
+automatically whenever the benchmark produced events or ran sharded
+(see :func:`repro.telemetry.export.run_record`).  Records are
+schema-validated on write; ``tests/telemetry/test_run_records.py``
+holds the contract.
 
 Each record is *also* appended to the run-record history store
 (``benchmarks/results/records/history/<name>.jsonl``), which is what

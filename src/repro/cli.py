@@ -12,6 +12,8 @@
     python -m repro perf check --baseline BENCH_baseline.json  # regression gate
     python -m repro perf diff a.json b.json # compare two run-records
     python -m repro perf fidelity Box-2D9P  # paper equations vs measured
+    python -m repro perf trend --measure    # rolling median/MAD timing gate
+    python -m repro monitor health.json     # tail a running sharded sweep
     python -m repro fig8 [--kernels ...]    # figure/table drivers
     python -m repro fig9 / fig10 / table3
     python -m repro precision Heat-2D       # FP16 vs FP64 error growth
@@ -168,6 +170,41 @@ def build_parser() -> argparse.ArgumentParser:
     ph.add_argument("--root", default="benchmarks/results/records/history",
                     metavar="DIR")
 
+    pt = perf_sub.add_parser(
+        "trend",
+        help="statistical timing gate: latest run vs the rolling "
+             "median/MAD of the record history (exit 1 regressed, "
+             "2 insufficient history)",
+    )
+    pt.add_argument("name", nargs="?", default=None,
+                    help="history record name (default: the reference "
+                         "workload's perf-check record)")
+    pt.add_argument("--root", default="benchmarks/results/records/history",
+                    metavar="DIR", help="history store directory")
+    pt.add_argument("--measure", action="store_true",
+                    help="measure the reference workload first and append "
+                         "it to the history (the gated point)")
+    pt.add_argument("--repeats", type=int, default=3,
+                    help="sweep repetitions per measurement; the median "
+                         "timing is stamped (default 3)")
+    pt.add_argument("--kernel", default=None,
+                    help="workload kernel for --measure")
+    pt.add_argument("--size", type=int, default=None,
+                    help="grid edge for --measure")
+    pt.add_argument("--seed", type=int, default=None,
+                    help="input seed for --measure")
+    pt.add_argument("--metric", default="timing_s",
+                    help="extra.<metric> to gate (default timing_s)")
+    pt.add_argument("--window", type=int, default=None,
+                    help="rolling window size (default 8)")
+    pt.add_argument("--mad-scale", type=float, default=None,
+                    help="MAD sigma multiplier (default 4.0)")
+    pt.add_argument("--rel-floor", type=float, default=None,
+                    help="minimum relative allowance (default 0.05)")
+    _add_backend_flag(pt)
+    pt.add_argument("--json", action="store_true",
+                    help="emit the verdict as JSON")
+
     p = sub.add_parser("fig8", help="state-of-the-art comparison")
     p.add_argument("--kernels", nargs="*", default=None)
     p.add_argument("--best", action="store_true",
@@ -226,13 +263,31 @@ def build_parser() -> argparse.ArgumentParser:
                     help="negative control: inject without ABFT verification")
     cr.add_argument("--json", action="store_true")
     cr.add_argument("--record", default=None, metavar="PATH",
-                    help="write a run-record (with faults section) to PATH")
+                    help="write a run-record (with faults, trace, event-log "
+                         "and health sections) to PATH")
+    cr.add_argument("--events", default=None, metavar="PATH",
+                    help="write the structured event log as JSONL to PATH")
     cp = chaos_sub.add_parser(
         "report",
         help="print the faults sections of run-record files",
     )
     cp.add_argument("paths", nargs="+")
     cp.add_argument("--json", action="store_true")
+
+    p = sub.add_parser(
+        "monitor",
+        help="tail the live shard-health snapshot of a running sweep",
+    )
+    p.add_argument("path", nargs="?", default=None,
+                   help="health snapshot file (default: $REPRO_HEALTH_FILE)")
+    p.add_argument("--interval", type=float, default=0.5,
+                   help="poll interval in seconds (default 0.5)")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="give up after this many seconds (default 30)")
+    p.add_argument("--once", action="store_true",
+                   help="print one snapshot and exit")
+    p.add_argument("--json", action="store_true",
+                   help="print raw snapshot JSON instead of the table")
 
     p = sub.add_parser("trace", help="print the warp-op trace of one tile")
     p.add_argument("kernel")
@@ -723,6 +778,112 @@ def _cmd_perf_history(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf_trend(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.telemetry.perf import (
+        DEFAULT_MAD_SCALE,
+        DEFAULT_REL_FLOOR,
+        DEFAULT_WINDOW,
+        RunRecordStore,
+        measure_trend_point,
+        trend_gate,
+    )
+    from repro.telemetry.perf.history import REFERENCE_WORKLOAD
+
+    store = RunRecordStore(args.root)
+    name = args.name
+    if name is None:
+        kernel = args.kernel or REFERENCE_WORKLOAD["kernel"]
+        name = f"perf-check-{kernel}"
+    if args.measure:
+        record = measure_trend_point(
+            store,
+            repeats=args.repeats,
+            kernel=args.kernel,
+            size=args.size,
+            seed=args.seed,
+            backend=args.backend,
+        )
+        if not args.json:
+            print(f"measured {record['name']} "
+                  f"({record['extra']['timing_s']:.3f}s median of "
+                  f"{args.repeats} repeat(s)) -> {store.path_for(name)}")
+    stats = trend_gate(
+        store,
+        name,
+        metric=args.metric,
+        window=args.window if args.window is not None else DEFAULT_WINDOW,
+        mad_scale=(
+            args.mad_scale if args.mad_scale is not None else DEFAULT_MAD_SCALE
+        ),
+        rel_floor=(
+            args.rel_floor if args.rel_floor is not None else DEFAULT_REL_FLOOR
+        ),
+    )
+    if args.json:
+        print(json.dumps(stats.as_dict(), indent=1, sort_keys=True))
+    else:
+        print(stats.render())
+    if stats.insufficient:
+        return 2
+    return 0 if stats.ok else 1
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    """Tail the :data:`~repro.telemetry.health.ENV_HEALTH_FILE` snapshot.
+
+    Exit codes: 0 — every sweep in the snapshot finished; 1 — the
+    timeout expired with sweeps still in flight; 2 — no snapshot path
+    (argument or ``$REPRO_HEALTH_FILE``) or the file never appeared.
+    """
+    import json
+    import os
+    import pathlib
+    import time as time_mod
+
+    from repro.telemetry.health import ENV_HEALTH_FILE, render_snapshot
+
+    raw = args.path or os.environ.get(ENV_HEALTH_FILE, "").strip()
+    if not raw:
+        print(f"monitor: no snapshot path given and ${ENV_HEALTH_FILE} "
+              "is unset", file=sys.stderr)
+        return 2
+    path = pathlib.Path(raw)
+    deadline = time_mod.monotonic() + args.timeout
+    snapshot = None
+    while True:
+        if path.exists():
+            try:
+                snapshot = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                pass  # mid-replace read; keep the last good snapshot
+        if snapshot is not None:
+            sweeps = snapshot.get("sweeps", [])
+            finished = bool(sweeps) and all(s.get("done") for s in sweeps)
+            if args.json:
+                print(json.dumps(snapshot, sort_keys=True))
+            else:
+                print(render_snapshot(snapshot))
+            if args.once:
+                return 0
+            if finished:
+                print("monitor: all sweeps finished")
+                return 0
+        elif args.once:
+            print(f"monitor: snapshot {path} not found", file=sys.stderr)
+            return 2
+        if time_mod.monotonic() >= deadline:
+            if snapshot is None:
+                print(f"monitor: snapshot {path} never appeared "
+                      f"within {args.timeout:.0f}s", file=sys.stderr)
+                return 2
+            print(f"monitor: timed out after {args.timeout:.0f}s with "
+                  "sweeps still in flight", file=sys.stderr)
+            return 1
+        time_mod.sleep(args.interval)
+
+
 def _cmd_fig8(kernels: list[str] | None, include_best: bool = False) -> int:
     from repro.experiments import PAPER, format_table, run_fig8
 
@@ -1077,10 +1238,23 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
     verify = None if args.no_verify else "abft"
     failed = None
     out = None
+    # under --record/--events the injected sweep runs traced, so the
+    # record carries ONE merged trace (shard spans re-parented under the
+    # facade root) next to the structured event log and health snapshot
+    observe = bool(args.record or args.events)
+    if observe:
+        from repro import telemetry
+
+        observed = telemetry.capture()
+    else:
+        import contextlib
+
+        observed = contextlib.nullcontext()
     try:
-        out, events = compiled.apply_simulated(
-            x, shards=args.shards, verify=verify, faults=plan
-        )
+        with observed:
+            out, events = compiled.apply_simulated(
+                x, shards=args.shards, verify=verify, faults=plan
+            )
     except FaultError as exc:
         failed = exc
     report = compiled.last_fault_report
@@ -1138,6 +1312,13 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
                   + ("bit-identical to the fault-free sweep"
                      if identical else "NOT bit-identical — recovery BUG"))
 
+    if args.events:
+        from repro import telemetry
+
+        path = telemetry.write_event_log(args.events)
+        if not args.json:
+            print(f"event log written to {path} "
+                  f"({len(telemetry.EVENT_LOG)} event(s))")
     if args.record:
         from repro import telemetry
 
@@ -1231,7 +1412,10 @@ def _dispatch(args: argparse.Namespace) -> int:
             "diff": _cmd_perf_diff,
             "fidelity": _cmd_perf_fidelity,
             "history": _cmd_perf_history,
+            "trend": _cmd_perf_trend,
         }[args.perf_command](args)
+    if args.command == "monitor":
+        return _cmd_monitor(args)
     if args.command == "fig8":
         return _cmd_fig8(args.kernels, args.best)
     if args.command == "fig9":

@@ -34,6 +34,7 @@ import numpy as np
 from repro.errors import ShapeError
 from repro.tcu.counters import EventCounters
 from repro.tcu.device import Device
+from repro.telemetry.health import current_beat
 from repro.telemetry.spans import TRACER
 
 __all__ = ["SweepSpec", "run_block_sweep", "validate_padded"]
@@ -147,6 +148,11 @@ def run_block_sweep(
     numerics and counters, no per-tile hooks — so it refuses to combine
     with ``guard`` or a device-attached fault injector.
     """
+    beat = current_beat()
+    n_tiles = (
+        -(-spec.interior[0] // spec.tile[0])
+        * -(-spec.interior[1] // spec.tile[1])
+    )
     if vector is not None:
         from repro.core.vectorize import run_vector_sweep
 
@@ -157,9 +163,12 @@ def run_block_sweep(
                 "the vectorized backend does not support ABFT sweep "
                 "guards; use backend='interpreter'"
             )
-        return run_vector_sweep(
+        out = run_vector_sweep(
             padded2d, spec, vector, device=device, profiler=profiler
         )
+        if beat is not None:
+            beat(n_tiles, n_tiles)  # one-shot: all tiles at once
+        return out
     device = device or Device()
     injector = getattr(device, "injector", None)
     start = device.snapshot()
@@ -174,6 +183,8 @@ def run_block_sweep(
         np.zeros((rows, cols), dtype=np.float64), name="output"
     )
 
+    if beat is not None:
+        beat(0, n_tiles)
     with TRACER.span(
         "tcu.sweep", category="tcu", ndim=spec.ndim, shape=spec.shape_label
     ) as span:
@@ -239,6 +250,9 @@ def run_block_sweep(
                             ),
                             out_tile[:vr, :vc],
                         )
+                if beat is not None:
+                    # one heartbeat per block: the monitored cadence
+                    beat(-(-r_lim // t_r) * -(-c_lim // t_c))
         events = device.events_since(start)
         span.add_events(events)
     if profiler is not None:

@@ -42,6 +42,7 @@ from repro.errors import FaultError, InputValidationError
 from repro.faults.report import FaultReport
 from repro.tcu.counters import EventCounters
 from repro.tcu.warp import Warp
+from repro.telemetry.log import emit as emit_event
 
 __all__ = [
     "VERIFY_MODES",
@@ -172,13 +173,38 @@ class SweepGuard:
         if _clean():
             return
         self.report.bump("stage_detections")
-        for _ in range(self.policy.max_restages):
+        emit_event(
+            "recovery.stage_detected",
+            level="warning",
+            message=f"staged block ({br}, {bc}) differs from its DRAM source",
+            block=[int(br), int(bc)],
+        )
+        for restages in range(self.policy.max_restages):
             self.report.bump("restages")
+            emit_event(
+                "recovery.restage",
+                message=f"re-staging block ({br}, {bc})",
+                block=[int(br), int(bc)],
+                attempt=restages + 1,
+            )
             restage()
             if _clean():
                 self.report.bump("stage_recoveries")
+                emit_event(
+                    "recovery.stage_recovered",
+                    message=f"block ({br}, {bc}) clean after re-stage",
+                    block=[int(br), int(bc)],
+                    restages=restages + 1,
+                )
                 return
         self.report.bump("unrecovered")
+        emit_event(
+            "recovery.unrecovered",
+            level="error",
+            message=f"staging at block ({br}, {bc}) exhausted re-stages",
+            block=[int(br), int(bc)],
+            restages=self.policy.max_restages,
+        )
         raise FaultError(
             f"shared-memory staging at block ({br}, {bc}) stayed corrupted "
             f"after {self.policy.max_restages} re-stage attempts"
@@ -210,26 +236,60 @@ class SweepGuard:
         if _checksums_equal(out_tile, ref):
             return out_tile
         self.report.bump("tile_detections")
+        emit_event(
+            "recovery.tile_detected",
+            level="warning",
+            message=f"tile ({tr}, {tc}) failed ABFT checksum verification",
+            tile=[int(tr), int(tc)],
+        )
         injector = getattr(warp, "injector", None)
 
         def _seek() -> None:
             if injector is not None and mma_mark is not None:
                 injector.mma_seek(mma_mark)
 
-        for _ in range(self.policy.max_tile_retries):
+        for retries in range(self.policy.max_tile_retries):
             self.report.bump("tile_retries")
+            emit_event(
+                "recovery.tile_retry",
+                message=f"recomputing tile ({tr}, {tc})",
+                tile=[int(tr), int(tc)],
+                attempt=retries + 1,
+            )
             _seek()
             candidate = compute_tile(warp, smem, tr, tc)
             if _checksums_equal(candidate, ref):
                 self.report.bump("tile_recoveries")
+                emit_event(
+                    "recovery.tile_recovered",
+                    message=f"tile ({tr}, {tc}) verified after recompute",
+                    tile=[int(tr), int(tc)],
+                    retries=retries + 1,
+                )
                 return candidate
         if self.policy.oracle_fallback:
             _seek()
             candidate = self.reference(warp, smem, tr, tc)
             if _checksums_equal(candidate, ref):
                 self.report.bump("oracle_fallbacks")
+                emit_event(
+                    "recovery.oracle_fallback",
+                    level="warning",
+                    message=(
+                        f"tile ({tr}, {tc}) fell back to the oracle "
+                        "tile computation"
+                    ),
+                    tile=[int(tr), int(tc)],
+                )
                 return candidate
         self.report.bump("unrecovered")
+        emit_event(
+            "recovery.unrecovered",
+            level="error",
+            message=f"tile ({tr}, {tc}) exhausted the recovery ladder",
+            tile=[int(tr), int(tc)],
+            retries=self.policy.max_tile_retries,
+        )
         raise FaultError(
             f"tile at block-local ({tr}, {tc}) failed ABFT verification "
             f"after {self.policy.max_tile_retries} recomputations"

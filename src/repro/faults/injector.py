@@ -144,6 +144,19 @@ class FaultInjector:
         with self._lock:
             self.events.append(event)
         self.report.record_injection(spec.kind)
+        from repro.telemetry.log import emit
+
+        fields = {
+            "fault_kind" if k == "kind" else k: v
+            for k, v in event.items()
+            if v is not None
+        }
+        emit(
+            "fault.injected",
+            level="warning",
+            message=f"injected {spec.kind} fault at site {spec.site}",
+            **fields,
+        )
         if TRACER.enabled:
             with TRACER.span(
                 "fault.inject",

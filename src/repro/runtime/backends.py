@@ -155,8 +155,39 @@ def resolve_backend(
                 f"backend {name!r} does not support ABFT verification or "
                 "fault injection; use backend='interpreter'"
             )
+        _signal_downgrade(name, DEFAULT_BACKEND)
         return DEFAULT_BACKEND
     return name
+
+
+def _signal_downgrade(requested: str, resolved: str) -> None:
+    """Make a defaulted-backend downgrade observable.
+
+    A fault run under a vectorized session default (``REPRO_BACKEND``
+    or a plan compiled with ``backend="vectorized"``) must fall back to
+    the interpreter — but silently losing an order of magnitude of
+    speedup is exactly the kind of decision the observability plane
+    exists to surface.  One counter bump plus one structured warning
+    event per downgrade.
+    """
+    from repro.telemetry.log import emit
+    from repro.telemetry.metrics import REGISTRY
+
+    REGISTRY.counter(
+        "repro_backend_downgrades_total",
+        help="fault-mode executions downgraded to the interpreter backend",
+    ).inc()
+    emit(
+        "backend.downgrade",
+        level="warning",
+        message=(
+            f"fault-tolerant execution downgraded backend {requested!r} "
+            f"-> {resolved!r} (no fault support)"
+        ),
+        requested=requested,
+        resolved=resolved,
+        reason="fault_mode",
+    )
 
 
 #: sentinel distinguishing "oracle= not passed" from ``oracle=False`` so

@@ -86,15 +86,27 @@ class PlanCache:
     def put(self, plan: StencilPlan) -> None:
         """Insert ``plan`` under its own key, evicting the LRU entry if
         the cache is full."""
+        evicted: list[str] = []
         with self._lock:
             if plan.key in self._plans:
                 self._plans.move_to_end(plan.key)
                 self._plans[plan.key] = plan
                 return
             while len(self._plans) >= self.maxsize:
-                self._plans.popitem(last=False)
+                key, _ = self._plans.popitem(last=False)
                 self._evictions += 1
+                evicted.append(key)
             self._plans[plan.key] = plan
+        for key in evicted:
+            from repro.telemetry.log import emit
+
+            emit(
+                "plan_cache.evict",
+                message="LRU eviction of a compiled plan",
+                evicted_key=key,
+                inserted_key=plan.key,
+                maxsize=self.maxsize,
+            )
 
     def get_or_build(
         self, key: str, builder: Callable[[], StencilPlan]

@@ -49,7 +49,9 @@ from repro.runtime.backends import (
 from repro.runtime.plan import StencilPlan
 from repro.tcu.counters import EventCounters
 from repro.tcu.device import Device
-from repro.telemetry.spans import TRACER
+from repro.telemetry.context import TraceContext
+from repro.telemetry.health import HEALTH
+from repro.telemetry.log import emit as emit_event
 
 __all__ = ["Runtime"]
 
@@ -134,9 +136,16 @@ class Runtime:
         per-grid applies overlap.
         """
         batch = self._stack(grids)
+        ctx = TraceContext.capture()
+
+        def _apply_grid(i: int, grid: np.ndarray) -> np.ndarray:
+            with ctx.span("runtime.batch_grid", category="runtime", grid=i):
+                return self.plan.engine.apply(grid)
+
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
             futures = [
-                pool.submit(self.plan.engine.apply, grid) for grid in batch
+                pool.submit(_apply_grid, i, grid)
+                for i, grid in enumerate(batch)
             ]
             outs = []
             for i, future in enumerate(futures):
@@ -239,12 +248,12 @@ class Runtime:
         batch footprint.  Returns ``(stacked interiors, merged counters)``.
         """
         batch = self._stack(grids)
-        parent = TRACER.current()
+        ctx = TraceContext.capture()
 
         def _run_grid(item):
             i, grid = item
-            with TRACER.span(
-                "runtime.batch_grid", category="runtime", parent=parent, grid=i
+            with ctx.span(
+                "runtime.batch_grid", category="runtime", grid=i
             ) as sp:
                 out, counters = self.apply_simulated(grid, device=Device())
                 sp.add_events(counters)
@@ -325,7 +334,8 @@ class Runtime:
                 f"padded input {padded.shape} too small for radius {h}"
             )
         bounds = _shard_bounds(n0, shards, self._shard_align())
-        parent = TRACER.current()
+        ctx = TraceContext.capture()
+        sweep_health = HEALTH.start_sweep(f"sharded-{self.plan.key[:12]}")
 
         injector = None
         if faults is not None:
@@ -345,49 +355,57 @@ class Runtime:
         self.last_fault_report = report
 
         def _worker(i: int, s0: int, s1: int):
-            if injector is not None:
-                injector.on_shard(i)
             sub = padded[s0 : s1 + 2 * h]
-            with TRACER.span(
+            with ctx.span(
                 "runtime.shard",
                 category="runtime",
-                parent=parent,
                 shard=i,
                 rows=f"{s0}:{s1}",
             ) as sp:
-                device = Device(injector=injector)
-                out, counters = self.plan.engine.apply_simulated(
-                    sub,
-                    device=device,
-                    verify=verify,
-                    policy=policy,
-                    report=report,
-                    backend=backend,
-                )
-                sp.add_events(counters)
-                return out, counters
+                # inside the span: an injected crash/hang renders as part
+                # of this shard's lane, not as an orphan root
+                if injector is not None:
+                    injector.on_shard(i)
+                with HEALTH.bind(sweep_health.shard(i, rows=f"{s0}:{s1}")):
+                    device = Device(injector=injector)
+                    out, counters = self.plan.engine.apply_simulated(
+                        sub,
+                        device=device,
+                        verify=verify,
+                        policy=policy,
+                        report=report,
+                        backend=backend,
+                    )
+                    sp.add_events(counters)
+                    return out, counters
 
-        if not supervised:
-            results_list = []
-            with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                futures = [
-                    pool.submit(_worker, i, s0, s1)
-                    for i, (s0, s1) in enumerate(bounds)
-                ]
-                for i, future in enumerate(futures):
-                    s0, s1 = bounds[i]
-                    try:
-                        results_list.append(future.result())
-                    except ReproError:
-                        raise
-                    except Exception as exc:
-                        raise ExecutionError(
-                            f"shard {i} of {len(bounds)} (rows {s0}:{s1}) "
-                            f"failed: {exc}"
-                        ) from exc
-            results = dict(enumerate(results_list))
-        else:
-            results = self._supervise_shards(bounds, _worker, policy, report, max_workers)
+        try:
+            if not supervised:
+                results_list = []
+                with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                    futures = [
+                        pool.submit(_worker, i, s0, s1)
+                        for i, (s0, s1) in enumerate(bounds)
+                    ]
+                    for i, future in enumerate(futures):
+                        s0, s1 = bounds[i]
+                        try:
+                            results_list.append(future.result())
+                        except ReproError:
+                            raise
+                        except Exception as exc:
+                            raise ExecutionError(
+                                f"shard {i} of {len(bounds)} (rows {s0}:{s1}) "
+                                f"failed: {exc}"
+                            ) from exc
+                results = dict(enumerate(results_list))
+            else:
+                results = self._supervise_shards(
+                    bounds, _worker, policy, report, max_workers, sweep_health
+                )
+        finally:
+            HEALTH.publish()
+            HEALTH.write_file()
 
         out = np.concatenate(
             [results[i][0] for i in range(len(bounds))], axis=0
@@ -398,13 +416,16 @@ class Runtime:
         return out, merged
 
     def _supervise_shards(
-        self, bounds, worker, policy, report, max_workers
+        self, bounds, worker, policy, report, max_workers, sweep_health=None
     ) -> dict[int, tuple]:
         """Run shard workers under the recovery policy.
 
         Timeout/crash → capped exponential-backoff resubmission
         (``policy.shard_retries`` rounds) → inline recomputation in the
         calling thread → typed :class:`~repro.errors.FaultError`.
+        Every decision the supervisor takes — a timeout, a crash, a
+        backoff delay, a recovery — lands in the structured event log,
+        and resubmissions bump the shard's live health gauges.
         """
         results: dict[int, tuple] = {}
         pending = dict(enumerate(bounds))
@@ -425,13 +446,40 @@ class Runtime:
                         )
                         if i in failed_ever:
                             report.bump("shard_recoveries")
+                            emit_event(
+                                "shard.recovered",
+                                message=f"shard {i} recovered on resubmission",
+                                shard=i,
+                                rows=f"{s0}:{s1}",
+                                attempt=attempt,
+                            )
                     except FutureTimeoutError:
                         report.bump("shard_timeouts")
+                        emit_event(
+                            "shard.timeout",
+                            level="warning",
+                            message=(
+                                f"shard {i} exceeded the "
+                                f"{policy.shard_timeout_s}s policy timeout"
+                            ),
+                            shard=i,
+                            rows=f"{s0}:{s1}",
+                            timeout_s=policy.shard_timeout_s,
+                            attempt=attempt,
+                        )
                         failed[i] = (s0, s1)
-                    except FaultError:
+                    except FaultError as exc:
                         # injected crash, or a shard whose own recovery
                         # ladder was exhausted — worth a fresh attempt
                         report.bump("shard_crashes")
+                        emit_event(
+                            "shard.crash",
+                            level="warning",
+                            message=f"shard {i} crashed: {exc}",
+                            shard=i,
+                            rows=f"{s0}:{s1}",
+                            attempt=attempt,
+                        )
                         failed[i] = (s0, s1)
                     except ReproError:
                         raise
@@ -450,25 +498,62 @@ class Runtime:
                     policy.backoff_cap_s,
                     policy.backoff_base_s * (2.0**attempt),
                 )
+                emit_event(
+                    "shard.backoff",
+                    message=(
+                        f"backing off {delay:.3f}s before resubmitting "
+                        f"{len(pending)} shard(s)"
+                    ),
+                    delay_s=delay,
+                    attempt=attempt,
+                    shards=sorted(pending),
+                )
                 if delay > 0:
                     time.sleep(delay)
                 report.bump("shard_retries", len(pending))
+                if sweep_health is not None:
+                    for i in pending:
+                        sweep_health.shard(i).bump_retries()
                 attempt += 1
         for i in sorted(pending):
             s0, s1 = pending[i]
             if policy.inline_fallback:
                 try:
+                    emit_event(
+                        "shard.inline_recovery",
+                        level="warning",
+                        message=(
+                            f"recomputing shard {i} inline after "
+                            f"{policy.shard_retries} backoff retries"
+                        ),
+                        shard=i,
+                        rows=f"{s0}:{s1}",
+                    )
                     results[i] = worker(i, s0, s1)
                     report.bump("shard_inline_recoveries")
                     continue
                 except Exception as exc:
                     report.bump("unrecovered")
+                    emit_event(
+                        "shard.unrecovered",
+                        level="error",
+                        message=f"shard {i} exhausted the recovery ladder",
+                        shard=i,
+                        rows=f"{s0}:{s1}",
+                    )
                     raise FaultError(
                         f"shard {i} (rows {s0}:{s1}) failed after "
                         f"{policy.shard_retries} backoff retries and "
                         f"inline recomputation: {exc}"
                     ) from exc
             report.bump("unrecovered")
+            emit_event(
+                "shard.unrecovered",
+                level="error",
+                message=f"shard {i} exhausted the recovery ladder",
+                shard=i,
+                rows=f"{s0}:{s1}",
+            )
             raise FaultError(
                 f"shard {i} (rows {s0}:{s1}) failed after "
                 f"{policy.shard_retries} backoff retries "

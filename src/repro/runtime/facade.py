@@ -216,9 +216,6 @@ class CompiledStencil:
             )
         backend = _shim_oracle(oracle, backend)
         fault_mode = bool(verify) or faults is not None or policy is not None
-        backend = resolve_backend(
-            backend, plan_default=self.plan.backend, fault_mode=fault_mode
-        )
         report = None
         before = None
         if fault_mode:
@@ -233,6 +230,11 @@ class CompiledStencil:
             plan=self.key[:16],
             shards=shards,
         ) as sp:
+            # resolved inside the span so a backend.downgrade decision
+            # joins the sweep's trace like every other decision
+            backend = resolve_backend(
+                backend, plan_default=self.plan.backend, fault_mode=fault_mode
+            )
             if shards > 1:
                 out, events = self.runtime.apply_simulated_sharded(
                     padded,

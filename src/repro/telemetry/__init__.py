@@ -38,7 +38,16 @@ from __future__ import annotations
 
 import contextlib
 
-from repro.telemetry import export, metrics, spans, validate
+from repro.telemetry import (
+    context,
+    export,
+    health,
+    log,
+    metrics,
+    spans,
+    validate,
+)
+from repro.telemetry.context import NULL_CONTEXT, TraceContext, WorkerTracer
 from repro.telemetry.export import (
     load_chrome_trace,
     run_record,
@@ -47,17 +56,32 @@ from repro.telemetry.export import (
     write_chrome_trace,
     write_run_record,
 )
+from repro.telemetry.health import HEALTH, HealthRegistry
+from repro.telemetry.log import EVENT_LOG, EventLog, emit, write_event_log
 from repro.telemetry.metrics import REGISTRY, MetricsRegistry
 from repro.telemetry.spans import NULL_SPAN, TRACER, Span, Tracer
-from repro.telemetry.validate import TelemetryError, validate_run_record
+from repro.telemetry.validate import (
+    TelemetryError,
+    validate_event,
+    validate_run_record,
+)
 
 __all__ = [
     "Span",
     "Tracer",
     "TRACER",
     "NULL_SPAN",
+    "TraceContext",
+    "NULL_CONTEXT",
+    "WorkerTracer",
     "MetricsRegistry",
     "REGISTRY",
+    "EventLog",
+    "EVENT_LOG",
+    "emit",
+    "write_event_log",
+    "HealthRegistry",
+    "HEALTH",
     "TelemetryError",
     "span",
     "trace",
@@ -75,8 +99,12 @@ __all__ = [
     "run_record",
     "write_run_record",
     "to_prometheus",
+    "validate_event",
     "validate_run_record",
+    "context",
     "export",
+    "health",
+    "log",
     "metrics",
     "spans",
     "validate",
@@ -108,9 +136,12 @@ def is_enabled() -> bool:
 
 
 def reset() -> None:
-    """Clear collected spans and metrics (the enabled switch is kept)."""
+    """Clear collected spans, metrics, events and health state (the
+    enabled switch is kept)."""
     TRACER.clear()
     REGISTRY.clear()
+    EVENT_LOG.clear()
+    HEALTH.clear()
 
 
 @contextlib.contextmanager

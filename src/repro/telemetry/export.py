@@ -40,18 +40,23 @@ __all__ = [
     "run_record",
     "write_run_record",
     "to_prometheus",
+    "escape_label_value",
+    "format_labels",
 ]
 
 #: schema identifiers embedded in (and required of) emitted documents
 CHROME_TRACE_SCHEMA = "repro.telemetry.chrome-trace/v1"
-RUN_RECORD_SCHEMA = "repro.telemetry.run-record/v2"
+RUN_RECORD_SCHEMA = "repro.telemetry.run-record/v3"
 FIDELITY_REPORT_SCHEMA = "repro.telemetry.fidelity-report/v1"
 
 #: run-record schema versions the validator accepts: v2 added the
-#: optional ``faults`` section (injection/detection/recovery ledger);
-#: v1 records (committed baselines, old histories) remain valid.
+#: optional ``faults`` section (injection/detection/recovery ledger),
+#: v3 the optional ``log`` (structured event stream) and ``health``
+#: (shard heartbeat snapshot) sections; v1/v2 records (committed
+#: baselines, old histories) remain valid.
 RUN_RECORD_SCHEMAS = (
     "repro.telemetry.run-record/v1",
+    "repro.telemetry.run-record/v2",
     RUN_RECORD_SCHEMA,
 )
 
@@ -65,6 +70,7 @@ def span_to_dict(span: Span) -> dict[str, Any]:
         "name": span.name,
         "category": span.category,
         "span_id": span.span_id,
+        "trace_id": span.trace_id,
         "thread": span.thread_name,
         "start_ns": span.start_ns,
         "duration_ns": span.duration_ns,
@@ -99,6 +105,7 @@ def to_chrome_trace(
             args: dict[str, Any] = {
                 "span_id": span.span_id,
                 "parent_id": span.parent.span_id if span.parent else None,
+                "trace_id": span.trace_id,
             }
             if span.attrs:
                 args["attrs"] = {k: _jsonable(v) for k, v in span.attrs.items()}
@@ -164,6 +171,7 @@ class LoadedSpan:
         self.dur_us: float = float(event["dur"])
         self.span_id = args.get("span_id")
         self.parent_id = args.get("parent_id")
+        self.trace_id = args.get("trace_id")
         self.attrs: dict[str, Any] = args.get("attrs", {})
         self.events: dict[str, int] | None = args.get("events")
         self.children: list[LoadedSpan] = []
@@ -215,6 +223,8 @@ def run_record(
     cache_stats=None,
     counters=None,
     faults=None,
+    log=None,
+    health=None,
     extra: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """One structured, schema-tagged record of a run.
@@ -224,11 +234,17 @@ def run_record(
     was off), ``metrics`` the registry snapshot, ``cache`` the plan-
     cache stats, ``events`` a raw counter dict, ``faults`` the
     injection/detection/recovery ledger (a
-    :class:`repro.faults.FaultReport` or its ``as_dict()``), and
-    ``extra`` whatever the producer wants stamped (artifact paths, CLI
-    args, figures).
+    :class:`repro.faults.FaultReport` or its ``as_dict()``), ``log``
+    the structured event stream (defaults to the process-wide
+    :data:`~repro.telemetry.log.EVENT_LOG` when it holds events; pass
+    ``log=False`` to omit), ``health`` the shard heartbeat snapshot
+    (same convention against
+    :data:`~repro.telemetry.health.HEALTH`), and ``extra`` whatever
+    the producer wants stamped (artifact paths, CLI args, figures).
     """
     from repro.tcu.trace import recorder_stats
+    from repro.telemetry.health import HEALTH
+    from repro.telemetry.log import EVENT_LOG, EventLog
 
     tracer = tracer or TRACER
     record: dict[str, Any] = {
@@ -257,6 +273,16 @@ def run_record(
     if faults is not None:
         record["faults"] = (
             faults if isinstance(faults, dict) else faults.as_dict()
+        )
+    if log is None:
+        log = EVENT_LOG if len(EVENT_LOG) else False
+    if log is not False:
+        record["log"] = log.snapshot() if isinstance(log, EventLog) else log
+    if health is None:
+        health = HEALTH if HEALTH.sweeps() else False
+    if health is not False:
+        record["health"] = (
+            health if isinstance(health, dict) else health.snapshot()
         )
     record["extra"] = {k: _jsonable(v) for k, v in (extra or {}).items()}
     return record
@@ -333,7 +359,110 @@ def to_prometheus(
         gauge = f"repro_warp_trace_{key}"
         lines.append(f"# TYPE {gauge} gauge")
         lines.append(f"{gauge} {_fmt(value)}")
+    lines.extend(_event_log_lines())
+    lines.extend(_health_lines())
     return "\n".join(lines) + "\n"
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a Prometheus label value per the text-format spec.
+
+    Backslash, double-quote and newline are the three characters the
+    exposition format requires escaping inside ``label="value"``.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def format_labels(labels: dict[str, Any]) -> str:
+    """Render a ``{name="value",...}`` label set, sorted and escaped.
+
+    Returns an empty string for an empty label set, so
+    ``f"{name}{format_labels(labels)} {value}"`` is always a legal
+    sample line.
+    """
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{escape_label_value(value)}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _event_log_lines() -> list[str]:
+    """Ring-health gauges of the process-wide structured event log."""
+    from repro.telemetry.log import EVENT_LOG
+
+    lines = []
+    for key, help_text, value in (
+        (
+            "repro_event_log_events",
+            "structured events retained in the ring buffer",
+            len(EVENT_LOG),
+        ),
+        (
+            "repro_event_log_dropped",
+            "structured events dropped by the bounded ring",
+            EVENT_LOG.dropped,
+        ),
+        (
+            "repro_event_log_max_events",
+            "capacity of the structured event ring buffer",
+            EVENT_LOG.max_events,
+        ),
+    ):
+        lines.append(f"# HELP {key} {help_text}")
+        lines.append(f"# TYPE {key} gauge")
+        lines.append(f"{key} {_fmt(value)}")
+    return lines
+
+
+def _health_lines() -> list[str]:
+    """Per-shard labeled gauges from the live health registry.
+
+    Output ordering is deterministic: gauge name, then sweep
+    registration order, then shard index; label keys sort inside each
+    sample.
+    """
+    from repro.telemetry.health import HEALTH
+
+    rows = list(HEALTH.shard_rows())
+    if not rows:
+        return []
+    gauges = (
+        ("repro_health_shard_tiles_done", "tiles completed by the shard",
+         lambda s: s.tiles_done),
+        ("repro_health_shard_tiles_total", "shard tile denominator",
+         lambda s: s.tiles_total),
+        ("repro_health_shard_retries", "supervisor resubmissions of the shard",
+         lambda s: s.retries),
+        ("repro_health_shard_last_beat_age_seconds",
+         "seconds since the shard's last heartbeat",
+         lambda s: time.time() - s.last_beat),
+        ("repro_health_shard_running",
+         "1 while the shard is in a non-terminal state",
+         lambda s: int(s.state not in ("done", "failed"))),
+    )
+    lines = []
+    for name, help_text, value_of in gauges:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} gauge")
+        for sweep, shard in rows:
+            labels = format_labels(
+                {
+                    "sweep": sweep.sweep_id,
+                    "name": sweep.name,
+                    "shard": shard.shard,
+                    "state": shard.state,
+                }
+            )
+            lines.append(f"{name}{labels} {_fmt(value_of(shard))}")
+    return lines
 
 
 def _fmt(value: float) -> str:

@@ -10,7 +10,10 @@ Three modules, one pipeline:
   predictions (Eq. 12/14/16, Sec. III-B/III-C) against measured events
   (``repro perf fidelity``);
 * :mod:`repro.telemetry.perf.history` — append run-records to a JSONL
-  history and gate on a committed baseline (``repro perf check/diff``).
+  history and gate on a committed baseline (``repro perf check/diff``);
+* :mod:`repro.telemetry.perf.trend` — statistical gating of wall
+  timings against the rolling median/MAD of that history
+  (``repro perf trend``).
 
 This package is imported lazily by the runtime (``StencilPlan.profile``)
 and never eagerly from :mod:`repro.telemetry` — its history module
@@ -42,6 +45,15 @@ from repro.telemetry.perf.profile import (
     profile_plan,
     profile_shape,
 )
+from repro.telemetry.perf.trend import (
+    DEFAULT_MAD_SCALE,
+    DEFAULT_REL_FLOOR,
+    DEFAULT_WINDOW,
+    MIN_HISTORY,
+    TrendStats,
+    measure_trend_point,
+    trend_gate,
+)
 
 __all__ = [
     "PLAN_PROFILE_SCHEMA",
@@ -63,4 +75,11 @@ __all__ = [
     "compare_records",
     "load_record",
     "measure_reference",
+    "DEFAULT_WINDOW",
+    "DEFAULT_MAD_SCALE",
+    "DEFAULT_REL_FLOOR",
+    "MIN_HISTORY",
+    "TrendStats",
+    "trend_gate",
+    "measure_trend_point",
 ]

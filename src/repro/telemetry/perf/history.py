@@ -241,6 +241,7 @@ def measure_reference(
     size: int = REFERENCE_WORKLOAD["size"],
     seed: int = REFERENCE_WORKLOAD["seed"],
     backend: str | None = None,
+    repeats: int = 1,
 ) -> dict[str, Any]:
     """Run the reference workload; returns its joinable run-record.
 
@@ -251,35 +252,55 @@ def measure_reference(
     selects the execution backend; event counters are bit-identical
     across backends, so a vectorized measurement stays comparable to an
     interpreter baseline — only ``timing_s`` moves.
+
+    The compile + sweep runs under :func:`repro.telemetry.capture`, so
+    the record's ``spans``/``tracer`` sections carry the measured
+    trace (``finished_spans > 0``) instead of an empty forest.
+    ``repeats > 1`` re-applies the sweep and stamps the **median**
+    timing (one scheduler hiccup does not poison trend history);
+    event counters come from the first application and are identical
+    across repeats.
     """
     import numpy as np
 
+    from repro import telemetry
     from repro.runtime import compile as compile_stencil
     from repro.stencil.kernels import get_kernel
     from repro.telemetry.export import run_record
     from repro.telemetry.perf.profile import profile_shape
 
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
     k = get_kernel(kernel)
     rng = np.random.default_rng(seed)
     x = rng.normal(size=profile_shape(k.weights.ndim, size))
     padded = np.pad(x, k.weights.radius)
 
-    compiled = compile_stencil(k.weights, backend=backend)
-    t0 = time.perf_counter()
-    _, events = compiled.apply_simulated(padded)
-    elapsed = time.perf_counter() - t0
-
-    return run_record(
-        f"perf-check-{k.name}",
-        counters=events,
-        extra={
-            "command": "perf-check",
-            "kernel": k.name,
-            "size": size,
-            "seed": seed,
-            "plan_key": compiled.key,
-            "schedule": compiled.schedule,
-            "backend": compiled.plan.backend,
-            "timing_s": elapsed,
-        },
+    timings: list[float] = []
+    with telemetry.capture():
+        compiled = compile_stencil(k.weights, backend=backend)
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            _, events = compiled.apply_simulated(padded)
+            timings.append(time.perf_counter() - t0)
+    timings.sort()
+    mid = len(timings) // 2
+    elapsed = (
+        timings[mid]
+        if len(timings) % 2
+        else 0.5 * (timings[mid - 1] + timings[mid])
     )
+
+    extra = {
+        "command": "perf-check",
+        "kernel": k.name,
+        "size": size,
+        "seed": seed,
+        "plan_key": compiled.key,
+        "schedule": compiled.schedule,
+        "backend": compiled.plan.backend,
+        "timing_s": elapsed,
+    }
+    if repeats > 1:
+        extra["timing_repeats"] = repeats
+    return run_record(f"perf-check-{k.name}", counters=events, extra=extra)

@@ -1,0 +1,249 @@
+"""Statistical trend gating over run-record history.
+
+:func:`repro.telemetry.perf.history.compare_records` gates event
+counters against one committed baseline — correct for deterministic
+counters, but wall timings are noisy, and a single-point comparison
+either cries wolf (tight threshold) or sleeps through slow drift
+(loose threshold).  This module gates timings *statistically* against
+the :class:`~repro.telemetry.perf.history.RunRecordStore` history:
+
+* the reference is the rolling **median** of the last ``window``
+  historical timings (robust to a few outlier runs);
+* the allowance is the **MAD** (median absolute deviation) of that
+  window, scaled to a consistent-estimator sigma and multiplied by
+  ``mad_scale`` — machines with noisy clocks automatically get wider
+  gates, quiet CI runners get tight ones;
+* a relative floor (``rel_floor``) keeps the gate meaningful when the
+  history is suspiciously quiet (MAD near zero would otherwise flag
+  sub-millisecond jitter).
+
+``repro perf trend`` drives :func:`trend_gate` (exit 0 ok / 1
+regressed / 2 insufficient history) and ``repro perf trend --measure``
+appends a fresh N-repeat-median measurement first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.telemetry.perf.history import RunRecordStore, measure_reference
+
+__all__ = [
+    "DEFAULT_WINDOW",
+    "DEFAULT_MAD_SCALE",
+    "DEFAULT_REL_FLOOR",
+    "MIN_HISTORY",
+    "TrendStats",
+    "median",
+    "mad",
+    "timing_history",
+    "trend_gate",
+    "measure_trend_point",
+]
+
+#: rolling window of historical timings the gate is computed over
+DEFAULT_WINDOW = 8
+
+#: MAD multiplier: latest > median + mad_scale * sigma(MAD) regresses
+DEFAULT_MAD_SCALE = 4.0
+
+#: minimum relative allowance even when the history's MAD is ~zero
+DEFAULT_REL_FLOOR = 0.05
+
+#: historical points (excluding the gated one) required to gate at all
+MIN_HISTORY = 3
+
+#: consistency constant: sigma ≈ 1.4826 * MAD for normal noise
+MAD_TO_SIGMA = 1.4826
+
+
+def median(values: Sequence[float]) -> float:
+    """The sample median (mean of the middle pair for even counts)."""
+    if not values:
+        raise ValueError("median of an empty sequence")
+    ordered = sorted(float(v) for v in values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def mad(values: Sequence[float], center: float | None = None) -> float:
+    """Median absolute deviation around ``center`` (default: median)."""
+    if center is None:
+        center = median(values)
+    return median([abs(float(v) - center) for v in values])
+
+
+@dataclass(frozen=True)
+class TrendStats:
+    """One gated metric: rolling stats, the gated value, the verdict.
+
+    ``ok`` is ``None`` (not a verdict) when the history is too short;
+    callers map that to the distinct exit code 2, so a freshly created
+    history never masquerades as a pass.
+    """
+
+    name: str
+    metric: str
+    n_history: int
+    window: int
+    center: float | None
+    spread: float | None
+    threshold: float | None
+    latest: float | None
+    ok: bool | None
+
+    @property
+    def insufficient(self) -> bool:
+        """True when there was not enough history to gate."""
+        return self.ok is None
+
+    def render(self) -> str:
+        """Multi-line human-readable verdict for the CLI."""
+        lines = [
+            f"trend gate for {self.name!r} ({self.metric}, "
+            f"window {self.window})"
+        ]
+        if self.insufficient:
+            lines.append(
+                f"  insufficient history: {self.n_history} prior point(s), "
+                f"need >= {MIN_HISTORY}"
+            )
+            return "\n".join(lines)
+        lines += [
+            f"  history   {self.n_history} point(s) in window",
+            f"  median    {self.center:.6g}",
+            f"  MAD       {self.spread:.6g}",
+            f"  threshold {self.threshold:.6g}",
+            f"  latest    {self.latest:.6g}",
+            "  -> OK — within the rolling gate"
+            if self.ok
+            else "  -> REGRESSED — latest exceeds the rolling gate",
+        ]
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready form (stamped into run-records / CI artifacts)."""
+        return {
+            "name": self.name,
+            "metric": self.metric,
+            "n_history": self.n_history,
+            "window": self.window,
+            "center": self.center,
+            "spread": self.spread,
+            "threshold": self.threshold,
+            "latest": self.latest,
+            "ok": self.ok,
+        }
+
+
+def timing_history(
+    records: Sequence[dict[str, Any]], metric: str = "timing_s"
+) -> list[float]:
+    """Extract ``extra.<metric>`` from run-records, oldest first.
+
+    Records without the metric (e.g. counter-only stamps) are skipped —
+    histories mix producers and the gate only cares about timed ones.
+    """
+    out: list[float] = []
+    for record in records:
+        value = (record.get("extra") or {}).get(metric)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            out.append(float(value))
+    return out
+
+
+def trend_gate(
+    store: RunRecordStore,
+    name: str,
+    metric: str = "timing_s",
+    window: int = DEFAULT_WINDOW,
+    mad_scale: float = DEFAULT_MAD_SCALE,
+    rel_floor: float = DEFAULT_REL_FLOOR,
+    min_history: int = MIN_HISTORY,
+    latest: float | None = None,
+) -> TrendStats:
+    """Gate the newest timing against the rolling median/MAD window.
+
+    The newest stored point is the *gated* value (override with
+    ``latest``); the reference window is the up-to-``window`` points
+    before it.  The threshold is
+    ``median + max(mad_scale * 1.4826 * MAD, rel_floor * median)`` —
+    noise-adaptive with a relative floor.  Too little history yields
+    ``ok=None`` (see :class:`TrendStats`).
+    """
+    timings = timing_history(store.load(name), metric=metric)
+    if latest is None:
+        if not timings:
+            return TrendStats(
+                name=name,
+                metric=metric,
+                n_history=0,
+                window=window,
+                center=None,
+                spread=None,
+                threshold=None,
+                latest=None,
+                ok=None,
+            )
+        latest = timings[-1]
+        timings = timings[:-1]
+    history = timings[-window:]
+    if len(history) < min_history:
+        return TrendStats(
+            name=name,
+            metric=metric,
+            n_history=len(history),
+            window=window,
+            center=None,
+            spread=None,
+            threshold=None,
+            latest=latest,
+            ok=None,
+        )
+    center = median(history)
+    spread = mad(history, center)
+    allowance = max(mad_scale * MAD_TO_SIGMA * spread, rel_floor * center)
+    threshold = center + allowance
+    return TrendStats(
+        name=name,
+        metric=metric,
+        n_history=len(history),
+        window=window,
+        center=center,
+        spread=spread,
+        threshold=threshold,
+        latest=latest,
+        ok=latest <= threshold,
+    )
+
+
+def measure_trend_point(
+    store: RunRecordStore,
+    repeats: int = 3,
+    kernel: str | None = None,
+    size: int | None = None,
+    seed: int | None = None,
+    backend: str | None = None,
+) -> dict[str, Any]:
+    """Measure the reference workload and append it to the history.
+
+    Runs :func:`~repro.telemetry.perf.history.measure_reference` with
+    ``repeats`` sweep repetitions (the stamped ``timing_s`` is the
+    median — one slow scheduler hiccup does not poison the history) and
+    appends the validated record to ``store`` so the next
+    :func:`trend_gate` call sees it.
+    """
+    kwargs: dict[str, Any] = {"repeats": repeats, "backend": backend}
+    if kernel is not None:
+        kwargs["kernel"] = kernel
+    if size is not None:
+        kwargs["size"] = size
+    if seed is not None:
+        kwargs["seed"] = seed
+    record = measure_reference(**kwargs)
+    store.append(record)
+    return record

@@ -32,6 +32,7 @@ import functools
 import itertools
 import threading
 import time
+import uuid
 from typing import Any, Callable, Iterator
 
 from repro.tcu.counters import EventCounters
@@ -41,12 +42,18 @@ __all__ = [
     "Tracer",
     "NULL_SPAN",
     "TRACER",
+    "new_trace_id",
 ]
 
 #: sentinel distinguishing "no parent given" from "parent is None (root)"
 _INHERIT = object()
 
 _SPAN_IDS = itertools.count(1)  # itertools.count is atomic in CPython
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace identifier (one per span tree)."""
+    return uuid.uuid4().hex[:16]
 
 
 class Span:
@@ -65,6 +72,7 @@ class Span:
         "children",
         "parent",
         "span_id",
+        "trace_id",
         "thread_name",
         "start_ns",
         "end_ns",
@@ -79,6 +87,7 @@ class Span:
         category: str = "repro",
         parent: "Span | None | object" = _INHERIT,
         attrs: dict[str, Any] | None = None,
+        trace_id: str | None = None,
     ) -> None:
         self.name = name
         self.category = category
@@ -87,6 +96,7 @@ class Span:
         self.children: list[Span] = []
         self.parent: Span | None = None
         self.span_id = next(_SPAN_IDS)
+        self.trace_id = trace_id
         self.thread_name = threading.current_thread().name
         self.start_ns = 0
         self.end_ns = 0
@@ -146,6 +156,12 @@ class Span:
         else:
             parent = self._explicit_parent
             self.parent = parent if isinstance(parent, Span) else None
+        # propagate the trace identity: a child belongs to its parent's
+        # trace; a root starts one (unless a TraceContext pre-seeded it)
+        if self.parent is not None and self.parent.trace_id is not None:
+            self.trace_id = self.parent.trace_id
+        elif self.trace_id is None:
+            self.trace_id = new_trace_id()
         stack.append(self)
         self.start_ns = time.perf_counter_ns()
         return self
@@ -232,6 +248,8 @@ class _NullSpan:
     events = None
     duration_ns = 0
     duration_s = 0.0
+    span_id = 0
+    trace_id = None
 
     def __enter__(self) -> "_NullSpan":
         return self

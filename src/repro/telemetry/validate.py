@@ -27,10 +27,12 @@ from repro.telemetry.export import (
     RUN_RECORD_SCHEMA,
     RUN_RECORD_SCHEMAS,
 )
+from repro.telemetry.log import EVENT_SCHEMA, LEVELS
 
 __all__ = [
     "TelemetryError",
     "validate_chrome_trace",
+    "validate_event",
     "validate_fidelity_report",
     "validate_run_record",
     "validate_span_dict",
@@ -76,8 +78,90 @@ def validate_span_dict(span: Any, path: str = "span") -> None:
         _require_type(events, dict, f"{path}.events")
         for k, v in events.items():
             _require_type(v, (int, float), f"{path}.events[{k!r}]")
+    trace_id = span.get("trace_id")
+    if trace_id is not None:
+        _require_type(trace_id, str, f"{path}.trace_id")
     for i, child in enumerate(span["children"]):
         validate_span_dict(child, f"{path}.children[{i}]")
+
+
+def validate_event(event: Any, path: str = "event") -> None:
+    """Validate one structured event (``repro.telemetry.event/v1``).
+
+    The shape both the JSONL export lines and the run-record ``log``
+    section entries share.
+    """
+    _require_type(event, dict, path)
+    _require(
+        event.get("schema") == EVENT_SCHEMA,
+        f"{path}.schema",
+        f"expected {EVENT_SCHEMA!r}, got {event.get('schema')!r}",
+    )
+    for key, types in (
+        ("ts", (int, float)),
+        ("level", str),
+        ("kind", str),
+        ("message", str),
+        ("fields", dict),
+        ("thread", str),
+    ):
+        _require(key in event, path, f"missing key {key!r}")
+        _require_type(event[key], types, f"{path}.{key}")
+    _require(
+        event["level"] in LEVELS,
+        f"{path}.level",
+        f"unknown level {event['level']!r} (expected one of {LEVELS})",
+    )
+    _require(bool(event["kind"]), f"{path}.kind", "must be non-empty")
+    trace_id = event.get("trace_id")
+    if trace_id is not None:
+        _require_type(trace_id, str, f"{path}.trace_id")
+    span_id = event.get("span_id")
+    if span_id is not None:
+        _require_type(span_id, int, f"{path}.span_id")
+
+
+def _validate_log_section(log: Any, path: str = "record.log") -> None:
+    """Validate the optional ``log`` section (run-record v3)."""
+    _require_type(log, dict, path)
+    for key in ("events", "dropped", "max_events"):
+        _require(key in log, path, f"missing key {key!r}")
+    _require_type(log["events"], list, f"{path}.events")
+    _require_type(log["dropped"], int, f"{path}.dropped")
+    _require_type(log["max_events"], int, f"{path}.max_events")
+    for i, event in enumerate(log["events"]):
+        validate_event(event, f"{path}.events[{i}]")
+
+
+def _validate_health_section(health: Any, path: str = "record.health") -> None:
+    """Validate the optional ``health`` section (run-record v3)."""
+    _require_type(health, dict, path)
+    _require("sweeps" in health, path, "missing key 'sweeps'")
+    _require_type(health["sweeps"], list, f"{path}.sweeps")
+    for i, sweep in enumerate(health["sweeps"]):
+        spath = f"{path}.sweeps[{i}]"
+        _require_type(sweep, dict, spath)
+        for key, types in (
+            ("sweep_id", str),
+            ("name", str),
+            ("done", bool),
+            ("shards", list),
+        ):
+            _require(key in sweep, spath, f"missing key {key!r}")
+            _require_type(sweep[key], types, f"{spath}.{key}")
+        for j, shard in enumerate(sweep["shards"]):
+            hpath = f"{spath}.shards[{j}]"
+            _require_type(shard, dict, hpath)
+            for key, types in (
+                ("shard", int),
+                ("state", str),
+                ("tiles_done", int),
+                ("tiles_total", int),
+                ("retries", int),
+                ("last_beat_age_s", (int, float)),
+            ):
+                _require(key in shard, hpath, f"missing key {key!r}")
+                _require_type(shard[key], types, f"{hpath}.{key}")
 
 
 def _validate_faults_section(faults: Any, path: str = "record.faults") -> None:
@@ -100,8 +184,9 @@ def _validate_faults_section(faults: Any, path: str = "record.faults") -> None:
 def validate_run_record(record: Any) -> None:
     """Validate a run-record against :data:`RUN_RECORD_SCHEMAS`.
 
-    Both v1 records (no ``faults`` section) and v2 records are
-    accepted; committed baselines and perf histories predate v2.
+    v1 (no ``faults`` section), v2, and v3 (optional ``log`` and
+    ``health`` sections) records are all accepted; committed baselines
+    and perf histories predate the newer versions.
     """
     _require_type(record, dict, "record")
     _require(
@@ -165,6 +250,12 @@ def validate_run_record(record: Any) -> None:
     faults = record.get("faults")
     if faults is not None:
         _validate_faults_section(faults)
+    log = record.get("log")
+    if log is not None:
+        _validate_log_section(log)
+    health = record.get("health")
+    if health is not None:
+        _validate_health_section(health)
 
 
 def validate_fidelity_report(report: Any) -> None:
@@ -258,12 +349,7 @@ def validate_chrome_trace(trace: Any) -> None:
     _require(complete >= 1, "trace.traceEvents", "no complete ('X') events")
 
 
-def validate_file(path: str | pathlib.Path) -> str:
-    """Validate a JSON file as whichever telemetry document it declares.
-
-    Returns the matched schema identifier.
-    """
-    document = json.loads(pathlib.Path(path).read_text())
+def _validate_document(document: Any, path: str | pathlib.Path) -> str:
     schema = document.get("schema") if isinstance(document, dict) else None
     if schema == CHROME_TRACE_SCHEMA:
         validate_chrome_trace(document)
@@ -271,13 +357,41 @@ def validate_file(path: str | pathlib.Path) -> str:
         validate_run_record(document)
     elif schema == FIDELITY_REPORT_SCHEMA:
         validate_fidelity_report(document)
+    elif schema == EVENT_SCHEMA:
+        validate_event(document)
     else:
         raise TelemetryError(
             f"{path}: unknown or missing schema {schema!r} (expected "
-            f"{CHROME_TRACE_SCHEMA!r}, one of {RUN_RECORD_SCHEMAS!r} or "
-            f"{FIDELITY_REPORT_SCHEMA!r})"
+            f"{CHROME_TRACE_SCHEMA!r}, one of {RUN_RECORD_SCHEMAS!r}, "
+            f"{FIDELITY_REPORT_SCHEMA!r} or {EVENT_SCHEMA!r})"
         )
     return schema
+
+
+def validate_file(path: str | pathlib.Path) -> str:
+    """Validate a telemetry file as whatever it declares itself to be.
+
+    ``.jsonl`` files (event-log exports, run-record histories) are
+    validated line by line; plain JSON files as one document.  Returns
+    the matched schema identifier (of the last line for JSONL).
+    """
+    path = pathlib.Path(path)
+    text = path.read_text()
+    if path.suffix == ".jsonl":
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            raise TelemetryError(f"{path}: empty JSONL file")
+        schema = ""
+        for i, line in enumerate(lines):
+            try:
+                document = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TelemetryError(
+                    f"{path}: line {i + 1} is not valid JSON: {exc}"
+                ) from exc
+            schema = _validate_document(document, f"{path}:{i + 1}")
+        return schema
+    return _validate_document(json.loads(text), path)
 
 
 def main(argv: list[str] | None = None) -> int:

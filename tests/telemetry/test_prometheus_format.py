@@ -1,0 +1,126 @@
+"""Prometheus text-format correctness: names, label escaping, ordering."""
+
+from repro import telemetry
+from repro.telemetry.export import (
+    escape_label_value,
+    format_labels,
+    to_prometheus,
+)
+from repro.telemetry.health import HEALTH
+from repro.telemetry.metrics import sanitize_metric_name
+
+
+class TestMetricNameSanitization:
+    def test_legal_names_pass_through(self):
+        assert sanitize_metric_name("repro_tcu_mma_ops_total") == (
+            "repro_tcu_mma_ops_total"
+        )
+        assert sanitize_metric_name("ns:metric_1") == "ns:metric_1"
+
+    def test_illegal_characters_become_underscores(self):
+        assert sanitize_metric_name("a.b-c d") == "a_b_c_d"
+        assert sanitize_metric_name("latency(ms)") == "latency_ms_"
+
+    def test_digit_prefix_gets_guarded(self):
+        assert sanitize_metric_name("2d9p_sweeps") == "_2d9p_sweeps"
+
+    def test_empty_name_survives(self):
+        assert sanitize_metric_name("") == "_"
+
+
+class TestLabelEscaping:
+    def test_plain_value_unchanged(self):
+        assert escape_label_value("sweep-1") == "sweep-1"
+
+    def test_quotes_escaped(self):
+        assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+
+    def test_backslashes_escaped_first(self):
+        # a raw backslash must not eat the quote escape after it
+        assert escape_label_value('C:\\path"x') == 'C:\\\\path\\"x'
+
+    def test_newlines_escaped(self):
+        assert escape_label_value("line1\nline2") == "line1\\nline2"
+
+    def test_everything_at_once(self):
+        assert escape_label_value('\\"\n') == '\\\\\\"\\n'
+
+    def test_non_strings_coerced(self):
+        assert escape_label_value(3) == "3"
+
+
+class TestFormatLabels:
+    def test_empty_set_is_empty_string(self):
+        assert format_labels({}) == ""
+
+    def test_keys_sorted_for_stable_output(self):
+        assert format_labels({"b": "2", "a": "1"}) == '{a="1",b="2"}'
+
+    def test_values_escaped_inside_the_set(self):
+        assert format_labels({"k": 'v"w'}) == '{k="v\\"w"}'
+
+
+class TestExposition:
+    def test_registry_metrics_sorted_by_name(self):
+        telemetry.REGISTRY.counter("z_last", help="z").inc()
+        telemetry.REGISTRY.counter("a_first", help="a").inc()
+        text = to_prometheus(telemetry.REGISTRY)
+        assert text.index("a_first") < text.index("z_last")
+
+    def test_output_is_stable_across_calls(self):
+        telemetry.REGISTRY.counter("stable_counter").inc(3)
+        sweep = HEALTH.start_sweep("stable")
+        with HEALTH.bind(sweep.shard(0)) as shard:
+            shard.beat(1, 2)
+        first = to_prometheus(telemetry.REGISTRY)
+        second = to_prometheus(telemetry.REGISTRY)
+        # last_beat_age moves with wall time; everything else is frozen
+        stable = [
+            line
+            for line in first.splitlines()
+            if "last_beat_age" not in line
+        ]
+        stable2 = [
+            line
+            for line in second.splitlines()
+            if "last_beat_age" not in line
+        ]
+        assert stable == stable2
+
+    def test_health_gauges_render_labeled_per_shard(self):
+        sweep = HEALTH.start_sweep("expo")
+        with HEALTH.bind(sweep.shard(0, rows="0:16")) as shard:
+            shard.beat(3, 12)
+        with HEALTH.bind(sweep.shard(1, rows="16:32")) as shard:
+            shard.beat(12, 12)
+        text = to_prometheus(telemetry.REGISTRY)
+        s0 = (f'repro_health_shard_tiles_done{{name="expo",shard="0",'
+              f'state="done",sweep="{sweep.sweep_id}"}} 3')
+        s1 = (f'repro_health_shard_tiles_done{{name="expo",shard="1",'
+              f'state="done",sweep="{sweep.sweep_id}"}} 12')
+        assert s0 in text
+        assert s1 in text
+        assert text.index(s0) < text.index(s1)  # shard order within a gauge
+
+    def test_sweep_name_with_hostile_characters_stays_parseable(self):
+        sweep = HEALTH.start_sweep('we"ird\\name\n')
+        with HEALTH.bind(sweep.shard(0)):
+            pass
+        text = to_prometheus(telemetry.REGISTRY)
+        assert 'name="we\\"ird\\\\name\\n"' in text
+        for line in text.splitlines():
+            if line.startswith("#") or "{" not in line:
+                continue
+            # every labeled sample must still split into name{...} value
+            body = line[line.index("{") + 1 : line.rindex("}")]
+            assert line.rindex("}") < len(line) - 1
+            assert body.count('="') >= 1
+
+    def test_no_health_section_when_registry_empty(self):
+        text = to_prometheus(telemetry.REGISTRY)
+        assert "repro_health_shard_" not in text
+
+    def test_event_log_ring_gauges_always_present(self):
+        text = to_prometheus(telemetry.REGISTRY)
+        assert "# TYPE repro_event_log_events gauge" in text
+        assert "repro_event_log_max_events 1024" in text

@@ -362,3 +362,134 @@ class TestPerfObservatoryCommands:
         assert "no history" in capsys.readouterr().out
         rc = main(["perf", "history", "nope", "--root", str(tmp_path)])
         assert rc == 2
+
+
+class TestObservabilityCommands:
+    def _stamp(self, store, timing, name="w"):
+        from repro.telemetry.export import run_record
+
+        store.append(
+            run_record(
+                name, log=False, health=False, extra={"timing_s": timing}
+            )
+        )
+
+    def _health_file(self, tmp_path, done=True):
+        from repro.telemetry.health import HealthRegistry
+
+        reg = HealthRegistry()
+        sweep = reg.start_sweep("cli-sweep")
+        if done:
+            with reg.bind(sweep.shard(0)) as shard:
+                shard.beat(4, 4)
+        else:
+            shard = sweep.shard(0)
+            shard.beat(1, 4)
+        path = tmp_path / "health.json"
+        reg.configure_file(path, min_interval_s=0.0)
+        reg.write_file()
+        return path
+
+    def test_monitor_once_renders_the_snapshot(self, capsys, tmp_path):
+        path = self._health_file(tmp_path)
+        assert main(["monitor", str(path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "cli-sweep" in out
+        assert "4/4" in out
+
+    def test_monitor_once_json(self, capsys, tmp_path):
+        path = self._health_file(tmp_path)
+        assert main(["monitor", str(path), "--once", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["sweeps"][0]["name"] == "cli-sweep"
+
+    def test_monitor_missing_snapshot_is_exit_2(self, tmp_path):
+        assert main(["monitor", str(tmp_path / "nope.json"), "--once"]) == 2
+
+    def test_monitor_no_path_no_env_is_exit_2(self, monkeypatch):
+        from repro.telemetry.health import ENV_HEALTH_FILE
+
+        monkeypatch.delenv(ENV_HEALTH_FILE, raising=False)
+        assert main(["monitor"]) == 2
+
+    def test_monitor_env_var_supplies_the_path(self, capsys, tmp_path,
+                                               monkeypatch):
+        from repro.telemetry.health import ENV_HEALTH_FILE
+
+        path = self._health_file(tmp_path)
+        monkeypatch.setenv(ENV_HEALTH_FILE, str(path))
+        assert main(["monitor", "--once"]) == 0
+        assert "cli-sweep" in capsys.readouterr().out
+
+    def test_monitor_times_out_on_stuck_sweep(self, capsys, tmp_path):
+        path = self._health_file(tmp_path, done=False)
+        rc = main(["monitor", str(path), "--timeout", "0.2",
+                   "--interval", "0.05"])
+        assert rc == 1
+
+    def test_perf_trend_empty_history_is_exit_2(self, capsys, tmp_path):
+        from repro.telemetry.perf import RunRecordStore
+
+        RunRecordStore(tmp_path)
+        assert main(["perf", "trend", "w", "--root", str(tmp_path)]) == 2
+        assert "insufficient" in capsys.readouterr().out.lower()
+
+    def test_perf_trend_steady_history_passes(self, capsys, tmp_path):
+        from repro.telemetry.perf import RunRecordStore
+
+        store = RunRecordStore(tmp_path)
+        for t in (1.0, 1.02, 0.98, 1.0, 1.01):
+            self._stamp(store, t)
+        assert main(["perf", "trend", "w", "--root", str(tmp_path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_perf_trend_regression_is_exit_1(self, capsys, tmp_path):
+        from repro.telemetry.perf import RunRecordStore
+
+        store = RunRecordStore(tmp_path)
+        for t in (1.0, 1.0, 1.0, 1.0):
+            self._stamp(store, t)
+        self._stamp(store, 2.5)
+        assert main(["perf", "trend", "w", "--root", str(tmp_path)]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_perf_trend_json_roundtrips(self, capsys, tmp_path):
+        from repro.telemetry.perf import RunRecordStore
+
+        store = RunRecordStore(tmp_path)
+        for t in (1.0, 1.0, 1.0, 1.0):
+            self._stamp(store, t)
+        assert main(["perf", "trend", "w", "--root", str(tmp_path),
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["metric"] == "timing_s"
+
+    def test_chaos_events_writes_a_validated_jsonl(self, capsys, tmp_path):
+        from repro.telemetry.log import EVENT_SCHEMA
+        from repro.telemetry.validate import validate_file
+
+        path = tmp_path / "events.jsonl"
+        assert main(["chaos", "run", "Box-2D9P", "--size", "16",
+                     "--seed", "4", "--faults", "2", "--shards", "2",
+                     "--events", str(path)]) == 0
+        assert validate_file(path) == EVENT_SCHEMA
+        docs = [json.loads(line) for line in path.read_text().splitlines()]
+        assert any(d["kind"] == "fault.injected" for d in docs)
+        # the whole campaign joined one trace
+        trace_ids = {d["trace_id"] for d in docs if d["trace_id"]}
+        assert len(trace_ids) == 1
+
+    def test_chaos_record_folds_log_and_health_in(self, capsys, tmp_path):
+        from repro.telemetry.validate import validate_file
+
+        record_file = tmp_path / "record.json"
+        assert main(["chaos", "run", "Box-2D9P", "--size", "16",
+                     "--seed", "4", "--faults", "2", "--shards", "2",
+                     "--record", str(record_file)]) == 0
+        assert validate_file(record_file).endswith("/v3")
+        record = json.loads(record_file.read_text())
+        assert record["log"]["events"]
+        assert record["health"]["sweeps"][0]["shards"]
+        roots = {s["trace_id"] for s in record["spans"]}
+        assert len(roots) == 1
