@@ -60,6 +60,84 @@ def test_strong_scaling(benchmark, write_result):
     assert all(a >= b - 1e-9 for a, b in zip(effs, effs[1:]))
 
 
+def test_temporal_scaling(benchmark, write_result):
+    """GStencil/s across shards × block_steps, plus the halo ledger.
+
+    Temporal blocking amortizes the per-message exchange latency over
+    ``block_steps`` local steps: the modelled per-step-equivalent comm
+    time drops ~``block_steps``× while throughput climbs.  The measured
+    half executes a small grid through the runtime and checks that the
+    exchange *count* really drops ``block_steps``× (the byte volume per
+    round grows with halo depth — corners — which is exactly why the
+    win is latency, not bandwidth).
+    """
+    import numpy as np
+
+    from repro.parallel import run_temporal_blocked
+
+    w = get_kernel("Box-2D9P").weights
+    blocks = (1, 2, 4, 8)
+    shards = (4, 16)
+
+    def sweep():
+        return {
+            (n, k): SimulatedCluster(w, (4096, 4096), _mesh(n)).timings(
+                steps=16, block_steps=k
+            )
+            for n in shards
+            for k in blocks
+        }
+
+    timings = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [["devices", "block_steps", "GStencil/s",
+             "comm (us/step)", "step (ms)"]]
+    for (n, k), t in timings.items():
+        rows.append(
+            [
+                str(n),
+                str(k),
+                f"{t.gstencil_per_s:.2f}",
+                f"{t.comm_s * 1e6:.3f}",
+                f"{t.step_s * 1e3:.3f}",
+            ]
+        )
+
+    # measured: execute a small grid, count rounds and bytes per config
+    rng = np.random.default_rng(7)
+    x = rng.normal(size=(256, 256))
+    cluster = SimulatedCluster(w, (256, 256), (2, 2))
+    measured = {}
+    base = None
+    for k in blocks:
+        out, exchanged = run_temporal_blocked(cluster, x, 8, k)
+        result = cluster.runtime.last_result
+        measured[k] = (result.rounds, exchanged)
+        if base is None:
+            base = out
+        else:
+            assert np.array_equal(out, base)  # temporal runs stay bit-exact
+    rows.append(["", "", "", "", ""])
+    rows.append(["measured 4", "block_steps", "exchanges", "halo bytes", ""])
+    for k, (rounds, exchanged) in measured.items():
+        rows.append(["", str(k), str(rounds), f"{exchanged:,}", ""])
+    write_result(
+        "scaling_temporal",
+        format_table(
+            rows, "temporal scaling — Box-2D9P, GStencil/s vs shards x block_steps"
+        ),
+    )
+    for n in shards:
+        # latency amortization: per-step comm drops, throughput climbs
+        assert timings[(n, 8)].comm_s < timings[(n, 1)].comm_s
+        assert (
+            timings[(n, 8)].gstencil_per_s
+            >= timings[(n, 1)].gstencil_per_s
+        )
+    # exchange count drops block_steps× (8 steps: 8 rounds → 1 round)
+    assert measured[1][0] == 8
+    assert measured[8][0] == 1
+
+
 def test_weak_scaling(benchmark, write_result):
     """Fixed 1024^2 per device: step time should stay nearly flat."""
     w = get_kernel("Box-2D9P").weights

@@ -275,6 +275,45 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("--json", action="store_true")
 
     p = sub.add_parser(
+        "cluster",
+        help="distributed sweep: partition, temporal rounds, overlap, "
+             "recovery",
+    )
+    p.add_argument("kernel")
+    p.add_argument("--size", type=int, default=32,
+                   help="grid extent per dimension (default 32)")
+    p.add_argument("--mesh", type=int, nargs="+", default=None,
+                   metavar="N",
+                   help="device mesh, one integer per grid dimension "
+                        "(default: 2 per splittable dimension)")
+    p.add_argument("--steps", type=int, default=4)
+    p.add_argument("--block-steps", type=int, default=1,
+                   help="local steps per halo exchange (temporal blocking)")
+    p.add_argument("--tiling", choices=["trapezoid", "diamond"],
+                   default="trapezoid")
+    p.add_argument("--boundary", choices=["constant", "periodic"],
+                   default="constant")
+    p.add_argument("--overlap", action="store_true",
+                   help="overlap the halo transfer with the interior sweep "
+                        "(cp.async-modeled double buffering)")
+    p.add_argument("--executor", choices=["serial", "thread", "process"],
+                   default="serial")
+    p.add_argument("--simulate", action="store_true",
+                   help="run the tensor-core simulation per rank "
+                        "(collects EventCounters)")
+    _add_backend_flag(p)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--crash-rank", type=int, default=None, metavar="RANK",
+                   help="inject one shard_crash on RANK and require "
+                        "recovery to the fault-free bits")
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--record", default=None, metavar="PATH",
+                   help="write a validated run-record (counters, faults, "
+                        "halo-byte ledger, trace/events/health) to PATH")
+    p.add_argument("--events", default=None, metavar="PATH",
+                   help="write the structured event log as JSONL to PATH")
+
+    p = sub.add_parser(
         "monitor",
         help="tail the live shard-health snapshot of a running sweep",
     )
@@ -1389,6 +1428,150 @@ def _cmd_chaos_report(paths: list[str], as_json: bool) -> int:
     return rc
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    """Distributed sweep through the DistributedPlan pipeline.
+
+    Exit codes: 0 — the run matched the dense reference (and, with
+    ``--crash-rank``, recovered to the fault-free bits with nothing
+    unrecovered); 1 — mismatch or unrecovered fault.
+    """
+    import contextlib
+    import json
+
+    from repro import telemetry
+    from repro.faults import FaultPlan, FaultSpec
+    from repro.parallel.cluster import ClusterRuntime
+    from repro.parallel.plan import distribute
+    from repro.stencil.kernels import get_kernel
+    from repro.stencil.reference import reference_iterate
+
+    k = get_kernel(args.kernel)
+    ndim = k.weights.ndim
+    shape = _sweep_shape(ndim, args.size)
+    if args.mesh is not None:
+        mesh = tuple(args.mesh)
+        if len(mesh) != ndim:
+            print(f"error: {k.name} is {ndim}D; --mesh needs {ndim} "
+                  f"integer(s), got {len(mesh)}", file=sys.stderr)
+            return 2
+    else:
+        mesh = {1: (2,), 2: (2, 2), 3: (1, 2, 2)}[ndim]
+
+    plan = distribute(
+        k.weights,
+        shape,
+        mesh,
+        boundary=args.boundary,
+        block_steps=args.block_steps,
+        tiling=args.tiling,
+        backend=args.backend,
+    )
+    runtime = ClusterRuntime(plan)
+    rng = np.random.default_rng(args.seed)
+    x = rng.normal(size=shape)
+
+    run_kwargs = dict(
+        overlap=args.overlap,
+        executor=args.executor,
+        simulate=args.simulate,
+    )
+    faults = None
+    clean = None
+    if args.crash_rank is not None:
+        faults = FaultPlan(
+            specs=(FaultSpec(kind="shard_crash", site=args.crash_rank),)
+        )
+        clean = runtime.run(x, args.steps, **run_kwargs).field
+
+    observe = bool(args.record or args.events)
+    observed = telemetry.capture() if observe else contextlib.nullcontext()
+    with observed:
+        result = runtime.run(x, args.steps, faults=faults, **run_kwargs)
+
+    ref = reference_iterate(
+        x, k.weights, args.steps, boundary=args.boundary
+    )
+    matches_ref = np.allclose(result.field, ref, atol=1e-6)
+    recovered = True
+    if clean is not None:
+        recovered = (
+            np.array_equal(result.field, clean)
+            and result.fault_report is not None
+            and result.fault_report.counts["unrecovered"] == 0
+        )
+    rc = 0 if (matches_ref and recovered) else 1
+
+    report = result.fault_report
+    doc = {
+        "kernel": k.name,
+        "plan_key": plan.key,
+        "rank_plan_key": plan.compiled.key,
+        "shape": list(shape),
+        "mesh": list(mesh),
+        "backend": result.backend or plan.backend,
+        "executor": result.executor,
+        "overlap": result.overlap,
+        "tiling": plan.schedule.tiling,
+        "steps": result.steps,
+        "block_steps": plan.schedule.block_steps,
+        "rounds": result.rounds,
+        "phases": list(result.phases),
+        "halo_bytes_exchanged": result.exchanged_bytes,
+        "worker_pids": list(result.worker_pids),
+        "matches_reference": bool(matches_ref),
+        "recovered_bit_identical": bool(recovered),
+        "exit_code": rc,
+    }
+    if result.counters is not None:
+        doc["counters"] = result.counters.as_dict()
+    if report is not None:
+        doc["faults"] = report.as_dict()
+
+    if args.json:
+        print(json.dumps(doc, indent=1, sort_keys=True))
+    else:
+        print(f"{k.name}: distributed sweep over {shape} on mesh {mesh} "
+              f"({plan.num_devices} device(s))")
+        print(f"  {plan.schedule.describe()}")
+        print(f"  executor={result.executor} overlap={result.overlap} "
+              f"backend={doc['backend']}")
+        print(f"  {result.steps} step(s) in {result.rounds} round(s) "
+              f"{result.phases}")
+        print(f"  halo bytes exchanged: {result.exchanged_bytes:,}")
+        if result.counters is not None:
+            for name, value in result.counters.as_dict().items():
+                if value:
+                    print(f"  {name:28s} {value:>12,}")
+        if report is not None:
+            print()
+            print(report.describe())
+        print()
+        print("reference check: "
+              + ("PASS" if matches_ref else "FAIL (diverged)"))
+        if clean is not None:
+            print("recovery check: "
+                  + ("bit-identical to fault-free run" if recovered
+                     else "FAILED — output differs or faults unrecovered"))
+
+    if args.events:
+        path = telemetry.write_event_log(args.events)
+        if not args.json:
+            print(f"event log written to {path} "
+                  f"({len(telemetry.EVENT_LOG)} event(s))")
+    if args.record:
+        rec = telemetry.run_record(
+            k.name,
+            counters=result.counters,
+            faults=report,
+            extra={"command": "cluster", **doc},
+        )
+        telemetry.validate_run_record(rec)
+        path = telemetry.write_run_record(args.record, rec)
+        if not args.json:
+            print(f"run record written to {path}")
+    return rc
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "kernels":
         return _cmd_kernels()
@@ -1414,6 +1597,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             "history": _cmd_perf_history,
             "trend": _cmd_perf_trend,
         }[args.perf_command](args)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
     if args.command == "monitor":
         return _cmd_monitor(args)
     if args.command == "fig8":

@@ -1,0 +1,196 @@
+"""The reusable recovery-ladder supervisor for fanned-out workers.
+
+Extracted from ``Runtime.apply_simulated_sharded`` so every fan-out in
+the repository — sharded sweeps, cluster ranks, multi-process temporal
+rounds — runs under the *same* PR 5 ladder with the same structured
+events and ledger semantics:
+
+    timeout / crash → capped exponential-backoff resubmission
+    (``policy.shard_retries`` rounds) → inline recomputation in the
+    calling thread → typed :class:`~repro.errors.FaultError`.
+
+Every decision the supervisor takes — a timeout, a crash, a backoff
+delay, a recovery — lands in the structured event log under the
+``shard.*`` kinds the monitor CLI and the chaos suite already consume;
+resubmissions bump the task's live health gauges when a
+:class:`~repro.telemetry.health.SweepHealth` is bound.
+
+Workers are callables ``worker(i, *args)`` over ``tasks`` (a mapping of
+index → argument tuple); the supervisor is agnostic to what a task *is*
+— a shard's row range, a cluster rank, a temporal round — callers pass
+``describe`` to label events (defaults to the sharded executor's
+``rows s0:s1`` convention).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Any, Callable, Mapping
+
+from repro.errors import ExecutionError, FaultError, ReproError
+from repro.telemetry.log import emit as emit_event
+
+__all__ = ["supervise_tasks"]
+
+
+def _default_describe(args: tuple) -> str:
+    if len(args) == 2:
+        return f"{args[0]}:{args[1]}"
+    return ":".join(str(a) for a in args)
+
+
+def supervise_tasks(
+    tasks: Mapping[int, tuple],
+    worker: Callable[..., Any],
+    policy,
+    report,
+    max_workers: int | None = None,
+    health=None,
+    describe: Callable[[tuple], str] | None = None,
+) -> dict[int, Any]:
+    """Run ``worker(i, *tasks[i])`` for every task under the ladder.
+
+    Returns ``{i: result}`` for every task or raises a typed
+    :class:`~repro.errors.FaultError` once the ladder is exhausted —
+    never a partial result set.  ``policy`` is a
+    :class:`repro.faults.RecoveryPolicy`; ``report`` a
+    :class:`repro.faults.FaultReport` the ladder's counters fold into;
+    ``health`` an optional :class:`~repro.telemetry.health.SweepHealth`
+    whose per-task retry gauges bump on resubmission.
+    """
+    describe = describe or _default_describe
+    results: dict[int, Any] = {}
+    pending = dict(tasks)
+    failed_ever: set[int] = set()
+    attempt = 0
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        while pending:
+            futures = {
+                i: pool.submit(worker, i, *pending[i])
+                for i in sorted(pending)
+            }
+            failed: dict[int, tuple] = {}
+            for i, future in sorted(futures.items()):
+                label = describe(pending[i])
+                try:
+                    results[i] = future.result(
+                        timeout=policy.shard_timeout_s
+                    )
+                    if i in failed_ever:
+                        report.bump("shard_recoveries")
+                        emit_event(
+                            "shard.recovered",
+                            message=f"shard {i} recovered on resubmission",
+                            shard=i,
+                            rows=label,
+                            attempt=attempt,
+                        )
+                except FutureTimeoutError:
+                    report.bump("shard_timeouts")
+                    emit_event(
+                        "shard.timeout",
+                        level="warning",
+                        message=(
+                            f"shard {i} exceeded the "
+                            f"{policy.shard_timeout_s}s policy timeout"
+                        ),
+                        shard=i,
+                        rows=label,
+                        timeout_s=policy.shard_timeout_s,
+                        attempt=attempt,
+                    )
+                    failed[i] = pending[i]
+                except FaultError as exc:
+                    # injected crash, or a task whose own recovery
+                    # ladder was exhausted — worth a fresh attempt
+                    report.bump("shard_crashes")
+                    emit_event(
+                        "shard.crash",
+                        level="warning",
+                        message=f"shard {i} crashed: {exc}",
+                        shard=i,
+                        rows=label,
+                        attempt=attempt,
+                    )
+                    failed[i] = pending[i]
+                except ReproError:
+                    raise
+                except Exception as exc:
+                    raise ExecutionError(
+                        f"shard {i} of {len(tasks)} ({label}) "
+                        f"failed: {exc}"
+                    ) from exc
+            failed_ever.update(failed)
+            pending = failed
+            if not pending:
+                break
+            if attempt >= policy.shard_retries:
+                break
+            delay = min(
+                policy.backoff_cap_s,
+                policy.backoff_base_s * (2.0**attempt),
+            )
+            emit_event(
+                "shard.backoff",
+                message=(
+                    f"backing off {delay:.3f}s before resubmitting "
+                    f"{len(pending)} shard(s)"
+                ),
+                delay_s=delay,
+                attempt=attempt,
+                shards=sorted(pending),
+            )
+            if delay > 0:
+                time.sleep(delay)
+            report.bump("shard_retries", len(pending))
+            if health is not None:
+                for i in pending:
+                    health.shard(i).bump_retries()
+            attempt += 1
+    for i in sorted(pending):
+        label = describe(pending[i])
+        if policy.inline_fallback:
+            try:
+                emit_event(
+                    "shard.inline_recovery",
+                    level="warning",
+                    message=(
+                        f"recomputing shard {i} inline after "
+                        f"{policy.shard_retries} backoff retries"
+                    ),
+                    shard=i,
+                    rows=label,
+                )
+                results[i] = worker(i, *pending[i])
+                report.bump("shard_inline_recoveries")
+                continue
+            except Exception as exc:
+                report.bump("unrecovered")
+                emit_event(
+                    "shard.unrecovered",
+                    level="error",
+                    message=f"shard {i} exhausted the recovery ladder",
+                    shard=i,
+                    rows=label,
+                )
+                raise FaultError(
+                    f"shard {i} ({label}) failed after "
+                    f"{policy.shard_retries} backoff retries and "
+                    f"inline recomputation: {exc}"
+                ) from exc
+        report.bump("unrecovered")
+        emit_event(
+            "shard.unrecovered",
+            level="error",
+            message=f"shard {i} exhausted the recovery ladder",
+            shard=i,
+            rows=label,
+        )
+        raise FaultError(
+            f"shard {i} ({label}) failed after "
+            f"{policy.shard_retries} backoff retries "
+            "(inline fallback disabled)"
+        )
+    return results

@@ -3,23 +3,55 @@
 The paper evaluates a single A100; production stencil codes
 (atmospheric models, RTM seismic imaging — the paper's motivating
 applications) decompose the grid across many GPUs with halo exchange.
-This package provides that substrate over the same simulator:
+This package provides that substrate *through the runtime*: a
+distributed run is compiled by the same pipeline, cached in the same
+plan cache, and observed by the same telemetry as a single-device
+sweep.
 
 * :func:`repro.parallel.decomposition.partition` — block-partition a
-  grid onto a ``P x Q`` device mesh;
-* :class:`repro.parallel.halo.HaloExchanger` — per-step halo exchange
-  with byte accounting (the interconnect's event counter);
-* :class:`repro.parallel.cluster.SimulatedCluster` — drives one
-  LoRAStencil engine per device, timesteps the global problem, and
-  models strong/weak scaling with an NVLink-like interconnect.
+  1D/2D/3D grid onto a device mesh;
+* :func:`repro.parallel.plan.distribute` — the distribution pass:
+  partition + :class:`~repro.parallel.plan.HaloSchedule` + per-rank
+  compilation through ``repro.compile``, yielding a
+  :class:`~repro.parallel.plan.DistributedPlan`;
+* :class:`repro.parallel.halo.HaloExchanger` — halo exchange
+  (synchronous or ``cp.async``-modeled double-buffered) with byte
+  accounting on the ``repro_halo_bytes_total`` counter;
+* :class:`repro.parallel.cluster.ClusterRuntime` — executes a
+  distributed plan: per-step / temporal rounds, overlapped transfers,
+  serial/thread/process executors, fault tolerance, scaling model;
+* :func:`repro.parallel.temporal.run_temporal_blocked` — trapezoid and
+  diamond temporal tiling (communication avoidance).
 
-Everything is deterministic and validated against the single-grid
-reference trajectory in the test suite.
+Everything is deterministic and validated bit-for-bit against the
+single-grid reference trajectory in the test suite.
 """
 
 from repro.parallel.decomposition import Partition, Subdomain, partition
-from repro.parallel.halo import HaloExchanger
-from repro.parallel.cluster import ClusterTimings, SimulatedCluster
+from repro.parallel.halo import (
+    HALO_BYTES_METRIC,
+    AsyncHaloHandle,
+    HaloExchanger,
+)
+from repro.parallel.plan import (
+    TILINGS,
+    DistributedPlan,
+    HaloSchedule,
+    distribute,
+)
+from repro.parallel.distributed import (
+    advance_window,
+    frame_regions,
+    interior_of,
+    strip_window,
+)
+from repro.parallel.cluster import (
+    EXECUTORS,
+    ClusterResult,
+    ClusterRuntime,
+    ClusterTimings,
+    SimulatedCluster,
+)
 from repro.parallel.cluster3d import SimulatedCluster3D
 from repro.parallel.temporal import run_temporal_blocked, temporal_halo_bytes
 
@@ -28,9 +60,22 @@ __all__ = [
     "Subdomain",
     "partition",
     "HaloExchanger",
+    "AsyncHaloHandle",
+    "HALO_BYTES_METRIC",
+    "DistributedPlan",
+    "HaloSchedule",
+    "TILINGS",
+    "distribute",
+    "advance_window",
+    "frame_regions",
+    "interior_of",
+    "strip_window",
+    "ClusterRuntime",
+    "ClusterResult",
+    "ClusterTimings",
+    "EXECUTORS",
     "SimulatedCluster",
     "SimulatedCluster3D",
-    "ClusterTimings",
     "run_temporal_blocked",
     "temporal_halo_bytes",
 ]

@@ -1,47 +1,105 @@
-"""Simulated multi-GPU cluster running LoRAStencil per device.
+"""The cluster runtime: executing a :class:`DistributedPlan`.
 
-:class:`SimulatedCluster` timesteps a global 2D problem across a device
-mesh: each step is one halo exchange followed by one LoRAStencil sweep
-per device (executed sequentially in Python; semantically parallel).
-It produces
+:class:`ClusterRuntime` timesteps a global 1D/2D/3D problem across a
+device mesh by driving the *runtime* — every rank executes the plan's
+compiled :class:`~repro.runtime.facade.CompiledStencil`, so distributed
+runs honor ``backend=``, the plan cache, fault injection/ABFT, and the
+trace/event/health telemetry planes exactly like single-device sweeps.
+One phase-driven loop serves every mode:
 
-* the exact global trajectory (validated against the single-grid
-  reference in the tests), and
-* a scaling-time model: per step, the slowest device's modelled sweep
-  time plus the interconnect time of its halo traffic.
+* per-step exchange (``block_steps=1``, the classic halo pipeline),
+* temporal blocking (trapezoid/diamond rounds from the plan's
+  :class:`~repro.parallel.plan.HaloSchedule`),
+* overlapped execution (``overlap=True``): the halo transfer is issued
+  asynchronously (``cp.async`` model) and each rank computes its
+  halo-independent interior *while the transfer is in flight*, then
+  finishes the boundary strips after arrival — bit-identical to the
+  synchronous exchange by the overlap-equivalence suite,
+* serial / thread / process executors; process ranks run in worker
+  processes under the PR 5 recovery ladder with their spans revived
+  into the parent trace.
+
+It produces the exact global trajectory (validated against the
+single-grid reference) plus a scaling-time model
+(:class:`ClusterTimings`) with an NVLink-like interconnect.
+:class:`SimulatedCluster` remains as the thin 2D convenience wrapper
+the earlier tests and benchmarks use.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.baselines.base import FootprintScale
-from repro.runtime import compile as compile_stencil
-from repro.parallel.decomposition import Partition, partition
+from repro import telemetry
+from repro.errors import ExecutionError, ReproError
+from repro.parallel.decomposition import Partition
+from repro.parallel.distributed import (
+    advance_window,
+    frame_regions,
+    interior_of,
+    process_advance,
+    strip_window,
+)
 from repro.parallel.halo import HaloExchanger
+from repro.parallel.plan import DistributedPlan, distribute
 from repro.perf.costmodel import time_per_point
 from repro.perf.machine import A100, MachineSpec
 from repro.stencil.weights import StencilWeights
+from repro.tcu.counters import EventCounters
+from repro.telemetry.context import TraceContext
+from repro.telemetry.health import HEALTH
 
-__all__ = ["SimulatedCluster", "ClusterTimings", "NVLINK_BANDWIDTH"]
+__all__ = [
+    "ClusterRuntime",
+    "ClusterResult",
+    "SimulatedCluster",
+    "ClusterTimings",
+    "NVLINK_BANDWIDTH",
+    "NVLINK_LATENCY",
+    "EXECUTORS",
+]
 
 #: per-direction NVLink3 bandwidth of an A100 system, B/s
 NVLINK_BANDWIDTH = 600e9
 
+#: per-message NVLink hop latency, s — the fixed cost every exchange
+#: round pays once, which temporal blocking amortizes over block_steps
+NVLINK_LATENCY = 1e-7
+
+#: rank execution strategies ``ClusterRuntime.run`` understands
+EXECUTORS = ("serial", "thread", "process")
+
 
 @dataclass(frozen=True)
 class ClusterTimings:
-    """Modelled per-step timing of one cluster configuration."""
+    """Modelled per-step timing of one cluster configuration.
+
+    The original fields model the synchronous pipeline (``step_s =
+    compute_s + comm_s``); the defaulted extensions model the
+    overlapped one, where the interior sweep hides the transfer:
+    ``step_s = max(comm_s, interior_s) + boundary_s``.  ``comm_s`` is
+    always the *per-step equivalent* interconnect time (a temporal
+    round's deep exchange amortized over its ``block_steps``).
+    """
 
     num_devices: int
     compute_s: float  # slowest device's sweep
-    comm_s: float  # largest halo transfer
+    comm_s: float  # largest halo transfer, per-step equivalent
     steps: int
+    overlap: bool = False
+    interior_s: float = 0.0  # halo-independent part of compute_s
+    boundary_s: float = 0.0  # strips that must wait for arrival
+    points: int = 0  # global grid points updated per step
+    block_steps: int = 1
 
     @property
     def step_s(self) -> float:
+        if self.overlap:
+            return max(self.comm_s, self.interior_s) + self.boundary_s
         return self.compute_s + self.comm_s
 
     @property
@@ -56,9 +114,510 @@ class ClusterTimings:
     def comm_fraction(self) -> float:
         return self.comm_s / self.step_s if self.step_s else 0.0
 
+    @property
+    def gstencil_per_s(self) -> float:
+        """Modelled throughput in giga stencil-point updates per second."""
+        return self.points / self.step_s / 1e9 if self.step_s else 0.0
+
+
+@dataclass
+class ClusterResult:
+    """Everything one :meth:`ClusterRuntime.run` produced."""
+
+    field: np.ndarray
+    steps: int
+    phases: tuple[int, ...]
+    exchanged_bytes: int
+    counters: EventCounters | None = None
+    fault_report: object | None = None
+    backend: str | None = None
+    executor: str = "serial"
+    overlap: bool = False
+    worker_pids: tuple[int, ...] = ()
+    rank_plan_keys: tuple[str, ...] = ()
+
+    @property
+    def rounds(self) -> int:
+        """Halo exchanges performed (messages per rank)."""
+        return len(self.phases)
+
+
+class ClusterRuntime:
+    """A mesh of simulated devices executing one distributed plan."""
+
+    def __init__(
+        self, plan: DistributedPlan, machine: MachineSpec = A100
+    ) -> None:
+        self.plan = plan
+        self.machine = machine
+        self.part: Partition = plan.part
+        # one exchanger per halo depth, shared across runs so the byte
+        # ledger (and the repro_halo_bytes_total counter behind it)
+        # accumulates in exactly one place
+        self._exchangers: dict[int, HaloExchanger] = {}
+        self.last_result: ClusterResult | None = None
+        self.last_fault_report = None
+
+    # ------------------------------------------------------------------
+    def exchanger(self, depth: int) -> HaloExchanger:
+        """The shared halo exchanger for one halo depth."""
+        ex = self._exchangers.get(depth)
+        if ex is None:
+            ex = self.plan.exchanger(depth)
+            self._exchangers[depth] = ex
+        return ex
+
+    @property
+    def halo(self) -> HaloExchanger:
+        """The per-step (radius-deep) halo exchanger."""
+        return self.exchanger(self.plan.radius)
+
+    def scatter(self, global_field: np.ndarray) -> dict[int, np.ndarray]:
+        """Distribute a global field onto the device mesh."""
+        global_field = np.asarray(global_field, dtype=np.float64)
+        if global_field.shape != self.part.global_shape:
+            raise ValueError(
+                f"field shape {global_field.shape} != partition "
+                f"{self.part.global_shape}"
+            )
+        return {
+            sub.rank: global_field[sub.slices].copy()
+            for sub in self.part.subdomains
+        }
+
+    def gather(self, blocks: dict[int, np.ndarray]) -> np.ndarray:
+        """Reassemble the global field."""
+        out = np.empty(self.part.global_shape, dtype=np.float64)
+        for sub in self.part.subdomains:
+            out[sub.slices] = blocks[sub.rank]
+        return out
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        global_field: np.ndarray,
+        steps: int,
+        *,
+        block_steps: int | None = None,
+        tiling: str | None = None,
+        overlap: bool = False,
+        executor: str = "serial",
+        simulate: bool = False,
+        backend: str | None = None,
+        verify: str | None = None,
+        faults=None,
+        policy=None,
+        max_workers: int | None = None,
+    ) -> ClusterResult:
+        """Timestep the global problem; returns a :class:`ClusterResult`.
+
+        ``block_steps`` / ``tiling`` override the plan's halo schedule
+        for this run (temporal blocking); ``overlap=True`` issues each
+        exchange asynchronously and computes interiors while it is in
+        flight; ``executor`` picks how ranks run within a round
+        (``"serial"`` / ``"thread"`` / ``"process"``).  ``simulate=True``
+        runs the faithful TCU sweep per rank (merged
+        :class:`~repro.tcu.counters.EventCounters` on the result) under
+        ``backend=``; ``verify`` / ``faults`` / ``policy`` arm the PR 5
+        fault-tolerance ladder — injected ``shard`` faults target ranks
+        and recover through the shared supervisor.  All modes produce
+        bit-identical trajectories (the equivalence suite asserts it).
+        """
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}, got {executor!r}"
+            )
+        plan = self.plan
+        schedule = plan.schedule
+        if block_steps is not None or tiling is not None:
+            schedule = replace(
+                schedule,
+                block_steps=(
+                    schedule.block_steps if block_steps is None else block_steps
+                ),
+                tiling=schedule.tiling if tiling is None else tiling,
+            )
+        phases = schedule.phases(steps)  # validates steps >= 0
+
+        h = plan.radius
+        gshape = plan.global_shape
+        boundary = schedule.boundary
+        runtime = plan.compiled.runtime
+        subs = {sub.rank: sub for sub in self.part.subdomains}
+        ranks = sorted(subs)
+
+        fault_mode = bool(verify) or faults is not None or policy is not None
+        injector = None
+        report = None
+        before = None
+        if fault_mode:
+            from repro.faults import FaultReport, RecoveryPolicy, as_injector
+
+            injector = as_injector(faults)
+            report = injector.report if injector is not None else FaultReport()
+            policy = policy or RecoveryPolicy()
+            before = report.snapshot()
+        self.last_fault_report = report
+
+        resolved = None
+        if simulate:
+            from repro.runtime.backends import resolve_backend
+
+            resolved = resolve_backend(
+                backend, plan_default=plan.backend, fault_mode=fault_mode
+            )
+
+        blocks = self.scatter(global_field)
+        total_counters = EventCounters() if simulate else None
+        exchanged = 0
+        pids: set[int] = set()
+        plan_keys: set[str] = set()
+        pool: ProcessPoolExecutor | None = None
+        if executor == "process":
+            pool = ProcessPoolExecutor(
+                max_workers=max_workers or min(len(ranks), os.cpu_count() or 1)
+            )
+
+        with telemetry.span(
+            "cluster.run",
+            category="parallel",
+            plan=plan.key[:16],
+            devices=plan.num_devices,
+            steps=steps,
+            rounds=len(phases),
+            tiling=schedule.tiling,
+            overlap=overlap,
+            executor=executor,
+        ) as run_span:
+            ctx = TraceContext.capture()
+            sweep_health = HEALTH.start_sweep(f"cluster-{plan.key[:12]}")
+            try:
+                for round_i, k in enumerate(phases):
+                    depth = schedule.depth(k)
+                    ex = self.exchanger(depth)
+                    handle = None
+                    windows = None
+                    if overlap:
+                        # cp.async commit: blocks are snapshotted into the
+                        # staging buffer before this returns; the transfer
+                        # materializes on the exchanger's background lane
+                        # while ranks compute their interiors below
+                        handle = ex.exchange_async(blocks)
+                        exchanged += handle.bytes_issued
+                    else:
+                        issued = ex.exchanged_bytes
+                        windows = ex.exchange(blocks)
+                        exchanged += ex.exchanged_bytes - issued
+
+                    def rank_worker(i: int, rank: int):
+                        if injector is not None and executor == "process":
+                            # shard faults fire in the dispatcher, where
+                            # the supervisor's timeout/retry can see them;
+                            # the ctx-attached span keeps the fault.inject
+                            # child inside the run's trace instead of an
+                            # orphan root on the supervisor thread
+                            with ctx.span(
+                                "cluster.dispatch",
+                                category="parallel",
+                                rank=rank,
+                                round=round_i,
+                            ):
+                                injector.on_shard(rank)
+                        with HEALTH.bind(
+                            sweep_health.shard(rank, rows=f"rank {rank}")
+                        ):
+                            if executor == "process":
+                                win = (
+                                    handle.wait()
+                                    if handle is not None
+                                    else windows
+                                )[rank]
+                                return process_advance(
+                                    pool,
+                                    rank,
+                                    win,
+                                    subs[rank],
+                                    plan,
+                                    k,
+                                    ctx,
+                                    simulate=simulate,
+                                    backend=resolved,
+                                )
+                            with ctx.span(
+                                "cluster.rank",
+                                category="parallel",
+                                rank=rank,
+                                steps=k,
+                                round=round_i,
+                            ) as sp:
+                                if injector is not None:
+                                    injector.on_shard(rank)
+                                local = (
+                                    EventCounters() if simulate else None
+                                )
+
+                                def apply_fn(win, _acc=local):
+                                    if _acc is None:
+                                        return runtime.apply(win)
+                                    out, ev = runtime.apply_simulated(
+                                        win,
+                                        verify=verify,
+                                        faults=injector,
+                                        policy=policy,
+                                        report=report,
+                                        backend=resolved,
+                                    )
+                                    _acc += ev
+                                    return out
+
+                                sub = subs[rank]
+                                origin = tuple(
+                                    s.start - depth for s in sub.slices
+                                )
+                                if not overlap:
+                                    out = advance_window(
+                                        apply_fn,
+                                        windows[rank],
+                                        origin,
+                                        gshape,
+                                        boundary,
+                                        k,
+                                        h,
+                                    )
+                                elif local is not None:
+                                    # the simulated sweep tiles the whole
+                                    # window (the tile decomposition is
+                                    # part of the bit/counter contract),
+                                    # so overlap models the async
+                                    # transfer and sweeps after arrival
+                                    out = advance_window(
+                                        apply_fn,
+                                        handle.wait()[rank],
+                                        origin,
+                                        gshape,
+                                        boundary,
+                                        k,
+                                        h,
+                                    )
+                                else:
+                                    block = blocks[rank]
+                                    interior, strips = frame_regions(
+                                        block.shape, depth
+                                    )
+                                    if interior is None:
+                                        # block too small to hide any
+                                        # compute: wait, then full window
+                                        out = advance_window(
+                                            apply_fn,
+                                            handle.wait()[rank],
+                                            origin,
+                                            gshape,
+                                            boundary,
+                                            k,
+                                            h,
+                                        )
+                                    else:
+                                        core = interior_of(
+                                            apply_fn,
+                                            block,
+                                            sub,
+                                            gshape,
+                                            boundary,
+                                            k,
+                                            h,
+                                        )
+                                        win = handle.wait()[rank]
+                                        out = np.empty(
+                                            sub.shape, dtype=np.float64
+                                        )
+                                        out[interior] = core
+                                        for region in strips:
+                                            sw = strip_window(
+                                                win, region, depth
+                                            )
+                                            so = tuple(
+                                                s.start + r.start - depth
+                                                for s, r in zip(
+                                                    sub.slices, region
+                                                )
+                                            )
+                                            out[region] = advance_window(
+                                                apply_fn,
+                                                sw,
+                                                so,
+                                                gshape,
+                                                boundary,
+                                                k,
+                                                h,
+                                            )
+                                if local is not None:
+                                    sp.add_events(local)
+                                return out, local, None
+
+                    if fault_mode:
+                        from repro.faults.supervisor import supervise_tasks
+
+                        results = supervise_tasks(
+                            {r: (r,) for r in ranks},
+                            rank_worker,
+                            policy,
+                            report,
+                            max_workers=(
+                                1 if executor == "serial" else max_workers
+                            ),
+                            health=sweep_health,
+                            describe=lambda args: f"rank {args[0]}",
+                        )
+                    elif executor == "serial":
+                        results = {r: rank_worker(r, r) for r in ranks}
+                    else:
+                        with ThreadPoolExecutor(
+                            max_workers=max_workers
+                        ) as tp:
+                            futures = {
+                                r: tp.submit(rank_worker, r, r)
+                                for r in ranks
+                            }
+                            results = {}
+                            for r, future in futures.items():
+                                try:
+                                    results[r] = future.result()
+                                except ReproError:
+                                    raise
+                                except Exception as exc:
+                                    raise ExecutionError(
+                                        f"cluster rank {r} of "
+                                        f"{len(ranks)} failed: {exc}"
+                                    ) from exc
+
+                    for r in ranks:
+                        out, ev, info = results[r]
+                        blocks[r] = out
+                        if ev is not None and total_counters is not None:
+                            total_counters += ev
+                        if info:
+                            pids.add(info["pid"])
+                            plan_keys.add(info["plan_key"])
+            finally:
+                if pool is not None:
+                    pool.shutdown(wait=True)
+                HEALTH.publish()
+                HEALTH.write_file()
+
+            if total_counters is not None:
+                run_span.add_events(total_counters)
+                telemetry.absorb_events(total_counters)
+            if report is not None:
+                run_span.annotate(
+                    faults_injected=report.total_injected,
+                    faults_detected=report.total_detected,
+                    faults_recovered=report.total_recovered,
+                )
+                telemetry.absorb_faults(report.delta(before))
+            run_span.annotate(halo_bytes=exchanged)
+
+        result = ClusterResult(
+            field=self.gather(blocks),
+            steps=steps,
+            phases=phases,
+            exchanged_bytes=exchanged,
+            counters=total_counters,
+            fault_report=report,
+            backend=resolved,
+            executor=executor,
+            overlap=overlap,
+            worker_pids=tuple(sorted(pids)),
+            rank_plan_keys=tuple(sorted(plan_keys)),
+        )
+        self.last_result = result
+        return result
+
+    # ------------------------------------------------------------------
+    # scaling model
+    # ------------------------------------------------------------------
+    def timings(
+        self,
+        steps: int = 1,
+        *,
+        overlap: bool = False,
+        block_steps: int = 1,
+        weights: StencilWeights | None = None,
+    ) -> ClusterTimings:
+        """Modelled per-step time: slowest sweep + largest halo transfer.
+
+        The sweep time reuses the single-GPU cost model on a
+        representative measured footprint scaled to the largest block.
+        ``block_steps > 1`` amortizes one deep exchange over the round
+        (the per-step-equivalent ``comm_s`` drops ~``block_steps``×);
+        ``overlap=True`` splits the sweep into the interior hidden
+        behind the transfer and the boundary strips that wait for it.
+        """
+        from repro.baselines.lorastencil import LoRAStencilMethod
+        from repro.stencil.kernels import BenchmarkKernel
+
+        weights = (
+            weights if weights is not None else self.plan.source_weights
+        )
+        if not isinstance(weights, StencilWeights):
+            raise ValueError(
+                "the timing model needs StencilWeights (the plan was "
+                "distributed from a raw array); pass weights="
+            )
+        part = self.part
+        biggest = max(
+            part.subdomains, key=lambda s: int(np.prod(s.shape))
+        )
+        kernel = BenchmarkKernel(
+            name="cluster-kernel",
+            weights=weights,
+            problem_size=biggest.shape,
+            iterations=steps,
+            blocking=(32, 64),
+        )
+        method = LoRAStencilMethod(kernel)
+        measure = tuple(min(s, 64) for s in biggest.shape)
+        fp = method.footprint(measure)
+        per_point = time_per_point(fp, method.traits(), self.machine)
+        block_points = int(np.prod(biggest.shape))
+        compute = per_point * block_points
+        depth = self.plan.radius * block_steps
+        ex = self.exchanger(depth)
+        comm_bytes = max(
+            ex.bytes_per_exchange(s.rank) for s in part.subdomains
+        )
+        # one deep exchange per round: a fixed per-message latency plus
+        # the volume over the link, amortized over the round's steps —
+        # the latency term is what temporal blocking actually cuts
+        # (deep corner halos make the *volume* slightly superlinear)
+        latency = NVLINK_LATENCY if comm_bytes else 0.0
+        comm = (
+            latency + comm_bytes / NVLINK_BANDWIDTH
+        ) / block_steps
+        interior_points = int(
+            np.prod([max(0, n - 2 * depth) for n in biggest.shape])
+        )
+        return ClusterTimings(
+            num_devices=part.num_devices,
+            compute_s=compute,
+            comm_s=comm,
+            steps=steps,
+            overlap=overlap,
+            interior_s=per_point * interior_points,
+            boundary_s=per_point * (block_points - interior_points),
+            points=int(np.prod(self.plan.global_shape)),
+            block_steps=block_steps,
+        )
+
 
 class SimulatedCluster:
-    """A mesh of simulated devices timestepping one global stencil."""
+    """The 2D convenience wrapper over :class:`ClusterRuntime`.
+
+    Keeps the original surface (``weights`` / ``part`` / ``halo`` /
+    ``engines``, ``run`` returning the bare field, ``timings``) while
+    executing everything through a :class:`DistributedPlan` — so
+    ``run(..., simulate=True, backend=...)`` and the temporal/overlap
+    modes are available here too.
+    """
 
     def __init__(
         self,
@@ -74,83 +633,38 @@ class SimulatedCluster:
             )
         self.weights = weights
         self.machine = machine
-        self.part: Partition = partition(global_shape, mesh)
-        self.halo = HaloExchanger(self.part, weights.radius, boundary)
-        # one cached plan serves every rank: the engines are read-only
-        # after compilation, so the mesh shares a single instance
-        compiled = compile_stencil(weights)
+        self.plan = distribute(
+            weights, global_shape, mesh, boundary=boundary
+        )
+        self.runtime = ClusterRuntime(self.plan, machine=machine)
+        self.part: Partition = self.plan.part
+        self.halo = self.runtime.halo
+        # the plan cache collapses the mesh onto one compiled plan; the
+        # per-rank engine views are shared read-only references
         self.engines = {
-            sub.rank: compiled.engine for sub in self.part.subdomains
-        }
-
-    # ------------------------------------------------------------------
-    # functional execution
-    # ------------------------------------------------------------------
-    def scatter(self, global_field: np.ndarray) -> dict[int, np.ndarray]:
-        """Distribute a global field onto the device mesh."""
-        global_field = np.asarray(global_field, dtype=np.float64)
-        if global_field.shape != self.part.global_shape:
-            raise ValueError(
-                f"field shape {global_field.shape} != partition "
-                f"{self.part.global_shape}"
-            )
-        return {
-            sub.rank: global_field[sub.row_slice, sub.col_slice].copy()
+            sub.rank: self.plan.compiled.engine
             for sub in self.part.subdomains
         }
 
+    def scatter(self, global_field: np.ndarray) -> dict[int, np.ndarray]:
+        """Distribute a global field onto the device mesh."""
+        return self.runtime.scatter(global_field)
+
     def gather(self, blocks: dict[int, np.ndarray]) -> np.ndarray:
         """Reassemble the global field."""
-        out = np.empty(self.part.global_shape, dtype=np.float64)
-        for sub in self.part.subdomains:
-            out[sub.row_slice, sub.col_slice] = blocks[sub.rank]
-        return out
+        return self.runtime.gather(blocks)
 
-    def run(self, global_field: np.ndarray, steps: int) -> np.ndarray:
-        """Timestep the global problem; returns the final global field."""
-        if steps < 0:
-            raise ValueError(f"steps must be >= 0, got {steps}")
-        blocks = self.scatter(global_field)
-        for _ in range(steps):
-            windows = self.halo.exchange(blocks)
-            blocks = {
-                rank: self.engines[rank].apply(window)
-                for rank, window in windows.items()
-            }
-        return self.gather(blocks)
+    def run(
+        self, global_field: np.ndarray, steps: int, **kwargs
+    ) -> np.ndarray:
+        """Timestep the global problem; returns the final global field.
 
-    # ------------------------------------------------------------------
-    # scaling model
-    # ------------------------------------------------------------------
-    def timings(self, steps: int = 1) -> ClusterTimings:
-        """Modelled per-step time: slowest sweep + largest halo transfer.
-
-        The sweep time reuses the single-GPU cost model on a
-        representative measured footprint scaled to the largest block.
+        ``**kwargs`` pass through to :meth:`ClusterRuntime.run`
+        (``overlap=``, ``executor=``, ``simulate=``, ``block_steps=``,
+        fault-tolerance arguments, ...).
         """
-        from repro.baselines.lorastencil import LoRAStencilMethod
-        from repro.stencil.kernels import BenchmarkKernel
+        return self.runtime.run(global_field, steps, **kwargs).field
 
-        biggest = max(self.part.subdomains, key=lambda s: s.shape[0] * s.shape[1])
-        kernel = BenchmarkKernel(
-            name="cluster-kernel",
-            weights=self.weights,
-            problem_size=biggest.shape,
-            iterations=steps,
-            blocking=(32, 64),
-        )
-        method = LoRAStencilMethod(kernel)
-        measure = tuple(min(s, 64) for s in biggest.shape)
-        fp: FootprintScale = method.footprint(measure)
-        per_point = time_per_point(fp, method.traits(), self.machine)
-        compute = per_point * biggest.shape[0] * biggest.shape[1]
-        comm_bytes = max(
-            self.halo.bytes_per_exchange(s.rank) for s in self.part.subdomains
-        )
-        comm = comm_bytes / NVLINK_BANDWIDTH
-        return ClusterTimings(
-            num_devices=self.part.num_devices,
-            compute_s=compute,
-            comm_s=comm,
-            steps=steps,
-        )
+    def timings(self, steps: int = 1, **kwargs) -> ClusterTimings:
+        """Modelled per-step time (see :meth:`ClusterRuntime.timings`)."""
+        return self.runtime.timings(steps, **kwargs)

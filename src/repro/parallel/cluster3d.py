@@ -2,25 +2,30 @@
 
 Production 3D stencil codes (RTM, weather dynamics) typically partition
 the two horizontal axes across devices and keep the vertical axis local
-— the *pencil* decomposition.  :class:`SimulatedCluster3D` applies that
-scheme over the 2D :func:`~repro.parallel.decomposition.partition`:
-each device owns a ``Z x rows x cols`` pencil, exchanges 2D-mesh halos
-(scaled by the pencil depth), and runs the plane-decomposed
-:class:`~repro.core.engine3d.LoRAStencil3D` locally.
+— the *pencil* decomposition.  :class:`SimulatedCluster3D` expresses
+that scheme as a ``(1, P, Q)`` mesh over the N-D
+:func:`~repro.parallel.decomposition.partition` and executes through
+the :class:`~repro.parallel.cluster.ClusterRuntime`, so 3D clusters
+inherit ``backend=``, temporal blocking, overlapped exchange, fault
+tolerance and telemetry like their 2D counterparts.
+
+Byte accounting keeps the original pencil model: every exchanged 2D
+cross-section cell carries the full pencil depth plus the z halo
+(``bytes_2d * (Z + 2h)``) — the quantity a point-to-point pencil
+implementation transfers, accumulated on :attr:`exchanged_bytes`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.runtime import compile as compile_stencil
+from repro.parallel.cluster import ClusterRuntime
 from repro.parallel.decomposition import Partition, partition
 from repro.parallel.halo import HaloExchanger
+from repro.parallel.plan import distribute
 from repro.stencil.weights import StencilWeights
 
 __all__ = ["SimulatedCluster3D"]
-
-_FP64 = 8
 
 
 class SimulatedCluster3D:
@@ -43,16 +48,19 @@ class SimulatedCluster3D:
             )
         self.weights = weights
         self.boundary = boundary
-        self.global_shape = global_shape
-        self.part: Partition = partition(global_shape[1:], mesh)
-        # reuse the 2D halo accounting; every exchanged cross-section cell
-        # carries the full pencil depth plus the z halo
+        self.global_shape = tuple(global_shape)
+        # pencils: the vertical axis stays whole on every device
+        self.plan = distribute(
+            weights, global_shape, (1, *mesh), boundary=boundary
+        )
+        self.runtime = ClusterRuntime(self.plan)
+        # the legacy 2D cross-section view the pencil byte model charges
+        self.part: Partition = partition(self.global_shape[1:], mesh)
         self._halo2d = HaloExchanger(self.part, weights.radius, boundary)
         self.exchanged_bytes = 0
-        # one cached plan serves every rank (engines are read-only)
-        compiled = compile_stencil(weights)
         self.engines = {
-            sub.rank: compiled.engine for sub in self.part.subdomains
+            sub.rank: self.plan.compiled.engine
+            for sub in self.part.subdomains
         }
 
     # ------------------------------------------------------------------
@@ -63,49 +71,22 @@ class SimulatedCluster3D:
 
     def scatter(self, field: np.ndarray) -> dict[int, np.ndarray]:
         """Distribute a global 3D field into per-device pencils."""
-        field = np.asarray(field, dtype=np.float64)
-        if field.shape != self.global_shape:
-            raise ValueError(
-                f"field shape {field.shape} != {self.global_shape}"
-            )
-        return {
-            s.rank: field[:, s.row_slice, s.col_slice].copy()
-            for s in self.part.subdomains
-        }
+        return self.runtime.scatter(field)
 
     def gather(self, blocks: dict[int, np.ndarray]) -> np.ndarray:
         """Reassemble the global field from pencils."""
-        out = np.empty(self.global_shape, dtype=np.float64)
-        for s in self.part.subdomains:
-            out[:, s.row_slice, s.col_slice] = blocks[s.rank]
-        return out
+        return self.runtime.gather(blocks)
 
     # ------------------------------------------------------------------
-    def _exchange(self, blocks: dict[int, np.ndarray]) -> dict[int, np.ndarray]:
-        """Pad every pencil from its mesh neighbours (and the z boundary)."""
-        h = self.weights.radius
-        global_arr = self.gather(blocks)
-        mode = "wrap" if self.boundary == "periodic" else "constant"
-        padded = np.pad(global_arr, h, mode=mode)
-        windows = {}
-        for s in self.part.subdomains:
-            windows[s.rank] = padded[
-                :,
-                s.row_slice.start : s.row_slice.stop + 2 * h,
-                s.col_slice.start : s.col_slice.stop + 2 * h,
-            ].copy()
-            self.exchanged_bytes += self.bytes_per_exchange(s.rank)
-        return windows
+    def run(self, field: np.ndarray, steps: int, **kwargs) -> np.ndarray:
+        """Timestep the global 3D problem; returns the final field.
 
-    def run(self, field: np.ndarray, steps: int) -> np.ndarray:
-        """Timestep the global 3D problem; returns the final field."""
-        if steps < 0:
-            raise ValueError(f"steps must be >= 0, got {steps}")
-        blocks = self.scatter(field)
-        for _ in range(steps):
-            windows = self._exchange(blocks)
-            blocks = {
-                rank: self.engines[rank].apply(window)
-                for rank, window in windows.items()
-            }
-        return self.gather(blocks)
+        ``**kwargs`` pass through to :meth:`ClusterRuntime.run`
+        (``block_steps=``, ``overlap=``, ``executor=``, ``simulate=``,
+        fault-tolerance arguments, ...).
+        """
+        result = self.runtime.run(field, steps, **kwargs)
+        self.exchanged_bytes += result.rounds * sum(
+            self.bytes_per_exchange(s.rank) for s in self.part.subdomains
+        )
+        return result.field

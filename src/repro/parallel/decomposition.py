@@ -1,4 +1,11 @@
-"""Block partitioning of a 2D grid onto a device mesh."""
+"""Block partitioning of an N-D grid onto a device mesh.
+
+Originally 2D-only; the distributed runtime (``repro.parallel.plan``)
+partitions 1D, 2D and 3D grids with the same balanced block
+distribution, so :class:`Subdomain` carries one slice per axis.  The
+2D accessors (``row_slice``/``col_slice``) survive as properties — every
+pre-existing consumer reads them, none constructs subdomains directly.
+"""
 
 from __future__ import annotations
 
@@ -12,45 +19,82 @@ class Subdomain:
     """One device's block of the global grid."""
 
     rank: int
-    mesh_pos: tuple[int, int]  # (p, q) position in the device mesh
-    row_slice: slice
-    col_slice: slice
+    mesh_pos: tuple[int, ...]  # position in the device mesh, one per axis
+    slices: tuple[slice, ...]  # owned index range per axis
 
     @property
-    def shape(self) -> tuple[int, int]:
-        return (
-            self.row_slice.stop - self.row_slice.start,
-            self.col_slice.stop - self.col_slice.start,
-        )
+    def ndim(self) -> int:
+        return len(self.slices)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(s.stop - s.start for s in self.slices)
+
+    @property
+    def row_slice(self) -> slice:
+        """First-axis slice (2D convention kept for existing callers)."""
+        return self.slices[0]
+
+    @property
+    def col_slice(self) -> slice:
+        """Second-axis slice (2D convention kept for existing callers)."""
+        return self.slices[1]
+
+    def window_slices(self, depth: int) -> tuple[slice, ...]:
+        """Slices of this block extended by ``depth`` into a *padded*
+        global array (padded by ``depth`` per side, so the window starts
+        at the unpadded ``start`` coordinate)."""
+        return tuple(slice(s.start, s.stop + 2 * depth) for s in self.slices)
 
 
 @dataclass(frozen=True)
 class Partition:
-    """A full block partition of a ``rows x cols`` grid on a P x Q mesh."""
+    """A full block partition of an N-D grid on a device mesh."""
 
-    global_shape: tuple[int, int]
-    mesh: tuple[int, int]
+    global_shape: tuple[int, ...]
+    mesh: tuple[int, ...]
     subdomains: tuple[Subdomain, ...]
 
     @property
+    def ndim(self) -> int:
+        return len(self.global_shape)
+
+    @property
     def num_devices(self) -> int:
-        return self.mesh[0] * self.mesh[1]
+        n = 1
+        for m in self.mesh:
+            n *= m
+        return n
 
-    def at(self, p: int, q: int) -> Subdomain:
-        """Subdomain at mesh position ``(p, q)``."""
-        return self.subdomains[p * self.mesh[1] + q]
+    def at(self, *pos: int) -> Subdomain:
+        """Subdomain at mesh position ``pos`` (one index per mesh axis)."""
+        if len(pos) != len(self.mesh):
+            raise ValueError(
+                f"mesh position {pos} has {len(pos)} axes, mesh is {self.mesh}"
+            )
+        rank = 0
+        for p, m in zip(pos, self.mesh):
+            rank = rank * m + p
+        return self.subdomains[rank]
 
-    def neighbor(self, sub: Subdomain, dp: int, dq: int, periodic: bool) -> Subdomain | None:
-        """Mesh neighbor in direction ``(dp, dq)`` (None past a
+    def neighbor(
+        self, sub: Subdomain, *deltas: int, periodic: bool
+    ) -> Subdomain | None:
+        """Mesh neighbor in direction ``deltas`` (None past a
         non-periodic global edge)."""
-        p, q = sub.mesh_pos
-        np_, nq = p + dp, q + dq
-        if periodic:
-            np_ %= self.mesh[0]
-            nq %= self.mesh[1]
-        elif not (0 <= np_ < self.mesh[0] and 0 <= nq < self.mesh[1]):
-            return None
-        return self.at(np_, nq)
+        if len(deltas) != len(self.mesh):
+            raise ValueError(
+                f"direction {deltas} has {len(deltas)} axes, mesh is {self.mesh}"
+            )
+        pos = []
+        for p, d, m in zip(sub.mesh_pos, deltas, self.mesh):
+            q = p + d
+            if periodic:
+                q %= m
+            elif not 0 <= q < m:
+                return None
+            pos.append(q)
+        return self.at(*pos)
 
 
 def _split(n: int, parts: int) -> list[slice]:
@@ -65,33 +109,42 @@ def _split(n: int, parts: int) -> list[slice]:
     return slices
 
 
-def partition(global_shape: tuple[int, int], mesh: tuple[int, int]) -> Partition:
-    """Block-partition ``global_shape`` onto a ``mesh = (P, Q)`` of devices.
+def partition(
+    global_shape: tuple[int, ...], mesh: tuple[int, ...]
+) -> Partition:
+    """Block-partition ``global_shape`` onto a device ``mesh``.
 
-    Every subdomain must be non-empty; uneven shapes distribute the
-    remainder over the leading ranks (the standard block distribution).
+    ``mesh`` has one entry per grid axis (a 1D mesh for 1D grids, the
+    classic ``(P, Q)`` for 2D, ``(Z, P, Q)`` for 3D — use ``Z = 1`` for
+    the pencil decomposition).  Every subdomain must be non-empty;
+    uneven shapes distribute the remainder over the leading ranks (the
+    standard block distribution).
     """
-    rows, cols = global_shape
-    p_mesh, q_mesh = mesh
-    if p_mesh < 1 or q_mesh < 1:
+    global_shape = tuple(int(n) for n in global_shape)
+    mesh = tuple(int(m) for m in mesh)
+    if len(global_shape) != len(mesh):
+        raise ValueError(
+            f"grid {global_shape} and mesh {mesh} must have the same "
+            "number of axes"
+        )
+    if not 1 <= len(mesh) <= 3:
+        raise ValueError(f"partition supports 1-3 axes, got {len(mesh)}")
+    if any(m < 1 for m in mesh):
         raise ValueError(f"mesh must be positive, got {mesh}")
-    if rows < p_mesh or cols < q_mesh:
+    if any(n < m for n, m in zip(global_shape, mesh)):
         raise ValueError(
             f"grid {global_shape} too small for a {mesh} device mesh"
         )
-    row_slices = _split(rows, p_mesh)
-    col_slices = _split(cols, q_mesh)
-    subs = []
-    rank = 0
-    for p in range(p_mesh):
-        for q in range(q_mesh):
-            subs.append(
-                Subdomain(
-                    rank=rank,
-                    mesh_pos=(p, q),
-                    row_slice=row_slices[p],
-                    col_slice=col_slices[q],
-                )
-            )
-            rank += 1
-    return Partition(global_shape=global_shape, mesh=mesh, subdomains=tuple(subs))
+    axis_slices = [_split(n, m) for n, m in zip(global_shape, mesh)]
+    positions: list[tuple[int, ...]] = [()]
+    for m in mesh:
+        positions = [pos + (p,) for pos in positions for p in range(m)]
+    subs = tuple(
+        Subdomain(
+            rank=rank,
+            mesh_pos=pos,
+            slices=tuple(axis_slices[ax][p] for ax, p in enumerate(pos)),
+        )
+        for rank, pos in enumerate(positions)
+    )
+    return Partition(global_shape=global_shape, mesh=mesh, subdomains=subs)

@@ -1,96 +1,101 @@
-"""Communication-avoiding temporal blocking for the cluster.
+"""Communication-avoiding temporal tiling for the cluster.
 
 Instead of exchanging an ``h``-deep halo every timestep, each device
-receives a ``k*h``-deep halo once and advances ``k`` steps locally on a
-shrinking window (the classic overlapped/trapezoidal scheme).  For a
-linear stencil this is *exact*:
+receives a deeper halo once per *round* and advances several steps
+locally on a shrinking window.  The round structure comes from the
+plan's :class:`~repro.parallel.plan.HaloSchedule`:
 
-* interior dependencies over ``k`` steps reach at most ``k*h`` cells;
-* boundary windows re-impose the global boundary condition on their
-  out-of-domain cells after every local step, reproducing the
-  step-by-step trajectory bit for bit.
+* ``trapezoid`` — one ``k*h``-deep exchange then ``k`` local steps (the
+  classic overlapped trapezoid);
+* ``diamond`` — two half-depth exchanges per round (shallower halos,
+  one extra message) — every half-round is itself an exact trapezoid;
+* a step count that does not divide ``block_steps`` simply ends with a
+  ragged final round advancing the remainder.
 
-The payoff is fewer, larger messages: total halo traffic drops roughly
-by ``k`` (the deep halo is ~``k``× one shallow halo but replaces ``k``
-of them, and message *count* — the latency term — drops exactly ``k``×).
+For a linear stencil this is *exact*: interior dependencies over ``k``
+steps reach at most ``k*h`` cells, and boundary windows re-impose the
+global boundary condition between local steps, reproducing the
+step-by-step trajectory bit for bit.  The payoff is fewer, larger
+messages: total halo traffic drops roughly by ``k`` and message *count*
+— the latency term — drops exactly ``k``×.
+
+Execution happens through :meth:`~repro.parallel.cluster.
+ClusterRuntime.run`, so temporal rounds compose with ``overlap=``,
+``executor="process"``, ``simulate=``/``backend=`` and the fault
+ladder.  Byte accounting comes from the halo exchanger's ledger — the
+single source of truth — never re-summed here.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
-from repro.parallel.cluster import SimulatedCluster
-from repro.parallel.halo import HaloExchanger
+from repro.parallel.cluster import ClusterRuntime
 
 __all__ = ["run_temporal_blocked", "temporal_halo_bytes"]
 
 
+def _runtime_of(cluster) -> ClusterRuntime:
+    """The :class:`ClusterRuntime` behind any cluster-like object."""
+    if isinstance(cluster, ClusterRuntime):
+        return cluster
+    return cluster.runtime
+
+
 def temporal_halo_bytes(
-    cluster: SimulatedCluster, steps: int, block_steps: int
+    cluster,
+    steps: int,
+    block_steps: int,
+    *,
+    tiling: str = "trapezoid",
 ) -> tuple[int, int]:
-    """(per-step bytes, temporal-blocked bytes) for ``steps`` timesteps."""
-    h = cluster.weights.radius
-    per_step = sum(
-        cluster.halo.bytes_per_exchange(s.rank) for s in cluster.part.subdomains
+    """(per-step bytes, temporal-blocked bytes) for ``steps`` timesteps.
+
+    The model mirrors the execution exactly — one term per scheduled
+    phase at that phase's halo depth — so it matches the measured
+    exchanger ledger byte for byte, including ragged final rounds and
+    diamond half-rounds.
+    """
+    runtime = _runtime_of(cluster)
+    plan = runtime.plan
+    schedule = replace(
+        plan.schedule, block_steps=block_steps, tiling=tiling
     )
-    deep = HaloExchanger(cluster.part, h * block_steps, cluster.halo.boundary)
-    per_deep = sum(
-        deep.bytes_per_exchange(s.rank) for s in cluster.part.subdomains
+    per_step = (
+        runtime.exchanger(plan.radius).total_bytes_per_exchange() * steps
     )
-    rounds = -(-steps // block_steps)
-    return per_step * steps, per_deep * rounds
+    blocked = sum(
+        runtime.exchanger(schedule.depth(k)).total_bytes_per_exchange()
+        for k in schedule.phases(steps)
+    )
+    return per_step, blocked
 
 
 def run_temporal_blocked(
-    cluster: SimulatedCluster,
+    cluster,
     field: np.ndarray,
     steps: int,
     block_steps: int,
+    *,
+    tiling: str = "trapezoid",
+    **kwargs,
 ) -> tuple[np.ndarray, int]:
     """Advance ``steps`` timesteps exchanging halos every ``block_steps``.
 
     Returns ``(final_field, exchanged_bytes)``.  Exact for any boundary
-    condition the cluster supports (constant / periodic).
+    condition the cluster supports (constant / periodic), any dimension
+    (1D/2D/3D), and both tilings; a non-divisible ``steps`` ends with a
+    ragged final round.  ``**kwargs`` pass through to
+    :meth:`~repro.parallel.cluster.ClusterRuntime.run` (``overlap=``,
+    ``executor=``, ``simulate=``, fault-tolerance arguments, ...).
     """
-    if block_steps < 1:
-        raise ValueError(f"block_steps must be >= 1, got {block_steps}")
-    if steps % block_steps != 0:
-        raise ValueError(
-            f"{steps} steps are not divisible by block_steps={block_steps}"
-        )
-    h = cluster.weights.radius
-    part = cluster.part
-    boundary = cluster.halo.boundary
-    deep = HaloExchanger(part, h * block_steps, boundary)
-    rows, cols = part.global_shape
-
-    blocks = cluster.scatter(field)
-    exchanged = 0
-    for _ in range(steps // block_steps):
-        windows = deep.exchange(blocks)
-        exchanged += sum(
-            deep.bytes_per_exchange(s.rank) for s in part.subdomains
-        )
-        new_blocks = {}
-        for sub in part.subdomains:
-            cur = windows[sub.rank]
-            depth = block_steps * h
-            for step_i in range(block_steps):
-                cur = cluster.engines[sub.rank].apply(cur)
-                depth -= h
-                if boundary == "constant" and depth > 0:
-                    # re-impose the Dirichlet boundary on window cells
-                    # that lie outside the global domain
-                    r_idx = np.arange(
-                        sub.row_slice.start - depth, sub.row_slice.stop + depth
-                    )
-                    c_idx = np.arange(
-                        sub.col_slice.start - depth, sub.col_slice.stop + depth
-                    )
-                    outside_r = (r_idx < 0) | (r_idx >= rows)
-                    outside_c = (c_idx < 0) | (c_idx >= cols)
-                    cur[outside_r, :] = 0.0
-                    cur[:, outside_c] = 0.0
-            new_blocks[sub.rank] = cur
-        blocks = new_blocks
-    return cluster.gather(blocks), exchanged
+    result = _runtime_of(cluster).run(
+        field,
+        steps,
+        block_steps=block_steps,
+        tiling=tiling,
+        **kwargs,
+    )
+    return result.field, result.exchanged_bytes

@@ -27,16 +27,13 @@ the seams, which is the true cost of sharding.
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import ThreadPoolExecutor
-from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Sequence
 
 import numpy as np
 
 from repro.errors import (
     ExecutionError,
-    FaultError,
     InputValidationError,
     ReproError,
     ShapeError,
@@ -51,7 +48,6 @@ from repro.tcu.counters import EventCounters
 from repro.tcu.device import Device
 from repro.telemetry.context import TraceContext
 from repro.telemetry.health import HEALTH
-from repro.telemetry.log import emit as emit_event
 
 __all__ = ["Runtime"]
 
@@ -420,146 +416,22 @@ class Runtime:
     ) -> dict[int, tuple]:
         """Run shard workers under the recovery policy.
 
-        Timeout/crash → capped exponential-backoff resubmission
-        (``policy.shard_retries`` rounds) → inline recomputation in the
-        calling thread → typed :class:`~repro.errors.FaultError`.
-        Every decision the supervisor takes — a timeout, a crash, a
-        backoff delay, a recovery — lands in the structured event log,
-        and resubmissions bump the shard's live health gauges.
+        Delegates to the shared :func:`repro.faults.supervisor.
+        supervise_tasks` ladder (timeout/crash → capped exponential-
+        backoff resubmission → inline recomputation → typed
+        :class:`~repro.errors.FaultError`) — the same supervisor the
+        cluster runtime runs its ranks and temporal rounds under.
         """
-        results: dict[int, tuple] = {}
-        pending = dict(enumerate(bounds))
-        failed_ever: set[int] = set()
-        attempt = 0
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            while pending:
-                futures = {
-                    i: pool.submit(worker, i, *pending[i])
-                    for i in sorted(pending)
-                }
-                failed: dict[int, tuple[int, int]] = {}
-                for i, future in sorted(futures.items()):
-                    s0, s1 = pending[i]
-                    try:
-                        results[i] = future.result(
-                            timeout=policy.shard_timeout_s
-                        )
-                        if i in failed_ever:
-                            report.bump("shard_recoveries")
-                            emit_event(
-                                "shard.recovered",
-                                message=f"shard {i} recovered on resubmission",
-                                shard=i,
-                                rows=f"{s0}:{s1}",
-                                attempt=attempt,
-                            )
-                    except FutureTimeoutError:
-                        report.bump("shard_timeouts")
-                        emit_event(
-                            "shard.timeout",
-                            level="warning",
-                            message=(
-                                f"shard {i} exceeded the "
-                                f"{policy.shard_timeout_s}s policy timeout"
-                            ),
-                            shard=i,
-                            rows=f"{s0}:{s1}",
-                            timeout_s=policy.shard_timeout_s,
-                            attempt=attempt,
-                        )
-                        failed[i] = (s0, s1)
-                    except FaultError as exc:
-                        # injected crash, or a shard whose own recovery
-                        # ladder was exhausted — worth a fresh attempt
-                        report.bump("shard_crashes")
-                        emit_event(
-                            "shard.crash",
-                            level="warning",
-                            message=f"shard {i} crashed: {exc}",
-                            shard=i,
-                            rows=f"{s0}:{s1}",
-                            attempt=attempt,
-                        )
-                        failed[i] = (s0, s1)
-                    except ReproError:
-                        raise
-                    except Exception as exc:
-                        raise ExecutionError(
-                            f"shard {i} of {len(bounds)} (rows {s0}:{s1}) "
-                            f"failed: {exc}"
-                        ) from exc
-                failed_ever.update(failed)
-                pending = failed
-                if not pending:
-                    break
-                if attempt >= policy.shard_retries:
-                    break
-                delay = min(
-                    policy.backoff_cap_s,
-                    policy.backoff_base_s * (2.0**attempt),
-                )
-                emit_event(
-                    "shard.backoff",
-                    message=(
-                        f"backing off {delay:.3f}s before resubmitting "
-                        f"{len(pending)} shard(s)"
-                    ),
-                    delay_s=delay,
-                    attempt=attempt,
-                    shards=sorted(pending),
-                )
-                if delay > 0:
-                    time.sleep(delay)
-                report.bump("shard_retries", len(pending))
-                if sweep_health is not None:
-                    for i in pending:
-                        sweep_health.shard(i).bump_retries()
-                attempt += 1
-        for i in sorted(pending):
-            s0, s1 = pending[i]
-            if policy.inline_fallback:
-                try:
-                    emit_event(
-                        "shard.inline_recovery",
-                        level="warning",
-                        message=(
-                            f"recomputing shard {i} inline after "
-                            f"{policy.shard_retries} backoff retries"
-                        ),
-                        shard=i,
-                        rows=f"{s0}:{s1}",
-                    )
-                    results[i] = worker(i, s0, s1)
-                    report.bump("shard_inline_recoveries")
-                    continue
-                except Exception as exc:
-                    report.bump("unrecovered")
-                    emit_event(
-                        "shard.unrecovered",
-                        level="error",
-                        message=f"shard {i} exhausted the recovery ladder",
-                        shard=i,
-                        rows=f"{s0}:{s1}",
-                    )
-                    raise FaultError(
-                        f"shard {i} (rows {s0}:{s1}) failed after "
-                        f"{policy.shard_retries} backoff retries and "
-                        f"inline recomputation: {exc}"
-                    ) from exc
-            report.bump("unrecovered")
-            emit_event(
-                "shard.unrecovered",
-                level="error",
-                message=f"shard {i} exhausted the recovery ladder",
-                shard=i,
-                rows=f"{s0}:{s1}",
-            )
-            raise FaultError(
-                f"shard {i} (rows {s0}:{s1}) failed after "
-                f"{policy.shard_retries} backoff retries "
-                "(inline fallback disabled)"
-            )
-        return results
+        from repro.faults.supervisor import supervise_tasks
+
+        return supervise_tasks(
+            dict(enumerate(bounds)),
+            worker,
+            policy,
+            report,
+            max_workers=max_workers,
+            health=sweep_health,
+        )
 
     # ------------------------------------------------------------------
     # internals

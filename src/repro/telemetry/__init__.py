@@ -47,7 +47,12 @@ from repro.telemetry import (
     spans,
     validate,
 )
-from repro.telemetry.context import NULL_CONTEXT, TraceContext, WorkerTracer
+from repro.telemetry.context import (
+    NULL_CONTEXT,
+    TraceContext,
+    WorkerTracer,
+    revive_spans,
+)
 from repro.telemetry.export import (
     load_chrome_trace,
     run_record,
@@ -74,6 +79,7 @@ __all__ = [
     "TraceContext",
     "NULL_CONTEXT",
     "WorkerTracer",
+    "revive_spans",
     "MetricsRegistry",
     "REGISTRY",
     "EventLog",

@@ -52,6 +52,7 @@ __all__ = [
     "NULL_CONTEXT",
     "WorkerTracer",
     "merge_roots",
+    "revive_spans",
 ]
 
 
@@ -174,6 +175,58 @@ def merge_roots(
                 tracer.finished.append(root)
         merged += 1
     return merged
+
+
+def revive_spans(
+    span_dicts: list[dict],
+    context: TraceContext,
+    tracer: Tracer | None = None,
+    rebase_ns: int = 0,
+) -> int:
+    """Rebuild serialized span trees and merge them under a context.
+
+    The cross-*process* counterpart of :class:`WorkerTracer`: a worker
+    process serializes its finished roots with
+    :func:`repro.telemetry.export.span_to_dict`, ships them back as
+    plain dicts, and the spawning side revives them here — re-parented
+    under the captured context, the whole subtree rewritten onto the
+    parent ``trace_id``, exactly like an in-process merge.
+
+    ``rebase_ns`` shifts every revived timestamp (the child's
+    ``perf_counter_ns`` clock is unrelated to the parent's): pass
+    ``dispatch_ns - child_root_start_ns`` so the worker's lane lands at
+    the moment the parent dispatched it.  Returns the number of roots
+    merged; no-op on the null context.
+    """
+    if context.trace_id is None or not span_dicts:
+        return 0
+    target = tracer if tracer is not None else context.tracer
+    roots = [_revive_one(d, target, rebase_ns) for d in span_dicts]
+    return merge_roots(roots, context, tracer=target)
+
+
+def _revive_one(d: dict, tracer: Tracer, rebase_ns: int) -> Span:
+    """One serialized span (children inline) back into a Span tree."""
+    from repro.tcu.counters import EventCounters
+
+    span = Span(
+        tracer,
+        d.get("name", "<revived>"),
+        category=d.get("category", "repro"),
+        parent=None,
+        attrs=d.get("attrs") or {},
+    )
+    span.thread_name = d.get("thread", span.thread_name)
+    span.start_ns = int(d.get("start_ns", 0)) + rebase_ns
+    span.end_ns = span.start_ns + int(d.get("duration_ns", 0))
+    events = d.get("events")
+    if events:
+        span.events = EventCounters(**events)
+    for child_dict in d.get("children") or ():
+        child = _revive_one(child_dict, tracer, rebase_ns)
+        child.parent = span
+        span.children.append(child)
+    return span
 
 
 class WorkerTracer(Tracer):

@@ -1,0 +1,239 @@
+"""ClusterRuntime: executors, fault recovery, process-trace revival,
+temporal tiling across dimensions."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.faults import FaultPlan, FaultSpec, RecoveryPolicy
+from repro.parallel.cluster import ClusterRuntime, SimulatedCluster
+from repro.parallel.cluster3d import SimulatedCluster3D
+from repro.parallel.plan import distribute
+from repro.parallel.temporal import run_temporal_blocked, temporal_halo_bytes
+from repro.stencil.kernels import get_kernel
+from repro.stencil.reference import reference_iterate
+
+FAST_POLICY = RecoveryPolicy(
+    shard_timeout_s=20.0, shard_retries=2, backoff_base_s=0.001,
+    backoff_cap_s=0.01,
+)
+
+
+class TestClusterResult:
+    def test_result_surface(self, rng):
+        w = get_kernel("Heat-2D").weights
+        x = rng.normal(size=(16, 16))
+        plan = distribute(w, x.shape, (2, 2), block_steps=3)
+        result = ClusterRuntime(plan).run(x, 7)
+        assert result.phases == (3, 3, 1)
+        assert result.rounds == 3
+        assert result.steps == 7
+        assert result.exchanged_bytes > 0
+        assert result.counters is None  # functional run
+        assert np.allclose(
+            result.field, reference_iterate(x, w, 7), atol=1e-9
+        )
+
+    def test_zero_steps_identity(self, rng):
+        w = get_kernel("Heat-2D").weights
+        x = rng.normal(size=(12, 12))
+        plan = distribute(w, x.shape, (2, 2))
+        result = ClusterRuntime(plan).run(x, 0)
+        assert np.array_equal(result.field, x)
+        assert result.exchanged_bytes == 0
+        assert result.rounds == 0
+
+    def test_bad_executor_rejected(self, rng):
+        w = get_kernel("Heat-2D").weights
+        plan = distribute(w, (12, 12), (1, 1))
+        with pytest.raises(ValueError):
+            ClusterRuntime(plan).run(np.zeros((12, 12)), 1, executor="mpi")
+
+
+class TestProcessExecutor:
+    def test_trajectory_bit_identical_to_serial(self, rng):
+        w = get_kernel("Heat-2D").weights
+        x = rng.normal(size=(16, 16))
+        plan = distribute(w, x.shape, (2, 1))
+        runtime = ClusterRuntime(plan)
+        serial = runtime.run(x, 3).field
+        proc = runtime.run(x, 3, executor="process")
+        assert np.array_equal(proc.field, serial)
+        assert proc.worker_pids
+        assert os.getpid() not in proc.worker_pids
+
+    def test_children_compile_the_same_plan(self, rng):
+        w = get_kernel("Heat-2D").weights
+        x = rng.normal(size=(12, 12))
+        plan = distribute(w, x.shape, (2, 1))
+        result = ClusterRuntime(plan).run(x, 2, executor="process")
+        # both sides compile through repro.compile: one plan key
+        assert result.rank_plan_keys == (plan.compiled.key,)
+
+    def test_process_spans_revive_into_one_trace(self, rng):
+        w = get_kernel("Heat-2D").weights
+        x = rng.normal(size=(12, 12))
+        plan = distribute(w, x.shape, (2, 1))
+        runtime = ClusterRuntime(plan)
+        with telemetry.capture() as tracer:
+            runtime.run(x, 2, executor="process")
+        roots = tracer.roots()
+        spans = [s for root in roots for s in root.walk()]
+        rank_spans = [s for s in spans if s.name == "cluster.rank"]
+        # one revived lane per rank per round
+        assert len(rank_spans) == 4
+        assert {s.attrs["pid"] for s in rank_spans} & set(
+            runtime.last_result.worker_pids
+        )
+        assert len({s.trace_id for s in spans}) == 1
+
+    def test_process_simulated_counters_match_serial(self, rng):
+        w = get_kernel("Heat-2D").weights
+        x = rng.normal(size=(16, 16))
+        plan = distribute(w, x.shape, (2, 1))
+        runtime = ClusterRuntime(plan)
+        serial = runtime.run(x, 2, simulate=True)
+        proc = runtime.run(x, 2, simulate=True, executor="process")
+        assert np.array_equal(proc.field, serial.field)
+        assert proc.counters.as_dict() == serial.counters.as_dict()
+
+
+class TestFaultRecovery:
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_rank_crash_recovers(self, rng, executor):
+        w = get_kernel("Heat-2D").weights
+        x = rng.normal(size=(16, 16))
+        plan = distribute(w, x.shape, (2, 1))
+        runtime = ClusterRuntime(plan)
+        clean = runtime.run(x, 2).field
+        faults = FaultPlan(
+            specs=(FaultSpec(kind="shard_crash", site=1),)
+        )
+        result = runtime.run(
+            x, 2, faults=faults, policy=FAST_POLICY, executor=executor
+        )
+        assert np.array_equal(result.field, clean)
+        counts = result.fault_report.counts
+        assert counts["shard_crashes"] >= 1
+        assert counts["shard_recoveries"] >= 1
+        assert counts["unrecovered"] == 0
+
+    def test_crash_recovers_under_overlap_and_temporal(self, rng):
+        w = get_kernel("Heat-2D").weights
+        x = rng.normal(size=(20, 20))
+        plan = distribute(w, x.shape, (2, 2))
+        runtime = ClusterRuntime(plan)
+        clean = runtime.run(x, 4, block_steps=2).field
+        faults = FaultPlan(
+            specs=(FaultSpec(kind="shard_crash", site=2),)
+        )
+        result = runtime.run(
+            x,
+            4,
+            block_steps=2,
+            overlap=True,
+            faults=faults,
+            policy=FAST_POLICY,
+        )
+        assert np.array_equal(result.field, clean)
+        assert result.fault_report.counts["shard_recoveries"] >= 1
+
+    def test_shard_events_emitted(self, rng):
+        from repro.telemetry.log import EVENT_LOG
+
+        w = get_kernel("Heat-2D").weights
+        x = rng.normal(size=(12, 12))
+        plan = distribute(w, x.shape, (2, 1))
+        faults = FaultPlan(
+            specs=(FaultSpec(kind="shard_crash", site=0),)
+        )
+        with telemetry.capture():
+            ClusterRuntime(plan).run(
+                x, 1, faults=faults, policy=FAST_POLICY
+            )
+            kinds = {e.kind for e in EVENT_LOG.events()}
+        assert "shard.crash" in kinds
+        assert "shard.recovered" in kinds
+
+
+class TestTemporalAcrossDimensions:
+    def test_temporal_1d(self, rng):
+        w = get_kernel("1D5P").weights
+        x = rng.normal(size=(64,))
+        plan = distribute(w, x.shape, (4,))
+        runtime = ClusterRuntime(plan)
+        out, exchanged = run_temporal_blocked(runtime, x, 6, 3)
+        assert np.array_equal(out, runtime.run(x, 6).field)
+        assert np.allclose(out, reference_iterate(x, w, 6), atol=1e-9)
+        _, modelled = temporal_halo_bytes(runtime, steps=6, block_steps=3)
+        assert exchanged == modelled
+
+    @pytest.mark.parametrize("boundary", ["constant", "periodic"])
+    def test_temporal_3d(self, rng, boundary):
+        w = get_kernel("Heat-3D").weights
+        x = rng.normal(size=(6, 12, 12))
+        cluster = SimulatedCluster3D(w, x.shape, (2, 2), boundary=boundary)
+        out, exchanged = run_temporal_blocked(cluster, x, 4, 2)
+        assert np.array_equal(out, cluster.runtime.run(x, 4).field)
+        assert np.allclose(
+            out, reference_iterate(x, w, 4, boundary=boundary), atol=1e-9
+        )
+        assert exchanged > 0
+
+    @pytest.mark.parametrize("boundary", ["constant", "periodic"])
+    def test_diamond_matches_trapezoid(self, rng, boundary):
+        w = get_kernel("Heat-2D").weights
+        x = rng.normal(size=(24, 24))
+        cluster = SimulatedCluster(w, x.shape, (2, 2), boundary=boundary)
+        trap, trap_bytes = run_temporal_blocked(cluster, x, 8, 4)
+        diam, diam_bytes = run_temporal_blocked(
+            cluster, x, 8, 4, tiling="diamond"
+        )
+        assert np.array_equal(diam, trap)
+        # diamond: shallower halos, more messages — fewer bytes per
+        # round but twice the rounds at half depth
+        assert diam_bytes != trap_bytes
+        _, modelled = temporal_halo_bytes(
+            cluster, steps=8, block_steps=4, tiling="diamond"
+        )
+        assert diam_bytes == modelled
+
+    def test_temporal_through_process_executor(self, rng):
+        w = get_kernel("Heat-2D").weights
+        x = rng.normal(size=(16, 16))
+        cluster = SimulatedCluster(w, x.shape, (2, 1))
+        sync, _ = run_temporal_blocked(cluster, x, 4, 2)
+        proc, _ = run_temporal_blocked(
+            cluster, x, 4, 2, executor="process"
+        )
+        assert np.array_equal(proc, sync)
+
+
+class TestTimingModel:
+    def test_overlap_step_model(self):
+        w = get_kernel("Heat-2D").weights
+        cluster = SimulatedCluster(w, (256, 256), (2, 2))
+        sync = cluster.timings(steps=10)
+        over = cluster.timings(steps=10, overlap=True)
+        assert sync.step_s == sync.compute_s + sync.comm_s
+        assert over.step_s == max(over.comm_s, over.interior_s) + (
+            over.boundary_s
+        )
+        assert over.step_s <= sync.step_s
+        assert over.gstencil_per_s >= sync.gstencil_per_s > 0
+
+    def test_temporal_blocking_cuts_comm(self):
+        w = get_kernel("Heat-2D").weights
+        cluster = SimulatedCluster(w, (256, 256), (2, 2))
+        per_step = cluster.timings(steps=10)
+        blocked = cluster.timings(steps=10, block_steps=4)
+        assert blocked.comm_s < per_step.comm_s
+        assert blocked.block_steps == 4
+
+    def test_interior_plus_boundary_is_compute(self):
+        w = get_kernel("Heat-2D").weights
+        cluster = SimulatedCluster(w, (128, 128), (2, 2))
+        t = cluster.timings()
+        assert t.interior_s + t.boundary_s == pytest.approx(t.compute_s)

@@ -67,12 +67,42 @@ class TestCommunication:
         assert measured == modelled
 
 
-class TestValidation:
-    def test_indivisible_steps_rejected(self, rng):
+class TestRaggedRounds:
+    @pytest.mark.parametrize("boundary", ["constant", "periodic"])
+    @pytest.mark.parametrize("steps,block_steps", [(5, 2), (7, 3), (1, 4)])
+    def test_indivisible_steps_run_ragged_final_round(
+        self, rng, boundary, steps, block_steps
+    ):
+        # regression: steps % block_steps != 0 used to raise ValueError;
+        # it now ends with a ragged round advancing the remainder
         w = get_kernel("Box-2D9P").weights
-        cluster = SimulatedCluster(w, (16, 16), (2, 2))
-        with pytest.raises(ValueError):
-            run_temporal_blocked(cluster, np.zeros((16, 16)), 5, 2)
+        x = rng.normal(size=(24, 24))
+        cluster = SimulatedCluster(w, x.shape, (2, 2), boundary=boundary)
+        out, _ = run_temporal_blocked(cluster, x, steps, block_steps)
+        ref = reference_iterate(x, w, steps, boundary=boundary)
+        assert np.allclose(out, ref, atol=1e-9)
+        # and bit-identical to the per-step exchange trajectory
+        per_step = SimulatedCluster(
+            w, x.shape, (2, 2), boundary=boundary
+        ).run(x, steps)
+        assert np.array_equal(out, per_step)
+
+    def test_ragged_round_count_and_bytes(self, rng):
+        w = get_kernel("Heat-2D").weights
+        cluster = SimulatedCluster(w, (24, 24), (2, 2))
+        schedule = cluster.plan.schedule
+        # 7 steps at block_steps=3 -> rounds of 3, 3, 1
+        from dataclasses import replace
+
+        assert replace(schedule, block_steps=3).phases(7) == (3, 3, 1)
+        _, measured = run_temporal_blocked(
+            cluster, rng.normal(size=(24, 24)), 7, 3
+        )
+        _, modelled = temporal_halo_bytes(cluster, steps=7, block_steps=3)
+        assert measured == modelled
+
+
+class TestValidation:
 
     def test_bad_block_steps_rejected(self):
         w = get_kernel("Box-2D9P").weights

@@ -493,3 +493,51 @@ class TestObservabilityCommands:
         assert record["health"]["sweeps"][0]["shards"]
         roots = {s["trace_id"] for s in record["spans"]}
         assert len(roots) == 1
+
+
+class TestClusterCommand:
+    def test_parser_accepts_cluster_args(self):
+        args = build_parser().parse_args(
+            ["cluster", "Heat-2D", "--block-steps", "3",
+             "--tiling", "diamond", "--overlap", "--executor", "thread"]
+        )
+        assert args.command == "cluster"
+        assert args.block_steps == 3
+        assert args.tiling == "diamond"
+        assert args.overlap is True
+
+    def test_cluster_passes_reference(self, capsys):
+        assert main(["cluster", "Heat-2D", "--size", "16", "--steps", "3",
+                     "--block-steps", "2", "--overlap"]) == 0
+        out = capsys.readouterr().out
+        assert "reference check: PASS" in out
+        assert "halo bytes exchanged" in out
+
+    def test_cluster_json_carries_halo_ledger_and_phases(self, capsys):
+        assert main(["cluster", "Heat-1D", "--size", "8", "--steps", "5",
+                     "--block-steps", "2", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["halo_bytes_exchanged"] > 0
+        assert doc["phases"] == [2, 2, 1]  # ragged final round
+        assert doc["exit_code"] == 0
+
+    def test_cluster_mesh_dimension_mismatch_is_exit_2(self, capsys):
+        assert main(["cluster", "Heat-2D", "--mesh", "2"]) == 2
+        assert "2D" in capsys.readouterr().err
+
+    def test_cluster_crash_recovers_and_records(self, capsys, tmp_path):
+        from repro.telemetry.validate import validate_file
+
+        record = tmp_path / "rec.json"
+        assert main(["cluster", "Heat-2D", "--size", "16", "--steps", "2",
+                     "--simulate", "--crash-rank", "1",
+                     "--record", str(record), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["recovered_bit_identical"] is True
+        assert doc["faults"]["shard"]["crashes"] >= 1
+        assert doc["faults"]["unrecovered"] == 0
+        assert doc["counters"]["mma_ops"] > 0
+        assert validate_file(record).endswith("/v3")
+        rec = json.loads(record.read_text())
+        assert (rec["extra"]["halo_bytes_exchanged"]
+                == doc["halo_bytes_exchanged"])
