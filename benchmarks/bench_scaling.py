@@ -138,6 +138,77 @@ def test_temporal_scaling(benchmark, write_result):
     assert measured[8][0] == 1
 
 
+def test_overlap_observatory(benchmark, write_result):
+    """Measured overlap efficiency and imbalance from the observatory.
+
+    Runs one overlapped 2x2 thread-executor sweep under capture and
+    folds the trace into a :mod:`repro.telemetry.cluster` report: the
+    stamped ``overlap_efficiency`` / ``imbalance_max_over_mean`` extras
+    feed the same rolling trend gates CI watches, so a regression that
+    stops hiding transfers behind interior sweeps shows up here first.
+    """
+    import numpy as np
+
+    from repro import telemetry
+    from repro.parallel.cluster import ClusterRuntime
+    from repro.parallel.plan import distribute
+    from repro.telemetry.cluster import build_cluster_report
+
+    w = get_kernel("Box-2D9P").weights
+    rng = np.random.default_rng(11)
+    x = rng.normal(size=(128, 128))
+    plan = distribute(w, x.shape, (2, 2), block_steps=2)
+    runtime = ClusterRuntime(plan)
+
+    def sweep():
+        with telemetry.capture() as tracer:
+            result = runtime.run(
+                x, 6, block_steps=2, overlap=True, executor="thread"
+            )
+        return build_cluster_report(result, tracer=tracer)
+
+    report = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [["rank", "busy (ms)", "wait (ms)", "retry (ms)", "wall (ms)"]]
+    for row in report["ranks"]:
+        rows.append(
+            [
+                str(row["rank"]),
+                f"{row['busy_s'] * 1e3:.3f}",
+                f"{row['lanes']['wait_s'] * 1e3:.3f}",
+                f"{row['lanes']['retry_s'] * 1e3:.3f}",
+                f"{row['wall_s'] * 1e3:.3f}",
+            ]
+        )
+    rows.append(["", "", "", "", ""])
+    rows.append(
+        [
+            "overlap eff",
+            f"{report['overlap']['efficiency']:.3f}",
+            "max/mean",
+            f"{report['imbalance']['max_over_mean']:.3f}",
+            "",
+        ]
+    )
+    write_result(
+        "cluster_observatory",
+        format_table(
+            rows, "cluster observatory — Box-2D9P 2x2 threads, overlap on"
+        ),
+        extra={
+            "overlap_efficiency": report["overlap"]["efficiency"],
+            "imbalance_max_over_mean": report["imbalance"]["max_over_mean"],
+            "critical_path_s": report["critical_path"]["s"],
+            "halo_bytes": report["halo"]["total_bytes"],
+        },
+    )
+    # functional interior sweeps dwarf the modeled transfers: all hidden
+    assert report["overlap"]["efficiency"] > 0.0
+    assert report["halo"]["reconciled"] is True
+    assert report["critical_path"]["ns"] >= max(
+        row["wall_ns"] for row in report["ranks"]
+    )
+
+
 def test_weak_scaling(benchmark, write_result):
     """Fixed 1024^2 per device: step time should stay nearly flat."""
     w = get_kernel("Box-2D9P").weights

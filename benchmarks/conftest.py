@@ -11,9 +11,13 @@ leaves the full set of paper artifacts on disk.
 
 Alongside each artifact, :func:`write_result` stamps a structured
 telemetry **run-record** (``benchmarks/results/records/<name>.json``,
-schema ``repro.telemetry.run-record/v3``) carrying the process-wide
+schema ``repro.telemetry.run-record/v4``) carrying the process-wide
 metrics registry and plan-cache stats at write time — the machine-
-readable sibling of the printed figure.  The structured event log
+readable sibling of the printed figure.  Benchmarks may pass
+``extra={...}`` to fold measured headline numbers (e.g. the cluster
+observatory's ``overlap_efficiency``) into the record, where the
+rolling ``repro perf trend`` gates pick them up from the history
+store.  The structured event log
 (``repro.telemetry.event/v1``) and shard-health snapshot fold in
 automatically whenever the benchmark produced events or ran sharded
 (see :func:`repro.telemetry.export.run_record`).  Records are
@@ -52,11 +56,11 @@ def results_dir() -> pathlib.Path:
 def write_result(results_dir):
     """Persist one reproduced artifact and echo its location."""
 
-    def _write(name: str, text: str) -> pathlib.Path:
+    def _write(name: str, text: str, extra: dict | None = None) -> pathlib.Path:
         suffix = "svg" if text.lstrip().startswith("<svg") else "txt"
         path = results_dir / f"{name}.{suffix}"
         path.write_text(text + "\n")
-        _stamp_run_record(results_dir, name, path)
+        _stamp_run_record(results_dir, name, path, extra=extra)
         if suffix == "svg":
             print(f"\n[{name}] written to {path}")
         else:
@@ -67,7 +71,10 @@ def write_result(results_dir):
 
 
 def _stamp_run_record(
-    results_dir: pathlib.Path, name: str, artifact: pathlib.Path
+    results_dir: pathlib.Path,
+    name: str,
+    artifact: pathlib.Path,
+    extra: dict | None = None,
 ) -> pathlib.Path:
     """Write the schema-validated run-record next to one artifact."""
     from repro import telemetry
@@ -79,7 +86,11 @@ def _stamp_run_record(
         name,
         registry=telemetry.REGISTRY,
         cache_stats=DEFAULT_PLAN_CACHE.stats(),
-        extra={"benchmark": name, "artifact": str(artifact)},
+        extra={
+            "benchmark": name,
+            "artifact": str(artifact),
+            **(extra or {}),
+        },
     )
     RunRecordStore(results_dir / "records" / "history").append(record)
     return telemetry.write_run_record(

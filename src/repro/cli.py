@@ -195,6 +195,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="input seed for --measure")
     pt.add_argument("--metric", default="timing_s",
                     help="extra.<metric> to gate (default timing_s)")
+    pt.add_argument("--direction", choices=["above", "below"],
+                    default="above",
+                    help="'above' flags values rising past the gate "
+                         "(timings, imbalance); 'below' flags values "
+                         "falling under it (overlap efficiency)")
     pt.add_argument("--window", type=int, default=None,
                     help="rolling window size (default 8)")
     pt.add_argument("--mad-scale", type=float, default=None,
@@ -277,41 +282,49 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "cluster",
         help="distributed sweep: partition, temporal rounds, overlap, "
-             "recovery",
+             "recovery, per-rank observatory",
     )
-    p.add_argument("kernel")
-    p.add_argument("--size", type=int, default=32,
-                   help="grid extent per dimension (default 32)")
-    p.add_argument("--mesh", type=int, nargs="+", default=None,
-                   metavar="N",
-                   help="device mesh, one integer per grid dimension "
-                        "(default: 2 per splittable dimension)")
-    p.add_argument("--steps", type=int, default=4)
-    p.add_argument("--block-steps", type=int, default=1,
-                   help="local steps per halo exchange (temporal blocking)")
-    p.add_argument("--tiling", choices=["trapezoid", "diamond"],
-                   default="trapezoid")
-    p.add_argument("--boundary", choices=["constant", "periodic"],
-                   default="constant")
-    p.add_argument("--overlap", action="store_true",
-                   help="overlap the halo transfer with the interior sweep "
-                        "(cp.async-modeled double buffering)")
-    p.add_argument("--executor", choices=["serial", "thread", "process"],
-                   default="serial")
-    p.add_argument("--simulate", action="store_true",
-                   help="run the tensor-core simulation per rank "
-                        "(collects EventCounters)")
-    _add_backend_flag(p)
-    p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--crash-rank", type=int, default=None, metavar="RANK",
-                   help="inject one shard_crash on RANK and require "
-                        "recovery to the fault-free bits")
-    p.add_argument("--json", action="store_true")
-    p.add_argument("--record", default=None, metavar="PATH",
-                   help="write a validated run-record (counters, faults, "
-                        "halo-byte ledger, trace/events/health) to PATH")
-    p.add_argument("--events", default=None, metavar="PATH",
-                   help="write the structured event log as JSONL to PATH")
+    cluster_sub = p.add_subparsers(dest="cluster_command", required=True)
+    clr = cluster_sub.add_parser(
+        "run",
+        help="execute one distributed sweep and check it against the "
+             "dense reference",
+    )
+    _add_cluster_run_args(clr)
+    clr.add_argument("--json", action="store_true")
+    clr.add_argument("--record", default=None, metavar="PATH",
+                     help="write a validated run-record (counters, faults, "
+                          "halo-byte ledger, trace/events/health, cluster "
+                          "report) to PATH")
+    clr.add_argument("--record-history", default=None, metavar="DIR",
+                     help="also append the run-record to this history "
+                          "store (joins the repro perf trend trajectory)")
+    clr.add_argument("--events", default=None, metavar="PATH",
+                     help="write the structured event log as JSONL to PATH")
+    crp = cluster_sub.add_parser(
+        "report",
+        help="run one traced distributed sweep and print the cluster "
+             "observatory report (per-rank Gantt, critical path, overlap "
+             "efficiency, imbalance, halo attribution)",
+    )
+    _add_cluster_run_args(crp)
+    crp.add_argument("--json", action="store_true",
+                     help="print the full ClusterReport JSON instead of "
+                          "the ASCII Gantt")
+    crp.add_argument("--gantt-width", type=int, default=72, metavar="COLS",
+                     help="timeline width in characters (default 72)")
+    crp.add_argument("--output", default=None, metavar="PATH",
+                     help="also write the ClusterReport as JSON")
+    crp.add_argument("--chrome-trace", default=None, metavar="PATH",
+                     help="write per-rank timeline lanes as a Chrome "
+                          "trace-event file")
+    crp.add_argument("--record", default=None, metavar="PATH",
+                     help="write a v4 run-record embedding the report's "
+                          "cluster section to PATH")
+    crp.add_argument("--record-history", default=None, metavar="DIR",
+                     help="append a cluster-report-<kernel> record "
+                          "(overlap_efficiency / imbalance metrics in "
+                          "extra) to this history store for trend gating")
 
     p = sub.add_parser(
         "monitor",
@@ -352,6 +365,40 @@ def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
         help="execution backend: interpreter, vectorized, or oracle "
              "(default: REPRO_BACKEND, else interpreter)",
     )
+
+
+def _add_cluster_run_args(parser: argparse.ArgumentParser) -> None:
+    """The run-configuration flags ``cluster run`` / ``report`` share."""
+    parser.add_argument("kernel")
+    parser.add_argument("--size", type=int, default=32,
+                        help="grid extent per dimension (default 32)")
+    parser.add_argument("--mesh", type=int, nargs="+", default=None,
+                        metavar="N",
+                        help="device mesh, one integer per grid dimension "
+                             "(default: 2 per splittable dimension)")
+    parser.add_argument("--steps", type=int, default=4)
+    parser.add_argument("--block-steps", type=int, default=1,
+                        help="local steps per halo exchange "
+                             "(temporal blocking)")
+    parser.add_argument("--tiling", choices=["trapezoid", "diamond"],
+                        default="trapezoid")
+    parser.add_argument("--boundary", choices=["constant", "periodic"],
+                        default="constant")
+    parser.add_argument("--overlap", action="store_true",
+                        help="overlap the halo transfer with the interior "
+                             "sweep (cp.async-modeled double buffering)")
+    parser.add_argument("--executor",
+                        choices=["serial", "thread", "process"],
+                        default="serial")
+    parser.add_argument("--simulate", action="store_true",
+                        help="run the tensor-core simulation per rank "
+                             "(collects EventCounters)")
+    _add_backend_flag(parser)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--crash-rank", type=int, default=None,
+                        metavar="RANK",
+                        help="inject one shard_crash on RANK and require "
+                             "recovery to the fault-free bits")
 
 
 def _cmd_kernels() -> int:
@@ -848,18 +895,34 @@ def _cmd_perf_trend(args: argparse.Namespace) -> int:
             print(f"measured {record['name']} "
                   f"({record['extra']['timing_s']:.3f}s median of "
                   f"{args.repeats} repeat(s)) -> {store.path_for(name)}")
-    stats = trend_gate(
-        store,
-        name,
-        metric=args.metric,
-        window=args.window if args.window is not None else DEFAULT_WINDOW,
-        mad_scale=(
-            args.mad_scale if args.mad_scale is not None else DEFAULT_MAD_SCALE
-        ),
-        rel_floor=(
-            args.rel_floor if args.rel_floor is not None else DEFAULT_REL_FLOOR
-        ),
-    )
+    try:
+        stats = trend_gate(
+            store,
+            name,
+            metric=args.metric,
+            window=args.window if args.window is not None else DEFAULT_WINDOW,
+            mad_scale=(
+                args.mad_scale
+                if args.mad_scale is not None
+                else DEFAULT_MAD_SCALE
+            ),
+            rel_floor=(
+                args.rel_floor
+                if args.rel_floor is not None
+                else DEFAULT_REL_FLOOR
+            ),
+            direction=args.direction,
+        )
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"perf trend: cannot read history for {name!r} under "
+              f"{store.root}: {exc}", file=sys.stderr)
+        return 2
+    if stats.n_history == 0 and stats.latest is None:
+        print(f"perf trend: no history for {name!r} under {store.root} — "
+              f"append records first (repro perf trend --measure, "
+              f"benchmarks, or repro cluster ... --record-history)",
+              file=sys.stderr)
+        return 2
     if args.json:
         print(json.dumps(stats.as_dict(), indent=1, sort_keys=True))
     else:
@@ -1428,22 +1491,18 @@ def _cmd_chaos_report(paths: list[str], as_json: bool) -> int:
     return rc
 
 
-def _cmd_cluster(args: argparse.Namespace) -> int:
-    """Distributed sweep through the DistributedPlan pipeline.
+def _cluster_prepare(args: argparse.Namespace):
+    """Shared setup of ``cluster run`` / ``cluster report``.
 
-    Exit codes: 0 — the run matched the dense reference (and, with
-    ``--crash-rank``, recovered to the fault-free bits with nothing
-    unrecovered); 1 — mismatch or unrecovered fault.
+    Returns ``(prep, rc)``: ``prep`` is a dict of everything the
+    commands need (kernel, plan, runtime, input, fault plan, and the
+    clean-run field for ``--crash-rank`` recovery checks), or ``None``
+    with a non-zero ``rc`` on argument errors.
     """
-    import contextlib
-    import json
-
-    from repro import telemetry
     from repro.faults import FaultPlan, FaultSpec
     from repro.parallel.cluster import ClusterRuntime
     from repro.parallel.plan import distribute
     from repro.stencil.kernels import get_kernel
-    from repro.stencil.reference import reference_iterate
 
     k = get_kernel(args.kernel)
     ndim = k.weights.ndim
@@ -1453,7 +1512,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         if len(mesh) != ndim:
             print(f"error: {k.name} is {ndim}D; --mesh needs {ndim} "
                   f"integer(s), got {len(mesh)}", file=sys.stderr)
-            return 2
+            return None, 2
     else:
         mesh = {1: (2,), 2: (2, 2), 3: (1, 2, 2)}[ndim]
 
@@ -1482,8 +1541,42 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             specs=(FaultSpec(kind="shard_crash", site=args.crash_rank),)
         )
         clean = runtime.run(x, args.steps, **run_kwargs).field
+    return {
+        "kernel": k,
+        "shape": shape,
+        "mesh": mesh,
+        "plan": plan,
+        "runtime": runtime,
+        "x": x,
+        "run_kwargs": run_kwargs,
+        "faults": faults,
+        "clean": clean,
+    }, 0
 
-    observe = bool(args.record or args.events)
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    """Distributed sweep through the DistributedPlan pipeline.
+
+    Exit codes: 0 — the run matched the dense reference (and, with
+    ``--crash-rank``, recovered to the fault-free bits with nothing
+    unrecovered); 1 — mismatch or unrecovered fault.
+    """
+    import contextlib
+    import json
+
+    from repro import telemetry
+    from repro.stencil.reference import reference_iterate
+
+    prep, rc = _cluster_prepare(args)
+    if prep is None:
+        return rc
+    k, shape, mesh, plan = (
+        prep["kernel"], prep["shape"], prep["mesh"], prep["plan"]
+    )
+    runtime, x, run_kwargs = prep["runtime"], prep["x"], prep["run_kwargs"]
+    faults, clean = prep["faults"], prep["clean"]
+
+    observe = bool(args.record or args.events or args.record_history)
     observed = telemetry.capture() if observe else contextlib.nullcontext()
     with observed:
         result = runtime.run(x, args.steps, faults=faults, **run_kwargs)
@@ -1558,17 +1651,133 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         if not args.json:
             print(f"event log written to {path} "
                   f"({len(telemetry.EVENT_LOG)} event(s))")
-    if args.record:
+    if args.record or args.record_history:
+        cluster_section = None
+        if observe:
+            try:
+                cluster_section = result.report()
+            except telemetry.TelemetryError:
+                cluster_section = None
         rec = telemetry.run_record(
-            k.name,
+            f"cluster-{k.name}",
             counters=result.counters,
             faults=report,
+            cluster=cluster_section,
             extra={"command": "cluster", **doc},
         )
         telemetry.validate_run_record(rec)
-        path = telemetry.write_run_record(args.record, rec)
+        if args.record:
+            path = telemetry.write_run_record(args.record, rec)
+            if not args.json:
+                print(f"run record written to {path}")
+        if args.record_history:
+            from repro.telemetry.perf import RunRecordStore
+
+            path = RunRecordStore(args.record_history).append(rec)
+            if not args.json:
+                print(f"run record appended to {path}")
+    return rc
+
+
+def _cmd_cluster_report(args: argparse.Namespace) -> int:
+    """One traced distributed sweep, post-processed into the observatory.
+
+    Exit codes: 0 — the run matched the dense reference (and recovered
+    bit-identically under ``--crash-rank``); 1 — mismatch or
+    unrecovered fault.  The report itself is always printed/written on
+    either exit code.
+    """
+    import json
+    import pathlib
+
+    from repro import telemetry
+    from repro.stencil.reference import reference_iterate
+    from repro.telemetry.cluster import render_gantt, to_lane_trace
+    from repro.telemetry.validate import validate_cluster_report
+
+    prep, rc = _cluster_prepare(args)
+    if prep is None:
+        return rc
+    k = prep["kernel"]
+    runtime, x = prep["runtime"], prep["x"]
+    run_kwargs, faults, clean = (
+        prep["run_kwargs"], prep["faults"], prep["clean"]
+    )
+
+    with telemetry.capture():
+        result = runtime.run(x, args.steps, faults=faults, **run_kwargs)
+    report = result.report()
+    validate_cluster_report(report)
+
+    ref = reference_iterate(
+        x, k.weights, args.steps, boundary=args.boundary
+    )
+    matches_ref = np.allclose(result.field, ref, atol=1e-6)
+    recovered = True
+    if clean is not None:
+        recovered = (
+            np.array_equal(result.field, clean)
+            and result.fault_report is not None
+            and result.fault_report.counts["unrecovered"] == 0
+        )
+    rc = 0 if (matches_ref and recovered) else 1
+
+    if args.json:
+        print(json.dumps(report, indent=1, sort_keys=True))
+    else:
+        print(render_gantt(report, width=args.gantt_width))
+        print()
+        print("reference check: "
+              + ("PASS" if matches_ref else "FAIL (diverged)"))
+        if clean is not None:
+            print("recovery check: "
+                  + ("bit-identical to fault-free run" if recovered
+                     else "FAILED — output differs or faults unrecovered"))
+    if args.output:
+        path = pathlib.Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report, indent=1, sort_keys=True))
         if not args.json:
-            print(f"run record written to {path}")
+            print(f"cluster report written to {path}")
+    if args.chrome_trace:
+        path = pathlib.Path(args.chrome_trace)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(to_lane_trace(report), indent=1))
+        if not args.json:
+            print(f"per-rank lane trace written to {path}")
+    if args.record or args.record_history:
+        rec = telemetry.run_record(
+            f"cluster-report-{k.name}",
+            counters=result.counters,
+            faults=result.fault_report,
+            cluster=report,
+            extra={
+                "command": "cluster report",
+                "kernel": k.name,
+                "executor": result.executor,
+                "overlap": result.overlap,
+                "exit_code": rc,
+                # the trend-gated series: imbalance regresses upward,
+                # overlap efficiency regresses downward
+                "overlap_efficiency": report["overlap"]["efficiency"],
+                "imbalance_max_over_mean": (
+                    report["imbalance"]["max_over_mean"]
+                ),
+                "critical_path_s": report["critical_path"]["s"],
+                "halo_bytes": report["halo"]["total_bytes"],
+            },
+        )
+        telemetry.validate_run_record(rec)
+        if args.record:
+            path = telemetry.write_run_record(args.record, rec)
+            if not args.json:
+                print(f"run record written to {path}")
+        if args.record_history:
+            from repro.telemetry.perf import RunRecordStore
+
+            path = RunRecordStore(args.record_history).append(rec)
+            if not args.json:
+                print(f"run record appended to {path}")
     return rc
 
 
@@ -1598,6 +1807,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             "trend": _cmd_perf_trend,
         }[args.perf_command](args)
     if args.command == "cluster":
+        if args.cluster_command == "report":
+            return _cmd_cluster_report(args)
         return _cmd_cluster(args)
     if args.command == "monitor":
         return _cmd_monitor(args)
@@ -1632,6 +1843,15 @@ def _dispatch(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     """Parse ``argv`` (default ``sys.argv``) and dispatch one command."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # back-compat: `repro cluster <kernel> ...` predates the run/report
+    # split; a non-subcommand token right after `cluster` means `run`
+    first = next((t for t in argv if not t.startswith("-")), None)
+    if first == "cluster":
+        i = argv.index("cluster")
+        nxt = argv[i + 1] if i + 1 < len(argv) else None
+        if nxt is not None and nxt not in ("run", "report", "-h", "--help"):
+            argv.insert(i + 1, "run")
     args = build_parser().parse_args(argv)
     from repro.errors import BackendError
 

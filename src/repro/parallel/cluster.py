@@ -44,7 +44,7 @@ from repro.parallel.distributed import (
     process_advance,
     strip_window,
 )
-from repro.parallel.halo import HaloExchanger
+from repro.parallel.halo import HaloExchanger, halo_bytes_counter
 from repro.parallel.plan import DistributedPlan, distribute
 from repro.perf.costmodel import time_per_point
 from repro.perf.machine import A100, MachineSpec
@@ -135,11 +135,40 @@ class ClusterResult:
     overlap: bool = False
     worker_pids: tuple[int, ...] = ()
     rank_plan_keys: tuple[str, ...] = ()
+    #: per-round exchange ledger: one dict per halo exchange with
+    #: ``round`` / ``steps`` / ``depth`` / ``halo_bytes`` (this round's
+    #: bit-exact contribution to :attr:`exchanged_bytes`) and
+    #: ``comm_bytes_max`` (the largest single-rank receive, the volume
+    #: the :class:`ClusterTimings` interconnect model charges)
+    round_log: tuple[dict, ...] = ()
+    #: growth of the process-wide ``repro_halo_bytes_total`` counter
+    #: across this run — reconciles bit-exactly with
+    #: :attr:`exchanged_bytes` (one accounting source)
+    halo_counter_delta: int = 0
+    #: the plan this run executed (the report needs its partition and
+    #: timing model); ``None`` only for hand-built results
+    plan: DistributedPlan | None = None
+    #: trace id of the run's ``cluster.run`` span (None when telemetry
+    #: was off) — :meth:`report` finds the span forest by it
+    trace_id: str | None = None
 
     @property
     def rounds(self) -> int:
         """Halo exchanges performed (messages per rank)."""
         return len(self.phases)
+
+    def report(self, tracer=None):
+        """Post-process this run into a cluster observatory report.
+
+        Delegates to :func:`repro.telemetry.cluster.build_cluster_report`
+        against the merged trace (the run must have executed under
+        ``telemetry.capture()`` / an enabled tracer).  Raises
+        :class:`~repro.telemetry.validate.TelemetryError` when no
+        ``cluster.run`` span of this run is in the tracer's buffer.
+        """
+        from repro.telemetry.cluster import build_cluster_report
+
+        return build_cluster_report(self, tracer=tracer)
 
 
 class ClusterRuntime:
@@ -270,6 +299,8 @@ class ClusterRuntime:
         blocks = self.scatter(global_field)
         total_counters = EventCounters() if simulate else None
         exchanged = 0
+        round_log: list[dict] = []
+        ledger_before = halo_bytes_counter().value
         pids: set[int] = set()
         plan_keys: set[str] = set()
         pool: ProcessPoolExecutor | None = None
@@ -302,12 +333,42 @@ class ClusterRuntime:
                         # staging buffer before this returns; the transfer
                         # materializes on the exchanger's background lane
                         # while ranks compute their interiors below
-                        handle = ex.exchange_async(blocks)
-                        exchanged += handle.bytes_issued
+                        with telemetry.span(
+                            "cluster.exchange",
+                            category="parallel",
+                            round=round_i,
+                            depth=depth,
+                            mode="async",
+                        ) as ex_span:
+                            handle = ex.exchange_async(blocks)
+                            moved = handle.bytes_issued
+                            ex_span.annotate(bytes=moved)
+                        exchanged += moved
                     else:
-                        issued = ex.exchanged_bytes
-                        windows = ex.exchange(blocks)
-                        exchanged += ex.exchanged_bytes - issued
+                        with telemetry.span(
+                            "cluster.exchange",
+                            category="parallel",
+                            round=round_i,
+                            depth=depth,
+                            mode="sync",
+                        ) as ex_span:
+                            issued = ex.exchanged_bytes
+                            windows = ex.exchange(blocks)
+                            moved = ex.exchanged_bytes - issued
+                            ex_span.annotate(bytes=moved)
+                        exchanged += moved
+                    round_log.append(
+                        {
+                            "round": round_i,
+                            "steps": k,
+                            "depth": depth,
+                            "halo_bytes": moved,
+                            "comm_bytes_max": max(
+                                ex.bytes_per_exchange(s.rank)
+                                for s in self.part.subdomains
+                            ),
+                        }
+                    )
 
                     def rank_worker(i: int, rank: int):
                         if injector is not None and executor == "process":
@@ -327,11 +388,16 @@ class ClusterRuntime:
                             sweep_health.shard(rank, rows=f"rank {rank}")
                         ):
                             if executor == "process":
-                                win = (
-                                    handle.wait()
-                                    if handle is not None
-                                    else windows
-                                )[rank]
+                                if handle is not None:
+                                    with ctx.span(
+                                        "cluster.wait",
+                                        category="parallel",
+                                        rank=rank,
+                                        round=round_i,
+                                    ):
+                                        win = handle.wait()[rank]
+                                else:
+                                    win = windows[rank]
                                 return process_advance(
                                     pool,
                                     rank,
@@ -342,6 +408,7 @@ class ClusterRuntime:
                                     ctx,
                                     simulate=simulate,
                                     backend=resolved,
+                                    round_i=round_i,
                                 )
                             with ctx.span(
                                 "cluster.rank",
@@ -374,31 +441,46 @@ class ClusterRuntime:
                                 origin = tuple(
                                     s.start - depth for s in sub.slices
                                 )
+                                lane = dict(
+                                    category="parallel",
+                                    rank=rank,
+                                    round=round_i,
+                                )
                                 if not overlap:
-                                    out = advance_window(
-                                        apply_fn,
-                                        windows[rank],
-                                        origin,
-                                        gshape,
-                                        boundary,
-                                        k,
-                                        h,
-                                    )
+                                    with telemetry.span(
+                                        "cluster.compute", **lane
+                                    ):
+                                        out = advance_window(
+                                            apply_fn,
+                                            windows[rank],
+                                            origin,
+                                            gshape,
+                                            boundary,
+                                            k,
+                                            h,
+                                        )
                                 elif local is not None:
                                     # the simulated sweep tiles the whole
                                     # window (the tile decomposition is
                                     # part of the bit/counter contract),
                                     # so overlap models the async
                                     # transfer and sweeps after arrival
-                                    out = advance_window(
-                                        apply_fn,
-                                        handle.wait()[rank],
-                                        origin,
-                                        gshape,
-                                        boundary,
-                                        k,
-                                        h,
-                                    )
+                                    with telemetry.span(
+                                        "cluster.wait", **lane
+                                    ):
+                                        win = handle.wait()[rank]
+                                    with telemetry.span(
+                                        "cluster.compute", **lane
+                                    ):
+                                        out = advance_window(
+                                            apply_fn,
+                                            win,
+                                            origin,
+                                            gshape,
+                                            boundary,
+                                            k,
+                                            h,
+                                        )
                                 else:
                                     block = blocks[rank]
                                     interior, strips = frame_regions(
@@ -407,49 +489,69 @@ class ClusterRuntime:
                                     if interior is None:
                                         # block too small to hide any
                                         # compute: wait, then full window
-                                        out = advance_window(
-                                            apply_fn,
-                                            handle.wait()[rank],
-                                            origin,
-                                            gshape,
-                                            boundary,
-                                            k,
-                                            h,
-                                        )
-                                    else:
-                                        core = interior_of(
-                                            apply_fn,
-                                            block,
-                                            sub,
-                                            gshape,
-                                            boundary,
-                                            k,
-                                            h,
-                                        )
-                                        win = handle.wait()[rank]
-                                        out = np.empty(
-                                            sub.shape, dtype=np.float64
-                                        )
-                                        out[interior] = core
-                                        for region in strips:
-                                            sw = strip_window(
-                                                win, region, depth
-                                            )
-                                            so = tuple(
-                                                s.start + r.start - depth
-                                                for s, r in zip(
-                                                    sub.slices, region
-                                                )
-                                            )
-                                            out[region] = advance_window(
+                                        with telemetry.span(
+                                            "cluster.wait", **lane
+                                        ):
+                                            win = handle.wait()[rank]
+                                        with telemetry.span(
+                                            "cluster.compute", **lane
+                                        ):
+                                            out = advance_window(
                                                 apply_fn,
-                                                sw,
-                                                so,
+                                                win,
+                                                origin,
                                                 gshape,
                                                 boundary,
                                                 k,
                                                 h,
                                             )
+                                    else:
+                                        with telemetry.span(
+                                            "cluster.interior", **lane
+                                        ):
+                                            core = interior_of(
+                                                apply_fn,
+                                                block,
+                                                sub,
+                                                gshape,
+                                                boundary,
+                                                k,
+                                                h,
+                                            )
+                                        with telemetry.span(
+                                            "cluster.wait", **lane
+                                        ):
+                                            win = handle.wait()[rank]
+                                        out = np.empty(
+                                            sub.shape, dtype=np.float64
+                                        )
+                                        out[interior] = core
+                                        with telemetry.span(
+                                            "cluster.stitch", **lane
+                                        ):
+                                            for region in strips:
+                                                sw = strip_window(
+                                                    win, region, depth
+                                                )
+                                                so = tuple(
+                                                    s.start
+                                                    + r.start
+                                                    - depth
+                                                    for s, r in zip(
+                                                        sub.slices, region
+                                                    )
+                                                )
+                                                out[region] = (
+                                                    advance_window(
+                                                        apply_fn,
+                                                        sw,
+                                                        so,
+                                                        gshape,
+                                                        boundary,
+                                                        k,
+                                                        h,
+                                                    )
+                                                )
                                 if local is not None:
                                     sp.add_events(local)
                                 return out, local, None
@@ -528,6 +630,12 @@ class ClusterRuntime:
             overlap=overlap,
             worker_pids=tuple(sorted(pids)),
             rank_plan_keys=tuple(sorted(plan_keys)),
+            round_log=tuple(round_log),
+            halo_counter_delta=int(
+                halo_bytes_counter().value - ledger_before
+            ),
+            plan=plan,
+            trace_id=run_span.trace_id,
         )
         self.last_result = result
         return result
@@ -588,11 +696,12 @@ class ClusterRuntime:
         # one deep exchange per round: a fixed per-message latency plus
         # the volume over the link, amortized over the round's steps —
         # the latency term is what temporal blocking actually cuts
-        # (deep corner halos make the *volume* slightly superlinear)
-        latency = NVLINK_LATENCY if comm_bytes else 0.0
-        comm = (
-            latency + comm_bytes / NVLINK_BANDWIDTH
-        ) / block_steps
+        # (deep corner halos make the *volume* slightly superlinear).
+        # The transfer formula is shared with the cluster observatory
+        # so measured reports reconcile exactly with this model.
+        from repro.telemetry.cluster import modeled_transfer_s
+
+        comm = modeled_transfer_s(comm_bytes) / block_steps
         interior_points = int(
             np.prod([max(0, n - 2 * depth) for n in biggest.shape])
         )

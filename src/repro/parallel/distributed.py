@@ -198,16 +198,23 @@ def _process_worker(payload: dict) -> dict:
         rank=payload["rank"],
         pid=os.getpid(),
         steps=payload["steps"],
+        round=payload.get("round", 0),
     ) as sp:
-        out = advance_window(
-            apply_fn,
-            payload["window"],
-            payload["origin"],
-            payload["global_shape"],
-            payload["boundary"],
-            payload["steps"],
-            payload["h"],
-        )
+        with tracer.span(
+            "cluster.compute",
+            category="parallel",
+            rank=payload["rank"],
+            round=payload.get("round", 0),
+        ):
+            out = advance_window(
+                apply_fn,
+                payload["window"],
+                payload["origin"],
+                payload["global_shape"],
+                payload["boundary"],
+                payload["steps"],
+                payload["h"],
+            )
         if counters is not None:
             sp.add_events(counters)
     return {
@@ -230,6 +237,7 @@ def process_advance(
     context,
     simulate: bool = False,
     backend: str | None = None,
+    round_i: int = 0,
 ) -> tuple[np.ndarray, "object | None", dict]:
     """Dispatch one rank's round to the process pool and join it.
 
@@ -256,6 +264,7 @@ def process_advance(
         "steps": steps,
         "h": plan.radius,
         "rank": rank,
+        "round": round_i,
         "traced": context.is_recording,
     }
     dispatch_ns = time.perf_counter_ns()

@@ -39,6 +39,7 @@ from __future__ import annotations
 import contextlib
 
 from repro.telemetry import (
+    cluster,
     context,
     export,
     health,
@@ -47,6 +48,7 @@ from repro.telemetry import (
     spans,
     validate,
 )
+from repro.telemetry.cluster import build_cluster_report, render_gantt
 from repro.telemetry.context import (
     NULL_CONTEXT,
     TraceContext,
@@ -107,6 +109,9 @@ __all__ = [
     "to_prometheus",
     "validate_event",
     "validate_run_record",
+    "build_cluster_report",
+    "render_gantt",
+    "cluster",
     "context",
     "export",
     "health",

@@ -46,17 +46,19 @@ __all__ = [
 
 #: schema identifiers embedded in (and required of) emitted documents
 CHROME_TRACE_SCHEMA = "repro.telemetry.chrome-trace/v1"
-RUN_RECORD_SCHEMA = "repro.telemetry.run-record/v3"
+RUN_RECORD_SCHEMA = "repro.telemetry.run-record/v4"
 FIDELITY_REPORT_SCHEMA = "repro.telemetry.fidelity-report/v1"
 
 #: run-record schema versions the validator accepts: v2 added the
 #: optional ``faults`` section (injection/detection/recovery ledger),
 #: v3 the optional ``log`` (structured event stream) and ``health``
-#: (shard heartbeat snapshot) sections; v1/v2 records (committed
+#: (shard heartbeat snapshot) sections, v4 the optional ``cluster``
+#: section (the cluster observatory report); v1–v3 records (committed
 #: baselines, old histories) remain valid.
 RUN_RECORD_SCHEMAS = (
     "repro.telemetry.run-record/v1",
     "repro.telemetry.run-record/v2",
+    "repro.telemetry.run-record/v3",
     RUN_RECORD_SCHEMA,
 )
 
@@ -225,6 +227,7 @@ def run_record(
     faults=None,
     log=None,
     health=None,
+    cluster: dict[str, Any] | None = None,
     extra: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """One structured, schema-tagged record of a run.
@@ -239,8 +242,11 @@ def run_record(
     :data:`~repro.telemetry.log.EVENT_LOG` when it holds events; pass
     ``log=False`` to omit), ``health`` the shard heartbeat snapshot
     (same convention against
-    :data:`~repro.telemetry.health.HEALTH`), and ``extra`` whatever
-    the producer wants stamped (artifact paths, CLI args, figures).
+    :data:`~repro.telemetry.health.HEALTH`), ``cluster`` a cluster
+    observatory report (see
+    :func:`repro.telemetry.cluster.build_cluster_report`; run-record
+    v4), and ``extra`` whatever the producer wants stamped (artifact
+    paths, CLI args, figures).
     """
     from repro.tcu.trace import recorder_stats
     from repro.telemetry.health import HEALTH
@@ -284,6 +290,8 @@ def run_record(
         record["health"] = (
             health if isinstance(health, dict) else health.snapshot()
         )
+    if cluster is not None:
+        record["cluster"] = cluster
     record["extra"] = {k: _jsonable(v) for k, v in (extra or {}).items()}
     return record
 
@@ -361,6 +369,7 @@ def to_prometheus(
         lines.append(f"{gauge} {_fmt(value)}")
     lines.extend(_event_log_lines())
     lines.extend(_health_lines())
+    lines.extend(_cluster_lines())
     return "\n".join(lines) + "\n"
 
 
@@ -419,6 +428,14 @@ def _event_log_lines() -> list[str]:
         lines.append(f"# HELP {key} {help_text}")
         lines.append(f"# TYPE {key} gauge")
         lines.append(f"{key} {_fmt(value)}")
+    # the dropped count again, as a *counter*: the gauge above reports
+    # ring health, this is the monotone series alerting rules rate()
+    lines.append(
+        "# HELP repro_events_dropped_total structured events lost to "
+        "ring buffer overflow since process start"
+    )
+    lines.append("# TYPE repro_events_dropped_total counter")
+    lines.append(f"repro_events_dropped_total {_fmt(EVENT_LOG.dropped)}")
     return lines
 
 
@@ -462,6 +479,67 @@ def _health_lines() -> list[str]:
                 }
             )
             lines.append(f"{name}{labels} {_fmt(value_of(shard))}")
+    return lines
+
+
+def _cluster_lines() -> list[str]:
+    """Per-rank labeled gauges from the last cluster observatory report.
+
+    Empty until :func:`repro.telemetry.cluster.build_cluster_report`
+    has run in this process; afterwards a scraper sees the cluster-level
+    headline numbers (overlap efficiency, imbalance) plus per-rank
+    busy/wait/retry seconds and per-round halo volumes — the series the
+    trend gates and straggler alerts watch.
+    """
+    from repro.telemetry.cluster import last_report
+
+    report = last_report()
+    if report is None:
+        return []
+    lines = []
+    for name, help_text, value in (
+        (
+            "repro_cluster_overlap_efficiency",
+            "hidden transfer time over total modeled transfer time",
+            report["overlap"]["efficiency"],
+        ),
+        (
+            "repro_cluster_imbalance_max_over_mean",
+            "slowest-rank over mean-rank round time",
+            report["imbalance"]["max_over_mean"],
+        ),
+        (
+            "repro_cluster_critical_path_seconds",
+            "critical path through the rank-by-round dependency DAG",
+            report["critical_path"]["s"],
+        ),
+    ):
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_fmt(value)}")
+    rank_gauges = (
+        ("repro_cluster_rank_busy_seconds",
+         "compute+interior+stitch time of the rank",
+         lambda row: row["busy_s"]),
+        ("repro_cluster_rank_wait_seconds",
+         "exchange-wait time of the rank",
+         lambda row: row["lanes"]["wait_s"]),
+        ("repro_cluster_rank_retry_seconds",
+         "time the rank spent in retried attempts",
+         lambda row: row["lanes"]["retry_s"]),
+    )
+    for name, help_text, value_of in rank_gauges:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} gauge")
+        for row in report["ranks"]:
+            labels = format_labels({"rank": row["rank"]})
+            lines.append(f"{name}{labels} {_fmt(value_of(row))}")
+    name = "repro_cluster_round_halo_bytes"
+    lines.append(f"# HELP {name} halo bytes moved in the exchange round")
+    lines.append(f"# TYPE {name} gauge")
+    for entry in report["halo"]["per_round"]:
+        labels = format_labels({"round": entry["round"]})
+        lines.append(f"{name}{labels} {_fmt(entry['halo_bytes'])}")
     return lines
 
 

@@ -95,6 +95,9 @@ class TrendStats:
     threshold: float | None
     latest: float | None
     ok: bool | None
+    #: ``"above"`` gates values that must not rise (timings, imbalance);
+    #: ``"below"`` gates values that must not fall (overlap efficiency)
+    direction: str = "above"
 
     @property
     def insufficient(self) -> bool:
@@ -113,15 +116,21 @@ class TrendStats:
                 f"need >= {MIN_HISTORY}"
             )
             return "\n".join(lines)
+        bound = "max" if self.direction == "above" else "min"
+        verdict = "  -> OK — within the rolling gate"
+        if not self.ok:
+            verdict = (
+                "  -> REGRESSED — latest exceeds the rolling gate"
+                if self.direction == "above"
+                else "  -> REGRESSED — latest falls below the rolling gate"
+            )
         lines += [
             f"  history   {self.n_history} point(s) in window",
             f"  median    {self.center:.6g}",
             f"  MAD       {self.spread:.6g}",
-            f"  threshold {self.threshold:.6g}",
+            f"  threshold {self.threshold:.6g} ({bound} allowed)",
             f"  latest    {self.latest:.6g}",
-            "  -> OK — within the rolling gate"
-            if self.ok
-            else "  -> REGRESSED — latest exceeds the rolling gate",
+            verdict,
         ]
         return "\n".join(lines)
 
@@ -137,6 +146,7 @@ class TrendStats:
             "threshold": self.threshold,
             "latest": self.latest,
             "ok": self.ok,
+            "direction": self.direction,
         }
 
 
@@ -165,16 +175,25 @@ def trend_gate(
     rel_floor: float = DEFAULT_REL_FLOOR,
     min_history: int = MIN_HISTORY,
     latest: float | None = None,
+    direction: str = "above",
 ) -> TrendStats:
     """Gate the newest timing against the rolling median/MAD window.
 
     The newest stored point is the *gated* value (override with
     ``latest``); the reference window is the up-to-``window`` points
-    before it.  The threshold is
-    ``median + max(mad_scale * 1.4826 * MAD, rel_floor * median)`` —
-    noise-adaptive with a relative floor.  Too little history yields
-    ``ok=None`` (see :class:`TrendStats`).
+    before it.  With ``direction="above"`` (the default: timings,
+    imbalance — smaller is better) the threshold is
+    ``median + max(mad_scale * 1.4826 * MAD, rel_floor * |median|)``
+    and a latest above it regresses; with ``direction="below"``
+    (overlap efficiency — larger is better) the threshold is the
+    median *minus* the same allowance and a latest below it regresses.
+    Noise-adaptive either way, with a relative floor.  Too little
+    history yields ``ok=None`` (see :class:`TrendStats`).
     """
+    if direction not in ("above", "below"):
+        raise ValueError(
+            f"direction must be 'above' or 'below', got {direction!r}"
+        )
     timings = timing_history(store.load(name), metric=metric)
     if latest is None:
         if not timings:
@@ -188,6 +207,7 @@ def trend_gate(
                 threshold=None,
                 latest=None,
                 ok=None,
+                direction=direction,
             )
         latest = timings[-1]
         timings = timings[:-1]
@@ -203,11 +223,19 @@ def trend_gate(
             threshold=None,
             latest=latest,
             ok=None,
+            direction=direction,
         )
     center = median(history)
     spread = mad(history, center)
-    allowance = max(mad_scale * MAD_TO_SIGMA * spread, rel_floor * center)
-    threshold = center + allowance
+    allowance = max(
+        mad_scale * MAD_TO_SIGMA * spread, rel_floor * abs(center)
+    )
+    if direction == "above":
+        threshold = center + allowance
+        ok = latest <= threshold
+    else:
+        threshold = center - allowance
+        ok = latest >= threshold
     return TrendStats(
         name=name,
         metric=metric,
@@ -217,7 +245,8 @@ def trend_gate(
         spread=spread,
         threshold=threshold,
         latest=latest,
-        ok=latest <= threshold,
+        ok=ok,
+        direction=direction,
     )
 
 

@@ -32,6 +32,7 @@ from repro.telemetry.log import EVENT_SCHEMA, LEVELS
 __all__ = [
     "TelemetryError",
     "validate_chrome_trace",
+    "validate_cluster_report",
     "validate_event",
     "validate_fidelity_report",
     "validate_run_record",
@@ -184,9 +185,10 @@ def _validate_faults_section(faults: Any, path: str = "record.faults") -> None:
 def validate_run_record(record: Any) -> None:
     """Validate a run-record against :data:`RUN_RECORD_SCHEMAS`.
 
-    v1 (no ``faults`` section), v2, and v3 (optional ``log`` and
-    ``health`` sections) records are all accepted; committed baselines
-    and perf histories predate the newer versions.
+    v1 (no ``faults`` section), v2, v3 (optional ``log`` and ``health``
+    sections), and v4 (optional ``cluster`` observatory section)
+    records are all accepted; committed baselines and perf histories
+    predate the newer versions.
     """
     _require_type(record, dict, "record")
     _require(
@@ -256,6 +258,148 @@ def validate_run_record(record: Any) -> None:
     health = record.get("health")
     if health is not None:
         _validate_health_section(health)
+    cluster = record.get("cluster")
+    if cluster is not None:
+        validate_cluster_report(cluster, path="record.cluster")
+
+
+def validate_cluster_report(report: Any, path: str = "report") -> None:
+    """Validate a cluster observatory report
+    (``repro.telemetry.cluster-report/v1``), standalone or as the
+    ``cluster`` section of a v4 run-record."""
+    from repro.telemetry.cluster import CLUSTER_REPORT_SCHEMA, LANE_NAMES
+
+    _require_type(report, dict, path)
+    _require(
+        report.get("schema") == CLUSTER_REPORT_SCHEMA,
+        f"{path}.schema",
+        f"expected {CLUSTER_REPORT_SCHEMA!r}, got {report.get('schema')!r}",
+    )
+    for key, types in (
+        ("name", str),
+        ("timestamp", str),
+        ("trace_id", str),
+        ("run", dict),
+        ("ranks", list),
+        ("critical_path", dict),
+        ("overlap", dict),
+        ("imbalance", dict),
+        ("halo", dict),
+    ):
+        _require(key in report, path, f"missing key {key!r}")
+        _require_type(report[key], types, f"{path}.{key}")
+    run = report["run"]
+    for key, types in (
+        ("steps", int),
+        ("rounds", int),
+        ("phases", list),
+        ("devices", int),
+        ("executor", str),
+        ("overlap", bool),
+        ("wall_s", (int, float)),
+        ("wall_ns", int),
+    ):
+        _require(key in run, f"{path}.run", f"missing key {key!r}")
+        _require_type(run[key], types, f"{path}.run.{key}")
+    for i, row in enumerate(report["ranks"]):
+        rpath = f"{path}.ranks[{i}]"
+        _require_type(row, dict, rpath)
+        for key, types in (
+            ("rank", int),
+            ("lanes", dict),
+            ("lanes_ns", dict),
+            ("wall_ns", int),
+            ("wall_s", (int, float)),
+            ("busy_s", (int, float)),
+            ("attempts", int),
+            ("segments", list),
+        ):
+            _require(key in row, rpath, f"missing key {key!r}")
+            _require_type(row[key], types, f"{rpath}.{key}")
+        for lane in LANE_NAMES:
+            _require(
+                f"{lane}_s" in row["lanes"],
+                f"{rpath}.lanes",
+                f"missing lane {lane!r}",
+            )
+            _require(
+                lane in row["lanes_ns"],
+                f"{rpath}.lanes_ns",
+                f"missing lane {lane!r}",
+            )
+            _require_type(row["lanes_ns"][lane], int, f"{rpath}.lanes_ns.{lane}")
+        _require(
+            sum(row["lanes_ns"].values()) == row["wall_ns"],
+            f"{rpath}.lanes_ns",
+            "lane nanoseconds must sum exactly to wall_ns",
+        )
+        for j, seg in enumerate(row["segments"]):
+            spath = f"{rpath}.segments[{j}]"
+            _require_type(seg, dict, spath)
+            for key, types in (
+                ("t0_s", (int, float)),
+                ("t1_s", (int, float)),
+                ("lane", str),
+                ("round", int),
+            ):
+                _require(key in seg, spath, f"missing key {key!r}")
+                _require_type(seg[key], types, f"{spath}.{key}")
+    crit = report["critical_path"]
+    for key, types in (("s", (int, float)), ("ns", int), ("nodes", list)):
+        _require(key in crit, f"{path}.critical_path", f"missing key {key!r}")
+        _require_type(crit[key], types, f"{path}.critical_path.{key}")
+    if report["ranks"]:
+        _require(
+            crit["ns"] >= max(r["wall_ns"] for r in report["ranks"]),
+            f"{path}.critical_path.ns",
+            "critical path must dominate every rank's wall time",
+        )
+    overlap = report["overlap"]
+    for key, types in (
+        ("enabled", bool),
+        ("efficiency", (int, float)),
+        ("hidden_s", (int, float)),
+        ("transfer_s", (int, float)),
+        ("per_round", list),
+    ):
+        _require(key in overlap, f"{path}.overlap", f"missing key {key!r}")
+        _require_type(overlap[key], types, f"{path}.overlap.{key}")
+    _require(
+        0.0 <= overlap["efficiency"] <= 1.0,
+        f"{path}.overlap.efficiency",
+        f"must be in [0, 1], got {overlap['efficiency']!r}",
+    )
+    imbalance = report["imbalance"]
+    for key, types in (
+        ("max_over_mean", (int, float)),
+        ("mad_frac", (int, float)),
+        ("per_round", list),
+    ):
+        _require(key in imbalance, f"{path}.imbalance", f"missing key {key!r}")
+        _require_type(imbalance[key], types, f"{path}.imbalance.{key}")
+    halo = report["halo"]
+    for key, types in (
+        ("total_bytes", int),
+        ("ledger_bytes", int),
+        ("counter_delta", int),
+        ("reconciled", bool),
+        ("per_round", list),
+    ):
+        _require(key in halo, f"{path}.halo", f"missing key {key!r}")
+        _require_type(halo[key], types, f"{path}.halo.{key}")
+    for i, entry in enumerate(halo["per_round"]):
+        epath = f"{path}.halo.per_round[{i}]"
+        _require_type(entry, dict, epath)
+        for key in ("round", "steps", "depth", "halo_bytes", "comm_bytes_max"):
+            _require(key in entry, epath, f"missing key {key!r}")
+            _require_type(entry[key], int, f"{epath}.{key}")
+    _require(
+        halo["total_bytes"] == sum(
+            entry["halo_bytes"] for entry in halo["per_round"]
+        ),
+        f"{path}.halo.total_bytes",
+        "must equal the sum of per-round halo bytes",
+    )
 
 
 def validate_fidelity_report(report: Any) -> None:
@@ -350,6 +494,8 @@ def validate_chrome_trace(trace: Any) -> None:
 
 
 def _validate_document(document: Any, path: str | pathlib.Path) -> str:
+    from repro.telemetry.cluster import CLUSTER_REPORT_SCHEMA
+
     schema = document.get("schema") if isinstance(document, dict) else None
     if schema == CHROME_TRACE_SCHEMA:
         validate_chrome_trace(document)
@@ -357,13 +503,16 @@ def _validate_document(document: Any, path: str | pathlib.Path) -> str:
         validate_run_record(document)
     elif schema == FIDELITY_REPORT_SCHEMA:
         validate_fidelity_report(document)
+    elif schema == CLUSTER_REPORT_SCHEMA:
+        validate_cluster_report(document)
     elif schema == EVENT_SCHEMA:
         validate_event(document)
     else:
         raise TelemetryError(
             f"{path}: unknown or missing schema {schema!r} (expected "
             f"{CHROME_TRACE_SCHEMA!r}, one of {RUN_RECORD_SCHEMAS!r}, "
-            f"{FIDELITY_REPORT_SCHEMA!r} or {EVENT_SCHEMA!r})"
+            f"{FIDELITY_REPORT_SCHEMA!r}, {CLUSTER_REPORT_SCHEMA!r} or "
+            f"{EVENT_SCHEMA!r})"
         )
     return schema
 

@@ -89,6 +89,41 @@ class TestProcessExecutor:
         )
         assert len({s.trace_id for s in spans}) == 1
 
+    def test_revived_spans_are_monotonic_and_disjoint(self, rng):
+        """Cross-process revival rebases worker clocks onto the parent
+        timeline: per rank, the revived round lanes must come back in
+        dispatch order, non-overlapping, and inside the run span."""
+        w = get_kernel("Heat-2D").weights
+        x = rng.normal(size=(16, 16))
+        plan = distribute(w, x.shape, (2, 2), block_steps=2)
+        runtime = ClusterRuntime(plan)
+        with telemetry.capture() as tracer:
+            runtime.run(x, 4, executor="process")
+        run = next(
+            s for root in tracer.roots() for s in root.walk()
+            if s.name == "cluster.run"
+        )
+        rank_spans = [s for s in run.walk() if s.name == "cluster.rank"]
+        assert rank_spans
+        by_rank: dict[int, list] = {}
+        for span in rank_spans:
+            assert run.start_ns <= span.start_ns
+            assert span.end_ns <= run.end_ns
+            assert span.start_ns <= span.end_ns
+            by_rank.setdefault(span.attrs["rank"], []).append(span)
+        for lanes in by_rank.values():
+            ordered = sorted(lanes, key=lambda s: s.start_ns)
+            # dispatch order == round order: revival preserved it
+            assert [s.attrs["round"] for s in ordered] == sorted(
+                s.attrs["round"] for s in lanes
+            )
+            for prev, nxt in zip(ordered, ordered[1:]):
+                assert prev.end_ns <= nxt.start_ns
+            for span in ordered:
+                for child in span.children:
+                    assert span.start_ns <= child.start_ns
+                    assert child.end_ns <= span.end_ns
+
     def test_process_simulated_counters_match_serial(self, rng):
         w = get_kernel("Heat-2D").weights
         x = rng.normal(size=(16, 16))

@@ -120,6 +120,40 @@ class TestGate:
         assert doc["ok"] is True
         assert doc["metric"] == "timing_s"
         assert doc["threshold"] > doc["center"]
+        assert doc["direction"] == "above"
+
+
+class TestDirectionBelow:
+    """Gating metrics that must not *fall* — overlap efficiency."""
+
+    def test_steady_efficiency_passes(self, tmp_path):
+        store = RunRecordStore(tmp_path)
+        for eff in (0.95, 0.96, 0.94, 0.95, 0.95):
+            _stamp(store, eff)
+        stats = trend_gate(store, "w", direction="below")
+        assert stats.ok is True
+        assert stats.threshold < stats.center
+        assert "min allowed" in stats.render()
+
+    def test_efficiency_collapse_regresses(self, tmp_path):
+        store = RunRecordStore(tmp_path)
+        for eff in (0.95, 0.96, 0.94, 0.95):
+            _stamp(store, eff)
+        _stamp(store, 0.3)  # overlap stopped hiding the transfers
+        stats = trend_gate(store, "w", direction="below")
+        assert stats.ok is False
+        assert "falls below" in stats.render()
+
+    def test_rising_value_never_regresses_below_gate(self, tmp_path):
+        store = RunRecordStore(tmp_path)
+        for eff in (0.5, 0.5, 0.5, 0.5):
+            _stamp(store, eff)
+        _stamp(store, 0.99)  # improvement is fine in this direction
+        assert trend_gate(store, "w", direction="below").ok is True
+
+    def test_bad_direction_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="direction"):
+            trend_gate(RunRecordStore(tmp_path), "w", direction="sideways")
 
 
 class TestMeasurement:

@@ -432,7 +432,28 @@ class TestObservabilityCommands:
 
         RunRecordStore(tmp_path)
         assert main(["perf", "trend", "w", "--root", str(tmp_path)]) == 2
-        assert "insufficient" in capsys.readouterr().out.lower()
+        assert "no history for 'w'" in capsys.readouterr().err
+
+    def test_perf_trend_corrupt_history_is_exit_2(self, capsys, tmp_path):
+        from repro.telemetry.perf import RunRecordStore
+
+        store = RunRecordStore(tmp_path)
+        store.path_for("w").parent.mkdir(parents=True, exist_ok=True)
+        store.path_for("w").write_text("{not json\n")
+        assert main(["perf", "trend", "w", "--root", str(tmp_path)]) == 2
+        assert "cannot read history" in capsys.readouterr().err
+
+    def test_perf_trend_direction_below_flags_drops(self, capsys, tmp_path):
+        from repro.telemetry.perf import RunRecordStore
+
+        store = RunRecordStore(tmp_path)
+        for eff in (0.9, 0.92, 0.91, 0.9):
+            self._stamp(store, eff)
+        self._stamp(store, 0.2)
+        rc = main(["perf", "trend", "w", "--root", str(tmp_path),
+                   "--direction", "below"])
+        assert rc == 1
+        assert "falls below" in capsys.readouterr().out
 
     def test_perf_trend_steady_history_passes(self, capsys, tmp_path):
         from repro.telemetry.perf import RunRecordStore
@@ -487,7 +508,7 @@ class TestObservabilityCommands:
         assert main(["chaos", "run", "Box-2D9P", "--size", "16",
                      "--seed", "4", "--faults", "2", "--shards", "2",
                      "--record", str(record_file)]) == 0
-        assert validate_file(record_file).endswith("/v3")
+        assert validate_file(record_file).endswith("/v4")
         record = json.loads(record_file.read_text())
         assert record["log"]["events"]
         assert record["health"]["sweeps"][0]["shards"]
@@ -498,13 +519,20 @@ class TestObservabilityCommands:
 class TestClusterCommand:
     def test_parser_accepts_cluster_args(self):
         args = build_parser().parse_args(
-            ["cluster", "Heat-2D", "--block-steps", "3",
+            ["cluster", "run", "Heat-2D", "--block-steps", "3",
              "--tiling", "diamond", "--overlap", "--executor", "thread"]
         )
         assert args.command == "cluster"
+        assert args.cluster_command == "run"
         assert args.block_steps == 3
         assert args.tiling == "diamond"
         assert args.overlap is True
+
+    def test_bare_cluster_argv_still_means_run(self, capsys):
+        # `repro cluster <kernel>` predates the run/report split
+        assert main(["cluster", "Heat-2D", "--size", "16",
+                     "--steps", "2"]) == 0
+        assert "reference check: PASS" in capsys.readouterr().out
 
     def test_cluster_passes_reference(self, capsys):
         assert main(["cluster", "Heat-2D", "--size", "16", "--steps", "3",
@@ -537,7 +565,57 @@ class TestClusterCommand:
         assert doc["faults"]["shard"]["crashes"] >= 1
         assert doc["faults"]["unrecovered"] == 0
         assert doc["counters"]["mma_ops"] > 0
-        assert validate_file(record).endswith("/v3")
+        assert validate_file(record).endswith("/v4")
         rec = json.loads(record.read_text())
         assert (rec["extra"]["halo_bytes_exchanged"]
                 == doc["halo_bytes_exchanged"])
+        # a traced cluster run embeds its observatory report (v4)
+        assert rec["cluster"]["schema"].startswith(
+            "repro.telemetry.cluster-report/"
+        )
+        assert rec["cluster"]["halo"]["reconciled"] is True
+
+    def test_cluster_report_gantt_and_artifacts(self, capsys, tmp_path):
+        from repro.telemetry.validate import validate_file
+
+        report_file = tmp_path / "report.json"
+        lanes_file = tmp_path / "lanes.json"
+        record_file = tmp_path / "rec.json"
+        history = tmp_path / "history"
+        assert main(["cluster", "report", "Heat-2D", "--size", "32",
+                     "--steps", "4", "--block-steps", "2", "--overlap",
+                     "--executor", "thread",
+                     "--output", str(report_file),
+                     "--chrome-trace", str(lanes_file),
+                     "--record", str(record_file),
+                     "--record-history", str(history)]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out
+        assert "critical path" in out
+        assert "overlap efficiency" in out
+        assert validate_file(report_file).startswith(
+            "repro.telemetry.cluster-report/"
+        )
+        assert validate_file(lanes_file).startswith(
+            "repro.telemetry.chrome-trace/"
+        )
+        assert validate_file(record_file).endswith("/v4")
+        report = json.loads(report_file.read_text())
+        assert report["overlap"]["efficiency"] > 0
+        assert report["halo"]["reconciled"] is True
+        # the history point carries the trend-gated metrics
+        line = json.loads(
+            (history / "cluster-report-Heat-2D.jsonl").read_text()
+            .splitlines()[0]
+        )
+        assert "overlap_efficiency" in line["extra"]
+        assert "imbalance_max_over_mean" in line["extra"]
+
+    def test_cluster_report_json_is_the_report(self, capsys):
+        assert main(["cluster", "report", "Heat-1D", "--size", "16",
+                     "--steps", "2", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"].startswith("repro.telemetry.cluster-report/")
+        assert len(doc["ranks"]) == 2
+        for row in doc["ranks"]:
+            assert sum(row["lanes_ns"].values()) == row["wall_ns"]
