@@ -11,7 +11,7 @@ leaves the full set of paper artifacts on disk.
 
 Alongside each artifact, :func:`write_result` stamps a structured
 telemetry **run-record** (``benchmarks/results/records/<name>.json``,
-schema ``repro.telemetry.run-record/v4``) carrying the process-wide
+schema ``repro.telemetry.run-record/v5``) carrying the process-wide
 metrics registry and plan-cache stats at write time — the machine-
 readable sibling of the printed figure.  Benchmarks may pass
 ``extra={...}`` to fold measured headline numbers (e.g. the cluster

@@ -301,6 +301,35 @@ def build_parser() -> argparse.ArgumentParser:
                           "store (joins the repro perf trend trajectory)")
     clr.add_argument("--events", default=None, metavar="PATH",
                      help="write the structured event log as JSONL to PATH")
+    clr.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                     help="snapshot the run into DIR at temporal-round "
+                          "barriers (resumable with `repro cluster resume`)")
+    clr.add_argument("--checkpoint-every", type=int, default=1,
+                     metavar="N",
+                     help="checkpoint every N rounds (default 1)")
+    clr.add_argument("--halt-after-round", type=int, default=None,
+                     metavar="ROUND",
+                     help="deterministic mid-run kill: checkpoint after "
+                          "ROUND completes, then exit 3 (tests resume)")
+    crs = cluster_sub.add_parser(
+        "resume",
+        help="resume a checkpointed distributed sweep and prove the "
+             "completed trajectory bit-identical to an uninterrupted run",
+    )
+    crs.add_argument("--checkpoint-dir", required=True, metavar="DIR",
+                     help="directory written by `cluster run "
+                          "--checkpoint-dir`")
+    crs.add_argument("--round", type=int, default=None, metavar="ROUND",
+                     help="resume from this round's checkpoint "
+                          "(default: the latest)")
+    crs.add_argument("--json", action="store_true")
+    crs.add_argument("--record", default=None, metavar="PATH",
+                     help="write a validated run-record (with resilience "
+                          "section) to PATH")
+    crs.add_argument("--record-history", default=None, metavar="DIR",
+                     help="append the run-record to this history store")
+    crs.add_argument("--events", default=None, metavar="PATH",
+                     help="write the structured event log as JSONL to PATH")
     crp = cluster_sub.add_parser(
         "report",
         help="run one traced distributed sweep and print the cluster "
@@ -399,6 +428,21 @@ def _add_cluster_run_args(parser: argparse.ArgumentParser) -> None:
                         metavar="RANK",
                         help="inject one shard_crash on RANK and require "
                              "recovery to the fault-free bits")
+    parser.add_argument("--halo-corrupt-round", type=int, default=None,
+                        metavar="ROUND",
+                        help="corrupt one exchanged halo window in flight "
+                             "at exchange ROUND; strip checksums must "
+                             "detect it and retransmission must recover "
+                             "the fault-free bits")
+    parser.add_argument("--kill-rank", type=int, default=None,
+                        metavar="RANK",
+                        help="inject a sticky rank_crash on RANK (fires "
+                             "on every retry; pair with --elastic to "
+                             "re-partition around the dead rank)")
+    parser.add_argument("--elastic", action="store_true",
+                        help="when a rank exhausts its recovery ladder, "
+                             "drop it and re-partition the grid over the "
+                             "survivors (bit-identical output)")
 
 
 def _cmd_kernels() -> int:
@@ -1534,13 +1578,24 @@ def _cluster_prepare(args: argparse.Namespace):
         executor=args.executor,
         simulate=args.simulate,
     )
+    if getattr(args, "elastic", False):
+        run_kwargs["elastic"] = True
+    specs = []
+    if args.crash_rank is not None:
+        specs.append(FaultSpec(kind="shard_crash", site=args.crash_rank))
+    halo_round = getattr(args, "halo_corrupt_round", None)
+    if halo_round is not None:
+        specs.append(FaultSpec(kind="halo_corrupt", site=halo_round))
+    kill_rank = getattr(args, "kill_rank", None)
+    if kill_rank is not None:
+        specs.append(FaultSpec(kind="rank_crash", site=kill_rank, sticky=True))
     faults = None
     clean = None
-    if args.crash_rank is not None:
-        faults = FaultPlan(
-            specs=(FaultSpec(kind="shard_crash", site=args.crash_rank),)
-        )
-        clean = runtime.run(x, args.steps, **run_kwargs).field
+    if specs:
+        faults = FaultPlan(specs=tuple(specs))
+        clean_kwargs = dict(run_kwargs)
+        clean_kwargs.pop("elastic", None)
+        clean = runtime.run(x, args.steps, **clean_kwargs).field
     return {
         "kernel": k,
         "shape": shape,
@@ -1565,6 +1620,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     import json
 
     from repro import telemetry
+    from repro.parallel.checkpoint import CheckpointConfig, CheckpointHalt
     from repro.stencil.reference import reference_iterate
 
     prep, rc = _cluster_prepare(args)
@@ -1576,10 +1632,59 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     runtime, x, run_kwargs = prep["runtime"], prep["x"], prep["run_kwargs"]
     faults, clean = prep["faults"], prep["clean"]
 
+    ckpt_cfg = None
+    if args.checkpoint_dir:
+        ckpt_cfg = CheckpointConfig(
+            dir=args.checkpoint_dir,
+            every=args.checkpoint_every,
+            halt_after=args.halt_after_round,
+        )
+        # everything `cluster resume` needs to rebuild the plan and the
+        # input field from the manifest alone
+        runtime.checkpoint_meta = {
+            "kernel": k.name,
+            "size": args.size,
+            "mesh": list(mesh),
+            "steps": args.steps,
+            "block_steps": args.block_steps,
+            "tiling": args.tiling,
+            "boundary": args.boundary,
+            "backend": args.backend,
+            "overlap": args.overlap,
+            "executor": args.executor,
+            "simulate": args.simulate,
+            "seed": args.seed,
+            "elastic": bool(run_kwargs.get("elastic", False)),
+            "faults": (
+                [s.as_dict() for s in faults.specs] if faults else []
+            ),
+        }
+
     observe = bool(args.record or args.events or args.record_history)
     observed = telemetry.capture() if observe else contextlib.nullcontext()
-    with observed:
-        result = runtime.run(x, args.steps, faults=faults, **run_kwargs)
+    try:
+        with observed:
+            result = runtime.run(
+                x, args.steps, faults=faults, checkpoint=ckpt_cfg,
+                **run_kwargs,
+            )
+    except CheckpointHalt as halt:
+        if not args.json:
+            print(f"{k.name}: halted after round {halt.round_index}; "
+                  f"checkpoint at {halt.path}")
+            print(f"resume with: repro cluster resume "
+                  f"--checkpoint-dir {args.checkpoint_dir}")
+        if args.events:
+            path = telemetry.write_event_log(args.events)
+            if not args.json:
+                print(f"event log written to {path}")
+        return 3
+    except KeyboardInterrupt:
+        if args.events:
+            with contextlib.suppress(Exception):
+                telemetry.write_event_log(args.events)
+        print(f"{k.name}: interrupted", file=sys.stderr)
+        return 130
 
     ref = reference_iterate(
         x, k.weights, args.steps, boundary=args.boundary
@@ -1619,6 +1724,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         doc["counters"] = result.counters.as_dict()
     if report is not None:
         doc["faults"] = report.as_dict()
+    resilience = getattr(result, "resilience", None)
+    if resilience is not None:
+        doc["resilience"] = resilience
 
     if args.json:
         print(json.dumps(doc, indent=1, sort_keys=True))
@@ -1663,6 +1771,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             counters=result.counters,
             faults=report,
             cluster=cluster_section,
+            resilience=resilience,
             extra={"command": "cluster", **doc},
         )
         telemetry.validate_run_record(rec)
@@ -1677,6 +1786,182 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             if not args.json:
                 print(f"run record appended to {path}")
     return rc
+
+
+def _cmd_cluster_resume(args: argparse.Namespace) -> int:
+    """Resume a checkpointed distributed sweep from its latest barrier.
+
+    The plan is rebuilt from the checkpoint manifest (written by
+    ``cluster run --checkpoint-dir``), keyed against the snapshot, and
+    the remaining rounds are replayed.  Exit codes: 0 — the completed
+    trajectory is bit-identical to an uninterrupted fault-free run;
+    1 — mismatch; 2 — unusable checkpoint directory/manifest.
+    """
+    import json
+
+    from repro import telemetry
+    from repro.faults import FaultPlan, FaultSpec
+    from repro.parallel.checkpoint import CheckpointError, load_checkpoint
+    from repro.parallel.cluster import ClusterRuntime
+    from repro.parallel.plan import distribute
+    from repro.stencil.kernels import get_kernel
+
+    # the capture opens before load_checkpoint so the
+    # ``checkpoint.restored`` event lands in the exported log
+    with telemetry.capture():
+        try:
+            ckpt = load_checkpoint(
+                args.checkpoint_dir, round_index=args.round
+            )
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        rc, result, clean, k, plan, doc = _resume_checkpointed(args, ckpt)
+    if result is None:
+        return rc
+    resilience = doc.get("resilience")
+    report = result.fault_report
+
+    if args.json:
+        print(json.dumps(doc, indent=1, sort_keys=True))
+    else:
+        identical = doc["bit_identical"]
+        print(f"{k.name}: resumed from round {ckpt.round_index} "
+              f"({ckpt.path})")
+        print(f"  {result.steps} step(s) in {result.rounds} round(s) "
+              f"{result.phases}")
+        print(f"  halo bytes exchanged: {result.exchanged_bytes:,} "
+              f"({result.resumed_halo_bytes:,} before the checkpoint)")
+        if report is not None:
+            print()
+            print(report.describe())
+        print()
+        print("bit-identity check: "
+              + ("PASS — identical to the uninterrupted run" if identical
+                 else "FAIL — trajectory diverged after resume"))
+
+    if args.events:
+        path = telemetry.write_event_log(args.events)
+        if not args.json:
+            print(f"event log written to {path} "
+                  f"({len(telemetry.EVENT_LOG)} event(s))")
+    if args.record or args.record_history:
+        rec = telemetry.run_record(
+            f"cluster-resume-{k.name}",
+            counters=result.counters,
+            faults=report,
+            resilience=resilience,
+            extra={"command": "cluster resume", **doc},
+        )
+        telemetry.validate_run_record(rec)
+        if args.record:
+            path = telemetry.write_run_record(args.record, rec)
+            if not args.json:
+                print(f"run record written to {path}")
+        if args.record_history:
+            from repro.telemetry.perf import RunRecordStore
+
+            path = RunRecordStore(args.record_history).append(rec)
+            if not args.json:
+                print(f"run record appended to {path}")
+    return rc
+
+
+def _resume_checkpointed(args, ckpt):
+    """The resume body: rebuild the plan from the manifest, replay.
+
+    Returns ``(rc, result, clean, kernel, plan, doc)``; ``result`` is
+    ``None`` when the checkpoint metadata is unusable (``rc`` then
+    holds the error exit code).
+    """
+    from repro import telemetry
+    from repro.faults import FaultPlan, FaultSpec
+    from repro.parallel.cluster import ClusterRuntime
+    from repro.parallel.plan import distribute
+    from repro.stencil.kernels import get_kernel
+
+    # plan rebuilding and the bit-identity oracle run stay out of the
+    # exported trace: the record must hold exactly one trace — the one
+    # the original run stamped into the snapshot
+    telemetry.disable()
+    meta = ckpt.meta
+    required = ("kernel", "size", "mesh", "steps", "seed")
+    missing = [key for key in required if key not in meta]
+    if missing:
+        print(f"error: checkpoint manifest is missing run metadata "
+              f"{missing}; was it written by `repro cluster run "
+              f"--checkpoint-dir`?", file=sys.stderr)
+        return 2, None, None, None, None, {}
+
+    k = get_kernel(meta["kernel"])
+    shape = _sweep_shape(k.weights.ndim, int(meta["size"]))
+    mesh = tuple(int(m) for m in meta["mesh"])
+    steps = int(meta["steps"])
+    plan = distribute(
+        k.weights,
+        shape,
+        mesh,
+        boundary=meta.get("boundary", "constant"),
+        block_steps=int(meta.get("block_steps", 1)),
+        tiling=meta.get("tiling", "trapezoid"),
+        backend=meta.get("backend"),
+    )
+    if plan.key != ckpt.plan_key:
+        print(f"error: rebuilt plan {plan.key[:12]}… does not match the "
+              f"checkpointed plan {ckpt.plan_key[:12]}…", file=sys.stderr)
+        return 2, None, None, None, None, {}
+
+    rng = np.random.default_rng(int(meta["seed"]))
+    x = rng.normal(size=shape)
+    run_kwargs = dict(
+        overlap=bool(meta.get("overlap", False)),
+        executor=meta.get("executor", "serial"),
+        simulate=bool(meta.get("simulate", False)),
+    )
+    spec_docs = meta.get("faults") or []
+    faults = (
+        FaultPlan(specs=tuple(FaultSpec.from_dict(d) for d in spec_docs))
+        if spec_docs else None
+    )
+
+    # the bit-identity oracle: the same sweep, uninterrupted, fault-free
+    clean = ClusterRuntime(plan).run(x, steps, **run_kwargs).field
+    telemetry.enable()
+
+    runtime = ClusterRuntime(plan)
+    result = runtime.run(
+        x, steps,
+        faults=faults,
+        resume_from=ckpt,
+        elastic=bool(meta.get("elastic", False)),
+        **run_kwargs,
+    )
+
+    identical = np.array_equal(result.field, clean)
+    rc = 0 if identical else 1
+    resilience = getattr(result, "resilience", None)
+    report = result.fault_report
+
+    doc = {
+        "kernel": k.name,
+        "plan_key": plan.key,
+        "shape": list(shape),
+        "mesh": list(mesh),
+        "steps": steps,
+        "resumed_from_round": ckpt.round_index,
+        "rounds": result.rounds,
+        "phases": list(result.phases),
+        "halo_bytes_exchanged": result.exchanged_bytes,
+        "resumed_halo_bytes": result.resumed_halo_bytes,
+        "trace_id": ckpt.trace_id,
+        "bit_identical": bool(identical),
+        "exit_code": rc,
+    }
+    if resilience is not None:
+        doc["resilience"] = resilience
+    if report is not None:
+        doc["faults"] = report.as_dict()
+    return rc, result, clean, k, plan, doc
 
 
 def _cmd_cluster_report(args: argparse.Namespace) -> int:
@@ -1809,6 +2094,8 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "cluster":
         if args.cluster_command == "report":
             return _cmd_cluster_report(args)
+        if args.cluster_command == "resume":
+            return _cmd_cluster_resume(args)
         return _cmd_cluster(args)
     if args.command == "monitor":
         return _cmd_monitor(args)
@@ -1850,7 +2137,9 @@ def main(argv: list[str] | None = None) -> int:
     if first == "cluster":
         i = argv.index("cluster")
         nxt = argv[i + 1] if i + 1 < len(argv) else None
-        if nxt is not None and nxt not in ("run", "report", "-h", "--help"):
+        if nxt is not None and nxt not in (
+            "run", "report", "resume", "-h", "--help"
+        ):
             argv.insert(i + 1, "run")
     args = build_parser().parse_args(argv)
     from repro.errors import BackendError

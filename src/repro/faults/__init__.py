@@ -45,6 +45,7 @@ from repro.faults.abft import (
     VERIFY_MODES,
     RecoveryPolicy,
     SweepGuard,
+    halo_frame_checksums,
     make_guard,
     term_checksum_vectors,
     tile_checksums,
@@ -59,7 +60,9 @@ from repro.faults.report import FaultReport
 from repro.faults.spec import (
     DEFAULT_FLIP_BIT,
     FAULT_KINDS,
+    HALO_KINDS,
     MMA_KINDS,
+    RANK_KINDS,
     SHARD_KINDS,
     STAGE_KINDS,
     FaultPlan,
@@ -71,6 +74,9 @@ __all__ = [
     "MMA_KINDS",
     "STAGE_KINDS",
     "SHARD_KINDS",
+    "HALO_KINDS",
+    "RANK_KINDS",
+    "halo_frame_checksums",
     "DEFAULT_FLIP_BIT",
     "VERIFY_MODES",
     "FaultSpec",

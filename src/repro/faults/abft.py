@@ -51,6 +51,7 @@ __all__ = [
     "make_guard",
     "tile_checksums",
     "term_checksum_vectors",
+    "halo_frame_checksums",
 ]
 
 #: Supported values of the ``verify=`` execution-mode argument.
@@ -70,6 +71,14 @@ class RecoveryPolicy:
     ``shard_timeout_s`` per-shard wall-clock budget (``None`` = wait
     forever); ``inline_fallback`` recomputes an exhausted shard in the
     calling thread as graceful degradation before giving up.
+
+    ``backoff_jitter`` spreads simultaneous retries: each resubmitted
+    shard's delay is scaled by ``1 + jitter * u`` where ``u ∈ [0, 1)``
+    is drawn deterministically from ``(backoff_seed, attempt, shard)``
+    — retries de-synchronize without sacrificing replayability.
+    ``max_halo_retransmits`` bounds re-requests of a halo window that
+    failed its strip-checksum verification before the receiving rank is
+    declared dead.
     """
 
     max_tile_retries: int = 2
@@ -79,7 +88,10 @@ class RecoveryPolicy:
     shard_timeout_s: float | None = None
     backoff_base_s: float = 0.05
     backoff_cap_s: float = 1.0
+    backoff_jitter: float = 0.5
+    backoff_seed: int = 0
     inline_fallback: bool = True
+    max_halo_retransmits: int = 2
 
 
 def validate_verify_mode(verify) -> str | None:
@@ -126,6 +138,32 @@ def term_checksum_vectors(
         }
         for u, v in zip(u_matrices, v_matrices)
     ]
+
+
+def halo_frame_checksums(window: np.ndarray, depth: int) -> tuple[float, ...]:
+    """Per-strip sums of a halo window's frame at exchange depth.
+
+    The Huang–Abraham identity extends to exchanged halos: the frame
+    strips a receiver gathers are sub-blocks of the sender's padded
+    grid, so their sums are computable on both sides of the wire from
+    the same FP64 values in the same (NumPy reduction) order — the
+    sender's strip sums and the receiver's strip sums of an intact
+    window are **bit-identical**, and the comparison runs at tolerance
+    0 exactly like tile ABFT.  A bit-62 flip, zeroed strip, or
+    duplicated slab perturbs at least one strip sum by ≥ 2 in
+    magnitude, so corruption can never hide inside rounding.
+
+    Strips come from :func:`repro.parallel.distributed.frame_regions`
+    (the onion decomposition used by overlapped exchange), imported
+    lazily to keep ``repro.faults`` importable without the parallel
+    subsystem.  ``depth <= 0`` means no frame — returns ``()``.
+    """
+    if depth <= 0:
+        return ()
+    from repro.parallel.distributed import frame_regions
+
+    _, strips = frame_regions(window.shape, depth)
+    return tuple(float(np.sum(window[s])) for s in strips)
 
 
 class SweepGuard:

@@ -34,7 +34,13 @@ import numpy as np
 
 from repro.errors import FaultError
 from repro.faults.report import FaultReport
-from repro.faults.spec import MMA_KINDS, STAGE_KINDS, FaultPlan, FaultSpec
+from repro.faults.spec import (
+    HALO_KINDS,
+    MMA_KINDS,
+    STAGE_KINDS,
+    FaultPlan,
+    FaultSpec,
+)
 from repro.telemetry.spans import TRACER
 
 __all__ = ["FaultInjector", "InjectedFaultError", "flip_float64_bit"]
@@ -54,11 +60,12 @@ def flip_float64_bit(value: float, bit: int) -> float:
 class _Armed:
     """One spec's firing state (lock-protected, at-most-once unless sticky)."""
 
-    __slots__ = ("spec", "fired")
+    __slots__ = ("spec", "fired", "disabled")
 
     def __init__(self, spec: FaultSpec) -> None:
         self.spec = spec
         self.fired = 0
+        self.disabled = False
 
 
 class FaultInjector:
@@ -122,6 +129,8 @@ class FaultInjector:
         with self._lock:
             for armed in self._armed:
                 spec = armed.spec
+                if armed.disabled:
+                    continue
                 if spec.kind not in kinds or spec.site != site:
                     continue
                 if spec.shard is not None and spec.shard != shard:
@@ -269,6 +278,117 @@ class FaultInjector:
         if spec is not None:
             self._fire(spec, hang_s=spec.hang_s)
             time.sleep(spec.hang_s)
+
+    # ------------------------------------------------------------------
+    # hook: cluster ranks (round start) and exchanged halos
+    # ------------------------------------------------------------------
+    def on_rank(self, rank: int) -> None:
+        """Rank dispatch: maybe crash or stall the whole rank's round."""
+        spec = self._take(("rank_crash",), rank, rank)
+        if spec is not None:
+            self._fire(spec, rank=rank)
+            raise InjectedFaultError(
+                f"injected crash in rank {rank} ({spec.describe()})"
+            )
+        spec = self._take(("rank_hang",), rank, rank)
+        if spec is not None:
+            self._fire(spec, rank=rank, hang_s=spec.hang_s)
+            time.sleep(spec.hang_s)
+
+    def on_halo(
+        self, windows: dict[int, np.ndarray], round_i: int, depth: int
+    ) -> None:
+        """Possibly corrupt freshly exchanged halo windows in place.
+
+        ``round_i`` is the exchange-round ordinal a halo spec's ``site``
+        addresses; ``spec.shard`` names the receiving rank (``None``
+        hits the lowest-numbered rank).  Corruption happens *after* the
+        sender computed its strip checksums, modelling a wire/buffer
+        fault that only the receiver-side verification can catch.
+        """
+        if depth <= 0:
+            return
+        for rank in sorted(windows):
+            self.on_halo_window(windows[rank], round_i, rank, depth)
+
+    def on_halo_window(
+        self, window: np.ndarray, round_i: int, rank: int, depth: int
+    ) -> None:
+        """Offer one rank's exchanged window at ``round_i`` (re-offered
+        on every retransmit, so sticky halo faults re-corrupt the
+        replacement and eventually exhaust the retransmit ladder)."""
+        if depth <= 0:
+            return
+        spec = self._take(HALO_KINDS, round_i, rank)
+        if spec is None:
+            return
+        self._corrupt_window(window, spec, depth)
+        self._fire(spec, round=round_i, rank=rank)
+
+    def _corrupt_window(
+        self, window: np.ndarray, spec: FaultSpec, depth: int
+    ) -> None:
+        from repro.parallel.distributed import frame_regions
+
+        _, strips = frame_regions(window.shape, depth)
+        if not strips:
+            return
+        if spec.kind == "halo_corrupt":
+            strip = window[strips[spec.reg % len(strips)]]
+            flat = strip.reshape(-1)
+            idx = spec.lane % flat.size
+            flat[idx] = flip_float64_bit(float(flat[idx]), spec.bit)
+        elif spec.kind == "halo_drop":
+            # the strip never arrives: the receive buffer stays zeroed
+            window[strips[spec.reg % len(strips)]] = 0.0
+        elif spec.kind == "halo_dup":
+            # a duplicated transfer: the boundary slab overwrites its
+            # neighbouring interior slab along axis 0
+            dup = window[(slice(0, depth),) + (slice(None),) * (window.ndim - 1)]
+            window[
+                (slice(depth, 2 * depth),) + (slice(None),) * (window.ndim - 1)
+            ] = dup
+
+    def disarm_rank(self, rank: int) -> None:
+        """Permanently disable every spec targeting ``rank``.
+
+        Called by the elastic re-plan after a rank is declared dead and
+        the mesh shrinks: surviving ranks are renumbered, so a sticky
+        ``rank_crash`` at the dead rank's old index must not transfer
+        onto whichever survivor inherits that number.
+        """
+        with self._lock:
+            for armed in self._armed:
+                spec = armed.spec
+                if spec.kind in HALO_KINDS + ("rank_crash", "rank_hang"):
+                    if spec.shard == rank or spec.site == rank:
+                        armed.disabled = True
+
+    # ------------------------------------------------------------------
+    # checkpoint round-trip
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, Any]:
+        """Firing state for checkpoint manifests (specs + clocks)."""
+        with self._lock:
+            return {
+                "specs": [a.spec.as_dict() for a in self._armed],
+                "fired": [a.fired for a in self._armed],
+                "disabled": [a.disabled for a in self._armed],
+            }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        """Restore firing state saved by :meth:`state_dict` — resumed
+        runs must not re-fire one-shot faults already spent before the
+        checkpoint."""
+        specs = [FaultSpec.from_dict(doc) for doc in state.get("specs", [])]
+        armed = [_Armed(spec) for spec in specs]
+        for a, fired in zip(armed, state.get("fired", [])):
+            a.fired = int(fired)
+        for a, disabled in zip(armed, state.get("disabled", [])):
+            a.disabled = bool(disabled)
+        with self._lock:
+            self.plan = self.plan.with_specs(specs)
+            self._armed = armed
 
     def describe(self) -> str:
         """One-line summary: the armed plan plus how many specs fired."""

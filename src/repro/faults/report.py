@@ -29,6 +29,10 @@ RECOVERY_KEYS = (
     "shard_retries",
     "shard_recoveries",
     "shard_inline_recoveries",
+    "halo_detections",
+    "halo_retransmits",
+    "halo_recoveries",
+    "rank_reassignments",
     "unrecovered",
 )
 
@@ -63,7 +67,11 @@ class FaultReport:
     @property
     def total_detected(self) -> int:
         with self._lock:
-            return self.counts["tile_detections"] + self.counts["stage_detections"]
+            return (
+                self.counts["tile_detections"]
+                + self.counts["stage_detections"]
+                + self.counts["halo_detections"]
+            )
 
     @property
     def total_recovered(self) -> int:
@@ -74,6 +82,7 @@ class FaultReport:
                 + self.counts["stage_recoveries"]
                 + self.counts["shard_recoveries"]
                 + self.counts["shard_inline_recoveries"]
+                + self.counts["halo_recoveries"]
             )
 
     def as_dict(self) -> dict[str, Any]:
@@ -87,6 +96,7 @@ class FaultReport:
             "detected": {
                 "tile": counts["tile_detections"],
                 "stage": counts["stage_detections"],
+                "halo": counts["halo_detections"],
             },
             "recovered": {
                 "tile_retry": counts["tile_recoveries"],
@@ -94,15 +104,20 @@ class FaultReport:
                 "restage": counts["stage_recoveries"],
                 "shard_retry": counts["shard_recoveries"],
                 "shard_inline": counts["shard_inline_recoveries"],
+                "halo_retransmit": counts["halo_recoveries"],
             },
             "retries": {
                 "tile": counts["tile_retries"],
                 "stage": counts["restages"],
                 "shard": counts["shard_retries"],
+                "halo": counts["halo_retransmits"],
             },
             "shard": {
                 "crashes": counts["shard_crashes"],
                 "timeouts": counts["shard_timeouts"],
+            },
+            "rank": {
+                "reassignments": counts["rank_reassignments"],
             },
             "unrecovered": counts["unrecovered"],
         }
@@ -119,7 +134,9 @@ class FaultReport:
                 **{f"{prefix}{key}_total": n for key, n in self.counts.items()},
             }
         flat[f"{prefix}detected_total"] = (
-            self.counts["tile_detections"] + self.counts["stage_detections"]
+            self.counts["tile_detections"]
+            + self.counts["stage_detections"]
+            + self.counts["halo_detections"]
         )
         flat[f"{prefix}recovered_total"] = self.total_recovered
         return flat
@@ -154,13 +171,16 @@ class FaultReport:
         lines = [
             f"injected   : {d['injected_total']} "
             + " ".join(f"{k}={v}" for k, v in d["injected"].items()),
-            f"detected   : tile={d['detected']['tile']} stage={d['detected']['stage']}",
+            f"detected   : tile={d['detected']['tile']} "
+            f"stage={d['detected']['stage']} halo={d['detected']['halo']}",
             "recovered  : "
             + " ".join(f"{k}={v}" for k, v in d["recovered"].items()),
             f"retries    : tile={d['retries']['tile']} "
-            f"stage={d['retries']['stage']} shard={d['retries']['shard']}",
+            f"stage={d['retries']['stage']} shard={d['retries']['shard']} "
+            f"halo={d['retries']['halo']}",
             f"shard      : crashes={d['shard']['crashes']} "
             f"timeouts={d['shard']['timeouts']}",
+            f"rank       : reassignments={d['rank']['reassignments']}",
             f"unrecovered: {d['unrecovered']}",
         ]
         return "\n".join(lines)

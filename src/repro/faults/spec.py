@@ -30,6 +30,8 @@ __all__ = [
     "MMA_KINDS",
     "STAGE_KINDS",
     "SHARD_KINDS",
+    "HALO_KINDS",
+    "RANK_KINDS",
     "DEFAULT_FLIP_BIT",
     "FaultSpec",
     "FaultPlan",
@@ -41,8 +43,15 @@ MMA_KINDS = ("flip_a", "flip_b", "flip_acc", "nan_acc")
 STAGE_KINDS = ("flip_smem", "drop_commit", "nan_smem")
 #: Faults that fire when the matching shard worker starts.
 SHARD_KINDS = ("shard_crash", "shard_hang")
+#: Faults that corrupt an exchanged halo window in flight.  ``site``
+#: addresses the exchange round ordinal, ``shard`` the receiving rank
+#: (``None`` hits whichever rank is visited first that round).
+HALO_KINDS = ("halo_corrupt", "halo_drop", "halo_dup")
+#: Faults that fire when the matching cluster rank starts a round.
+#: Like shard kinds they address their target through ``site``.
+RANK_KINDS = ("rank_crash", "rank_hang")
 #: Every injectable fault kind.
-FAULT_KINDS = MMA_KINDS + STAGE_KINDS + SHARD_KINDS
+FAULT_KINDS = MMA_KINDS + STAGE_KINDS + SHARD_KINDS + HALO_KINDS + RANK_KINDS
 
 #: Default bit to flip: the exponent MSB.  Flipping bit 62 of *any*
 #: float64 perturbs it by at least ~2 in magnitude (0.0 becomes 2.0,
@@ -90,14 +99,41 @@ class FaultSpec:
             raise InputValidationError(
                 f"flip bit must be in [0, 63], got {self.bit}"
             )
-        if self.kind in SHARD_KINDS and self.shard is None:
-            # shard faults address shards through ``site``
+        if self.kind in SHARD_KINDS + RANK_KINDS and self.shard is None:
+            # shard/rank faults address their target through ``site``
             object.__setattr__(self, "shard", self.site)
+
+    def as_dict(self) -> dict:
+        """JSON-ready view (checkpoint manifests round-trip specs)."""
+        return {
+            "kind": self.kind,
+            "site": self.site,
+            "shard": self.shard,
+            "bit": self.bit,
+            "lane": self.lane,
+            "reg": self.reg,
+            "sticky": self.sticky,
+            "hang_s": self.hang_s,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FaultSpec":
+        """Rebuild a spec serialized by :meth:`as_dict`."""
+        return cls(
+            kind=doc["kind"],
+            site=int(doc.get("site", 0)),
+            shard=doc.get("shard"),
+            bit=int(doc.get("bit", DEFAULT_FLIP_BIT)),
+            lane=int(doc.get("lane", 0)),
+            reg=int(doc.get("reg", 0)),
+            sticky=bool(doc.get("sticky", False)),
+            hang_s=float(doc.get("hang_s", 0.25)),
+        )
 
     def describe(self) -> str:
         """Compact one-line rendering, e.g. ``flip_a@site=2 bit=62``."""
         where = f"site={self.site}"
-        if self.shard is not None and self.kind not in SHARD_KINDS:
+        if self.shard is not None and self.kind not in SHARD_KINDS + RANK_KINDS:
             where += f" shard={self.shard}"
         extra = " sticky" if self.sticky else ""
         if self.kind.startswith("flip"):
@@ -131,18 +167,27 @@ class FaultPlan:
         max_stage_site: int = 4,
         shards: int = 1,
         sticky: bool = False,
+        ranks: int = 0,
+        max_round: int = 4,
     ) -> "FaultPlan":
         """A deterministic campaign drawn from ``seed``.
 
         Each of the ``count`` faults picks a kind from ``kinds``
         (default: every kind applicable to the run — shard kinds only
-        when ``shards > 1``) and a site uniformly inside the matching
-        range.  The same arguments always produce the same plan.
+        when ``shards > 1``, halo/rank kinds only when ``ranks > 0``)
+        and a site uniformly inside the matching range.  ``ranks`` is
+        the cluster rank count a halo/rank fault may target;
+        ``max_round`` bounds the exchange-round ordinal a halo fault
+        fires in.  The same arguments always produce the same plan —
+        in particular the historical defaults (``ranks=0``) draw
+        exactly the campaigns they always did.
         """
         if kinds is None:
             kinds = MMA_KINDS + STAGE_KINDS
             if shards > 1:
                 kinds = kinds + SHARD_KINDS
+            if ranks > 0:
+                kinds = kinds + HALO_KINDS + RANK_KINDS
         for kind in kinds:
             if kind not in FAULT_KINDS:
                 raise InputValidationError(
@@ -155,12 +200,18 @@ class FaultPlan:
             kind = str(rng.choice(list(kinds)))
             if kind in SHARD_KINDS:
                 site = int(rng.integers(0, max(1, shards)))
+            elif kind in RANK_KINDS:
+                site = int(rng.integers(0, max(1, ranks)))
+            elif kind in HALO_KINDS:
+                site = int(rng.integers(0, max(1, max_round)))
             elif kind in STAGE_KINDS:
                 site = int(rng.integers(0, max(1, max_stage_site)))
             else:
                 site = int(rng.integers(0, max(1, max_mma_site)))
             shard = None
-            if shards > 1 and kind not in SHARD_KINDS:
+            if kind in HALO_KINDS and ranks > 0:
+                shard = int(rng.integers(0, ranks))
+            elif shards > 1 and kind not in SHARD_KINDS + RANK_KINDS:
                 shard = int(rng.integers(0, shards))
             specs.append(
                 FaultSpec(

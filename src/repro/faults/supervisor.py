@@ -24,6 +24,7 @@ index → argument tuple); the supervisor is agnostic to what a task *is*
 
 from __future__ import annotations
 
+import hashlib
 import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -32,13 +33,36 @@ from typing import Any, Callable, Mapping
 from repro.errors import ExecutionError, FaultError, ReproError
 from repro.telemetry.log import emit as emit_event
 
-__all__ = ["supervise_tasks"]
+__all__ = ["supervise_tasks", "backoff_delay"]
 
 
 def _default_describe(args: tuple) -> str:
     if len(args) == 2:
         return f"{args[0]}:{args[1]}"
     return ":".join(str(a) for a in args)
+
+
+def backoff_delay(policy, attempt: int, task: int) -> float:
+    """The jittered capped-exponential delay for one resubmission.
+
+    The base delay doubles per attempt up to ``policy.backoff_cap_s``;
+    jitter scales it by ``1 + backoff_jitter * u`` with ``u ∈ [0, 1)``
+    hashed from ``(backoff_seed, attempt, task)``, so two tasks failing
+    in the same round back off by *different* amounts (no lockstep
+    resubmission thundering into the pool) while any given
+    ``(seed, attempt, task)`` triple always yields the same delay —
+    chaos campaigns stay bit-reproducible.
+    """
+    base = min(policy.backoff_cap_s, policy.backoff_base_s * (2.0**attempt))
+    jitter = getattr(policy, "backoff_jitter", 0.0)
+    if base <= 0 or jitter <= 0:
+        return base
+    seed = getattr(policy, "backoff_seed", 0)
+    digest = hashlib.sha256(
+        f"{seed}:{attempt}:{task}".encode("ascii")
+    ).digest()
+    u = int.from_bytes(digest[:8], "big") / 2.0**64
+    return base * (1.0 + jitter * u)
 
 
 def supervise_tasks(
@@ -64,13 +88,24 @@ def supervise_tasks(
     results: dict[int, Any] = {}
     pending = dict(tasks)
     failed_ever: set[int] = set()
+    stagger: dict[int, float] = {}
     attempt = 0
     with ThreadPoolExecutor(max_workers=max_workers) as pool:
         while pending:
-            futures = {
-                i: pool.submit(worker, i, *pending[i])
-                for i in sorted(pending)
-            }
+            # resubmissions are staggered: each task waits out its own
+            # jittered delay before entering the pool, so retries fan
+            # back in spread over time instead of in lockstep
+            futures = {}
+            waited = 0.0
+            for i in sorted(
+                pending, key=lambda j: (stagger.get(j, 0.0), j)
+            ):
+                delay = stagger.get(i, 0.0)
+                if delay > waited:
+                    time.sleep(delay - waited)
+                    waited = delay
+                futures[i] = pool.submit(worker, i, *pending[i])
+            stagger = {}
             failed: dict[int, tuple] = {}
             for i, future in sorted(futures.items()):
                 label = describe(pending[i])
@@ -128,22 +163,21 @@ def supervise_tasks(
                 break
             if attempt >= policy.shard_retries:
                 break
-            delay = min(
-                policy.backoff_cap_s,
-                policy.backoff_base_s * (2.0**attempt),
-            )
+            stagger = {
+                i: backoff_delay(policy, attempt, i) for i in pending
+            }
+            max_delay = max(stagger.values(), default=0.0)
             emit_event(
                 "shard.backoff",
                 message=(
-                    f"backing off {delay:.3f}s before resubmitting "
-                    f"{len(pending)} shard(s)"
+                    f"backing off up to {max_delay:.3f}s before "
+                    f"resubmitting {len(pending)} shard(s)"
                 ),
-                delay_s=delay,
+                delay_s=max_delay,
+                delays={str(i): round(d, 6) for i, d in sorted(stagger.items())},
                 attempt=attempt,
                 shards=sorted(pending),
             )
-            if delay > 0:
-                time.sleep(delay)
             report.bump("shard_retries", len(pending))
             if health is not None:
                 for i in pending:
@@ -175,11 +209,13 @@ def supervise_tasks(
                     shard=i,
                     rows=label,
                 )
-                raise FaultError(
+                error = FaultError(
                     f"shard {i} ({label}) failed after "
                     f"{policy.shard_retries} backoff retries and "
                     f"inline recomputation: {exc}"
-                ) from exc
+                )
+                error.failed_task = i
+                raise error from exc
         report.bump("unrecovered")
         emit_event(
             "shard.unrecovered",
@@ -188,9 +224,11 @@ def supervise_tasks(
             shard=i,
             rows=label,
         )
-        raise FaultError(
+        error = FaultError(
             f"shard {i} ({label}) failed after "
             f"{policy.shard_retries} backoff retries "
             "(inline fallback disabled)"
         )
+        error.failed_task = i
+        raise error
     return results

@@ -45,6 +45,16 @@ from repro.parallel.distributed import (
     interior_of,
     strip_window,
 )
+from repro.parallel.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CheckpointConfig,
+    CheckpointError,
+    CheckpointHalt,
+    ClusterCheckpoint,
+    list_checkpoints,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.parallel.cluster import (
     EXECUTORS,
     ClusterResult,
@@ -74,6 +84,14 @@ __all__ = [
     "ClusterResult",
     "ClusterTimings",
     "EXECUTORS",
+    "CHECKPOINT_SCHEMA",
+    "CheckpointConfig",
+    "CheckpointError",
+    "CheckpointHalt",
+    "ClusterCheckpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+    "list_checkpoints",
     "SimulatedCluster",
     "SimulatedCluster3D",
     "run_temporal_blocked",

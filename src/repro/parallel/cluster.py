@@ -35,7 +35,15 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro import telemetry
-from repro.errors import ExecutionError, ReproError
+from repro.errors import ExecutionError, FaultError, ReproError
+from repro.parallel.checkpoint import (
+    CheckpointConfig,
+    CheckpointError,
+    CheckpointHalt,
+    ClusterCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.parallel.decomposition import Partition
 from repro.parallel.distributed import (
     advance_window,
@@ -52,6 +60,9 @@ from repro.stencil.weights import StencilWeights
 from repro.tcu.counters import EventCounters
 from repro.telemetry.context import TraceContext
 from repro.telemetry.health import HEALTH
+from repro.telemetry.log import emit as emit_event
+from repro.telemetry.metrics import REGISTRY
+from repro.telemetry.spans import TRACER
 
 __all__ = [
     "ClusterRuntime",
@@ -151,6 +162,15 @@ class ClusterResult:
     #: trace id of the run's ``cluster.run`` span (None when telemetry
     #: was off) — :meth:`report` finds the span forest by it
     trace_id: str | None = None
+    #: halo bytes inherited from the checkpoint a resumed run restarted
+    #: from — the three-ledger reconciliation adds these to the fresh
+    #: counter growth (:attr:`exchanged_bytes` spans the *whole* run,
+    #: :attr:`halo_counter_delta` only the resumed part)
+    resumed_halo_bytes: int = 0
+    #: resilience ledger (checkpoints saved/restored, halo detections
+    #: and retransmits, elastic re-plans) — ``None`` when the run used
+    #: none of the resilience machinery
+    resilience: dict | None = None
 
     @property
     def rounds(self) -> int:
@@ -186,6 +206,10 @@ class ClusterRuntime:
         self._exchangers: dict[int, HaloExchanger] = {}
         self.last_result: ClusterResult | None = None
         self.last_fault_report = None
+        #: free-form run description stored in checkpoint manifests so
+        #: ``repro cluster resume`` can rebuild the plan (the CLI fills
+        #: this in; library callers may leave it empty)
+        self.checkpoint_meta: dict = {}
 
     # ------------------------------------------------------------------
     def exchanger(self, depth: int) -> HaloExchanger:
@@ -237,6 +261,9 @@ class ClusterRuntime:
         faults=None,
         policy=None,
         max_workers: int | None = None,
+        checkpoint: CheckpointConfig | None = None,
+        resume_from: ClusterCheckpoint | str | None = None,
+        elastic: bool = False,
     ) -> ClusterResult:
         """Timestep the global problem; returns a :class:`ClusterResult`.
 
@@ -248,9 +275,23 @@ class ClusterRuntime:
         runs the faithful TCU sweep per rank (merged
         :class:`~repro.tcu.counters.EventCounters` on the result) under
         ``backend=``; ``verify`` / ``faults`` / ``policy`` arm the PR 5
-        fault-tolerance ladder — injected ``shard`` faults target ranks
-        and recover through the shared supervisor.  All modes produce
-        bit-identical trajectories (the equivalence suite asserts it).
+        fault-tolerance ladder — injected ``shard``/``rank`` faults
+        target ranks and recover through the shared supervisor, and
+        armed halo faults are caught by strip-checksum verification of
+        every exchanged window (with bounded retransmission).
+
+        ``checkpoint`` snapshots the run at temporal-round barriers
+        (see :class:`~repro.parallel.checkpoint.CheckpointConfig`);
+        ``resume_from`` continues a checkpointed run — ``global_field``
+        is ignored then (the blocks come from the snapshot) and the
+        completed trajectory is bit-identical to an uninterrupted run.
+        ``elastic=True`` lets a rank that exhausts its recovery ladder
+        be *dropped*: the surviving ranks re-partition the grid via
+        :func:`~repro.parallel.plan.distribute`, replay the failed
+        round from its barrier state, and finish the sweep —
+        bit-identically, because the per-point update chains are
+        partition-independent.  All modes produce bit-identical
+        trajectories (the equivalence suite asserts it).
         """
         if executor not in EXECUTORS:
             raise ValueError(
@@ -296,10 +337,67 @@ class ClusterRuntime:
                 backend, plan_default=plan.backend, fault_mode=fault_mode
             )
 
-        blocks = self.scatter(global_field)
-        total_counters = EventCounters() if simulate else None
+        halo_guard = False
+        if injector is not None:
+            from repro.faults.spec import HALO_KINDS
+
+            halo_guard = bool(injector.plan.by_kind(*HALO_KINDS))
+
+        ckpt_cfg = checkpoint
+        if isinstance(resume_from, str):
+            resume_from = load_checkpoint(resume_from)
+        resumed: ClusterCheckpoint | None = resume_from
+        start_round = 0
         exchanged = 0
+        resumed_bytes = 0
         round_log: list[dict] = []
+        if resumed is not None:
+            if resumed.plan_key != plan.key:
+                raise CheckpointError(
+                    "checkpoint was taken against a different distributed "
+                    f"plan (checkpoint {resumed.plan_key[:12]}…, current "
+                    f"{plan.key[:12]}…)"
+                )
+            if (
+                list(resumed.phases) != [int(p) for p in phases]
+                or resumed.steps != steps
+            ):
+                raise CheckpointError(
+                    "checkpoint phase schedule does not match this run "
+                    f"(checkpoint {resumed.phases} over {resumed.steps} "
+                    f"steps, current {[int(p) for p in phases]} over "
+                    f"{steps})"
+                )
+            blocks = {
+                rank: np.array(block, dtype=np.float64)
+                for rank, block in resumed.blocks.items()
+            }
+            exchanged = int(resumed.exchanged_bytes)
+            resumed_bytes = exchanged
+            round_log = [dict(entry) for entry in resumed.round_log]
+            start_round = resumed.round_index + 1
+            if injector is not None and resumed.fault_state:
+                injector.load_state(resumed.fault_state)
+        else:
+            blocks = self.scatter(global_field)
+
+        track_resilience = (
+            ckpt_cfg is not None
+            or resumed is not None
+            or elastic
+            or halo_guard
+        )
+        resilience: dict = {
+            "checkpoints": {
+                "saved": 0,
+                "restored": 1 if resumed is not None else 0,
+            },
+            "halo": {"detections": 0, "retransmits": 0, "recoveries": 0},
+            "replans": [],
+            "reassignments": 0,
+        }
+
+        total_counters = EventCounters() if simulate else None
         ledger_before = halo_bytes_counter().value
         pids: set[int] = set()
         plan_keys: set[str] = set()
@@ -309,8 +407,7 @@ class ClusterRuntime:
                 max_workers=max_workers or min(len(ranks), os.cpu_count() or 1)
             )
 
-        with telemetry.span(
-            "cluster.run",
+        span_attrs = dict(
             category="parallel",
             plan=plan.key[:16],
             devices=plan.num_devices,
@@ -319,16 +416,141 @@ class ClusterRuntime:
             tiling=schedule.tiling,
             overlap=overlap,
             executor=executor,
-        ) as run_span:
+        )
+        if resumed is not None:
+            span_attrs["resumed_from_round"] = resumed.round_index
+        if resumed is not None and resumed.trace_id and TRACER.enabled:
+            # continue the interrupted run's trace: pre-seeding the root
+            # span's trace id merges the resumed rounds into one tree
+            run_cm = TraceContext(resumed.trace_id, None).span(
+                "cluster.run", **span_attrs
+            )
+        else:
+            run_cm = telemetry.span("cluster.run", **span_attrs)
+        with run_cm as run_span:
             ctx = TraceContext.capture()
             sweep_health = HEALTH.start_sweep(f"cluster-{plan.key[:12]}")
+            saved_rounds: set[int] = set()
+            last_round_done = start_round - 1
+
+            def _save(round_idx: int):
+                ck = save_checkpoint(
+                    ckpt_cfg.dir,
+                    plan_key=plan.key,
+                    round_index=round_idx,
+                    phases=[int(p) for p in phases],
+                    steps=int(steps),
+                    exchanged_bytes=int(exchanged),
+                    round_log=[dict(entry) for entry in round_log],
+                    blocks=blocks,
+                    mesh=tuple(self.part.mesh),
+                    global_shape=tuple(gshape),
+                    trace_id=run_span.trace_id,
+                    fault_state=(
+                        injector.state_dict() if injector is not None else None
+                    ),
+                    meta=dict(self.checkpoint_meta),
+                    keep=ckpt_cfg.keep,
+                )
+                saved_rounds.add(round_idx)
+                resilience["checkpoints"]["saved"] += 1
+                return ck
+
+            def _guard_halos(windows, ex, round_i, depth) -> None:
+                """Verify every exchanged window's frame strips at
+                tolerance 0 against the sender-side checksums, with a
+                bounded retransmission ladder; an exhausted window
+                escalates to a rank failure (``failed_task`` set) so the
+                elastic re-plan treats the corrupting link's receiver as
+                dead."""
+                from repro.faults.abft import halo_frame_checksums
+
+                retransmits = getattr(policy, "max_halo_retransmits", 2)
+                # sender-side strip checksums, before any wire fault
+                sent = {
+                    rank: halo_frame_checksums(windows[rank], depth)
+                    for rank in ranks
+                }
+                injector.on_halo(windows, round_i, depth)
+                for rank in ranks:
+                    if halo_frame_checksums(windows[rank], depth) == sent[rank]:
+                        continue
+                    report.bump("halo_detections")
+                    resilience["halo"]["detections"] += 1
+                    emit_event(
+                        "halo.corrupt_detected",
+                        level="warning",
+                        message=(
+                            f"halo window of rank {rank} failed strip-"
+                            f"checksum verification in round {round_i}"
+                        ),
+                        rank=rank,
+                        round=round_i,
+                        depth=depth,
+                    )
+                    recovered = False
+                    for retry in range(retransmits):
+                        report.bump("halo_retransmits")
+                        resilience["halo"]["retransmits"] += 1
+                        win = ex.retransmit(rank)
+                        # sticky wire faults re-corrupt the replacement
+                        injector.on_halo_window(win, round_i, rank, depth)
+                        windows[rank] = win
+                        if halo_frame_checksums(win, depth) == sent[rank]:
+                            report.bump("halo_recoveries")
+                            resilience["halo"]["recoveries"] += 1
+                            emit_event(
+                                "halo.recovered",
+                                message=(
+                                    f"rank {rank} halo verified after "
+                                    "retransmission"
+                                ),
+                                rank=rank,
+                                round=round_i,
+                                attempt=retry + 1,
+                            )
+                            recovered = True
+                            break
+                    if not recovered:
+                        report.bump("unrecovered")
+                        emit_event(
+                            "halo.unrecovered",
+                            level="error",
+                            message=(
+                                f"halo window of rank {rank} exhausted "
+                                f"{retransmits} retransmissions"
+                            ),
+                            rank=rank,
+                            round=round_i,
+                        )
+                        error = FaultError(
+                            f"halo window of rank {rank} stayed corrupted "
+                            f"after {retransmits} retransmissions"
+                        )
+                        error.failed_task = rank
+                        raise error
+
             try:
-                for round_i, k in enumerate(phases):
+                worklist = list(range(start_round, len(phases)))
+                round_marks: dict[int, int] = {}
+                while worklist:
+                    round_i = worklist[0]
+                    k = phases[round_i]
+                    # per-round byte mark survives elastic retries, so
+                    # aborted attempts' traffic still lands in the round's
+                    # ledger entry (one accounting source)
+                    round_marks.setdefault(
+                        round_i, halo_bytes_counter().value
+                    )
                     depth = schedule.depth(k)
                     ex = self.exchanger(depth)
+                    # halo verification needs the materialized windows
+                    # before any rank computes — it is a synchronization
+                    # point, so the guard forces the sync exchange path
+                    effective_overlap = overlap and not halo_guard
                     handle = None
                     windows = None
-                    if overlap:
+                    if effective_overlap:
                         # cp.async commit: blocks are snapshotted into the
                         # staging buffer before this returns; the transfer
                         # materializes on the exchanger's background lane
@@ -341,9 +563,7 @@ class ClusterRuntime:
                             mode="async",
                         ) as ex_span:
                             handle = ex.exchange_async(blocks)
-                            moved = handle.bytes_issued
-                            ex_span.annotate(bytes=moved)
-                        exchanged += moved
+                            ex_span.annotate(bytes=handle.bytes_issued)
                     else:
                         with telemetry.span(
                             "cluster.exchange",
@@ -354,21 +574,9 @@ class ClusterRuntime:
                         ) as ex_span:
                             issued = ex.exchanged_bytes
                             windows = ex.exchange(blocks)
-                            moved = ex.exchanged_bytes - issued
-                            ex_span.annotate(bytes=moved)
-                        exchanged += moved
-                    round_log.append(
-                        {
-                            "round": round_i,
-                            "steps": k,
-                            "depth": depth,
-                            "halo_bytes": moved,
-                            "comm_bytes_max": max(
-                                ex.bytes_per_exchange(s.rank)
-                                for s in self.part.subdomains
-                            ),
-                        }
-                    )
+                            ex_span.annotate(
+                                bytes=ex.exchanged_bytes - issued
+                            )
 
                     def rank_worker(i: int, rank: int):
                         if injector is not None and executor == "process":
@@ -384,6 +592,7 @@ class ClusterRuntime:
                                 round=round_i,
                             ):
                                 injector.on_shard(rank)
+                                injector.on_rank(rank)
                         with HEALTH.bind(
                             sweep_health.shard(rank, rows=f"rank {rank}")
                         ):
@@ -419,6 +628,7 @@ class ClusterRuntime:
                             ) as sp:
                                 if injector is not None:
                                     injector.on_shard(rank)
+                                    injector.on_rank(rank)
                                 local = (
                                     EventCounters() if simulate else None
                                 )
@@ -446,7 +656,7 @@ class ClusterRuntime:
                                     rank=rank,
                                     round=round_i,
                                 )
-                                if not overlap:
+                                if handle is None:
                                     with telemetry.span(
                                         "cluster.compute", **lane
                                     ):
@@ -556,50 +766,192 @@ class ClusterRuntime:
                                     sp.add_events(local)
                                 return out, local, None
 
-                    if fault_mode:
-                        from repro.faults.supervisor import supervise_tasks
+                    try:
+                        if halo_guard and depth > 0:
+                            _guard_halos(windows, ex, round_i, depth)
+                        if fault_mode:
+                            from repro.faults.supervisor import (
+                                supervise_tasks,
+                            )
 
-                        results = supervise_tasks(
-                            {r: (r,) for r in ranks},
-                            rank_worker,
-                            policy,
-                            report,
-                            max_workers=(
-                                1 if executor == "serial" else max_workers
-                            ),
-                            health=sweep_health,
-                            describe=lambda args: f"rank {args[0]}",
+                            results = supervise_tasks(
+                                {r: (r,) for r in ranks},
+                                rank_worker,
+                                policy,
+                                report,
+                                max_workers=(
+                                    1
+                                    if executor == "serial"
+                                    else max_workers
+                                ),
+                                health=sweep_health,
+                                describe=lambda args: f"rank {args[0]}",
+                            )
+                        elif executor == "serial":
+                            results = {r: rank_worker(r, r) for r in ranks}
+                        else:
+                            with ThreadPoolExecutor(
+                                max_workers=max_workers
+                            ) as tp:
+                                futures = {
+                                    r: tp.submit(rank_worker, r, r)
+                                    for r in ranks
+                                }
+                                results = {}
+                                for r, future in futures.items():
+                                    try:
+                                        results[r] = future.result()
+                                    except ReproError:
+                                        raise
+                                    except Exception as exc:
+                                        raise ExecutionError(
+                                            f"cluster rank {r} of "
+                                            f"{len(ranks)} failed: {exc}"
+                                        ) from exc
+
+                        for r in ranks:
+                            out, ev, info = results[r]
+                            blocks[r] = out
+                            if ev is not None and total_counters is not None:
+                                total_counters += ev
+                            if info:
+                                pids.add(info["pid"])
+                                plan_keys.add(info["plan_key"])
+                    except FaultError as exc:
+                        dead = getattr(exc, "failed_task", None)
+                        if not elastic or dead is None or len(ranks) <= 1:
+                            raise
+                        # elastic re-plan: ``blocks`` still hold the
+                        # round-start barrier state (results only fold
+                        # after every rank succeeds), so shrinking the
+                        # mesh and replaying this round is lossless —
+                        # and bit-identical, because the per-point
+                        # update chains are partition-independent
+                        global_now = self.gather(blocks)
+                        old_mesh = tuple(self.part.mesh)
+                        new_mesh = (len(ranks) - 1,) + (1,) * (
+                            len(gshape) - 1
                         )
-                    elif executor == "serial":
-                        results = {r: rank_worker(r, r) for r in ranks}
-                    else:
-                        with ThreadPoolExecutor(
-                            max_workers=max_workers
-                        ) as tp:
-                            futures = {
-                                r: tp.submit(rank_worker, r, r)
-                                for r in ranks
+                        plan = distribute(
+                            plan.source_weights,
+                            gshape,
+                            new_mesh,
+                            boundary=boundary,
+                            block_steps=schedule.block_steps,
+                            tiling=schedule.tiling,
+                            backend=plan.backend,
+                        )
+                        schedule = plan.schedule
+                        self.plan = plan
+                        self.part = plan.part
+                        self._exchangers = {}
+                        runtime = plan.compiled.runtime
+                        subs = {
+                            sub.rank: sub for sub in self.part.subdomains
+                        }
+                        ranks = sorted(subs)
+                        blocks = self.scatter(global_now)
+                        if injector is not None:
+                            # survivors are renumbered: the dead rank's
+                            # (possibly sticky) faults must not transfer
+                            # onto whoever inherits its index
+                            injector.disarm_rank(dead)
+                        if report is not None:
+                            report.bump("rank_reassignments")
+                            if report.counts.get("unrecovered", 0) > 0:
+                                # the supervisor booked the exhausted
+                                # ladder as unrecovered before the
+                                # replan ran; the re-partition *is*
+                                # the recovery
+                                report.bump("unrecovered", -1)
+                        REGISTRY.counter(
+                            "repro_rank_reassignments_total",
+                            help=(
+                                "cluster ranks replaced by an elastic "
+                                "re-partition"
+                            ),
+                        ).inc()
+                        resilience["reassignments"] += 1
+                        resilience["replans"].append(
+                            {
+                                "round": int(round_i),
+                                "dead_rank": int(dead),
+                                "old_mesh": [int(m) for m in old_mesh],
+                                "new_mesh": [int(m) for m in new_mesh],
                             }
-                            results = {}
-                            for r, future in futures.items():
-                                try:
-                                    results[r] = future.result()
-                                except ReproError:
-                                    raise
-                                except Exception as exc:
-                                    raise ExecutionError(
-                                        f"cluster rank {r} of "
-                                        f"{len(ranks)} failed: {exc}"
-                                    ) from exc
+                        )
+                        emit_event(
+                            "rank.reassigned",
+                            level="warning",
+                            message=(
+                                f"rank {dead} exhausted its recovery "
+                                f"ladder; re-partitioned {old_mesh} -> "
+                                f"{new_mesh}, replaying round {round_i}"
+                            ),
+                            dead_rank=int(dead),
+                            round=int(round_i),
+                            old_mesh=list(old_mesh),
+                            new_mesh=list(new_mesh),
+                        )
+                        continue
 
-                    for r in ranks:
-                        out, ev, info = results[r]
-                        blocks[r] = out
-                        if ev is not None and total_counters is not None:
-                            total_counters += ev
-                        if info:
-                            pids.add(info["pid"])
-                            plan_keys.add(info["plan_key"])
+                    round_moved = int(
+                        halo_bytes_counter().value
+                        - round_marks.pop(round_i)
+                    )
+                    exchanged += round_moved
+                    round_log.append(
+                        {
+                            "round": round_i,
+                            "steps": k,
+                            "depth": depth,
+                            "halo_bytes": round_moved,
+                            "comm_bytes_max": max(
+                                ex.bytes_per_exchange(s.rank)
+                                for s in self.part.subdomains
+                            ),
+                        }
+                    )
+                    last_round_done = round_i
+                    worklist.pop(0)
+                    if ckpt_cfg is not None and (
+                        (round_i + 1) % ckpt_cfg.every == 0
+                        or ckpt_cfg.halt_after == round_i
+                    ):
+                        ck = _save(round_i)
+                        if ckpt_cfg.halt_after == round_i:
+                            raise CheckpointHalt(ck.path, round_i)
+            except KeyboardInterrupt:
+                # don't leak the pool or lose the run's progress: kill
+                # the workers, flush what we know, and leave the last
+                # completed barrier behind as a resumable checkpoint
+                if pool is not None:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    for proc in list(
+                        (getattr(pool, "_processes", None) or {}).values()
+                    ):
+                        try:
+                            proc.terminate()
+                        except Exception:  # pragma: no cover - defensive
+                            pass
+                    pool = None
+                emit_event(
+                    "run.interrupted",
+                    level="warning",
+                    message=(
+                        "cluster run interrupted after "
+                        f"{last_round_done + 1} of {len(phases)} rounds"
+                    ),
+                    rounds_done=last_round_done + 1,
+                    rounds_total=len(phases),
+                )
+                if (
+                    ckpt_cfg is not None
+                    and last_round_done >= 0
+                    and last_round_done not in saved_rounds
+                ):
+                    _save(last_round_done)
+                raise
             finally:
                 if pool is not None:
                     pool.shutdown(wait=True)
@@ -636,6 +988,8 @@ class ClusterRuntime:
             ),
             plan=plan,
             trace_id=run_span.trace_id,
+            resumed_halo_bytes=resumed_bytes,
+            resilience=resilience if track_resilience else None,
         )
         self.last_result = result
         return result

@@ -175,10 +175,33 @@ class HaloExchanger:
         h = self.radius
         mode = "wrap" if self.boundary == "periodic" else "constant"
         padded_global = np.pad(global_arr, h, mode=mode)
+        # kept for retransmission: a receiver that detects a corrupted
+        # window re-requests it from this (sender-side) padded snapshot
+        self._last_padded = padded_global
         return {
             sub.rank: padded_global[sub.window_slices(h)].copy()
             for sub in self.part.subdomains
         }
+
+    def retransmit(self, rank: int) -> np.ndarray:
+        """Re-send one rank's window from the last exchange's snapshot.
+
+        Models the receiver-driven retransmission of a halo transfer
+        that failed strip-checksum verification: the sender still holds
+        the padded snapshot, so the replacement window is sliced from
+        identical bits.  The re-sent bytes are real interconnect
+        traffic — they fold into :attr:`exchanged_bytes` and the
+        process counter like any first transmission.
+        """
+        padded = getattr(self, "_last_padded", None)
+        if padded is None:
+            raise RuntimeError("no exchange to retransmit from")
+        sub = next(s for s in self.part.subdomains if s.rank == rank)
+        moved = self.bytes_per_exchange(rank)
+        with self._lock:
+            self.exchanged_bytes += moved
+        halo_bytes_counter().inc(moved)
+        return padded[sub.window_slices(self.radius)].copy()
 
     def _account(self) -> int:
         """Fold one full exchange into the byte ledgers; returns bytes."""

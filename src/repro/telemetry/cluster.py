@@ -343,9 +343,13 @@ def build_cluster_report(
         for entry in result.round_log
     ]
     halo_total = sum(entry["halo_bytes"] for entry in halo_rounds)
+    # a resumed run inherits its pre-checkpoint bytes from the manifest:
+    # the per-round log and exchanged_bytes span the whole run, while
+    # the process counter only grew during the resumed part
+    resumed = int(getattr(result, "resumed_halo_bytes", 0))
     reconciled = (
         halo_total == result.exchanged_bytes
-        and halo_total == result.halo_counter_delta
+        and halo_total == result.halo_counter_delta + resumed
     )
 
     plan = getattr(result, "plan", None)
@@ -412,6 +416,7 @@ def build_cluster_report(
             "total_bytes": halo_total,
             "ledger_bytes": result.exchanged_bytes,
             "counter_delta": result.halo_counter_delta,
+            "resumed_bytes": resumed,
             "reconciled": reconciled,
             "per_round": halo_rounds,
         },

@@ -46,19 +46,22 @@ __all__ = [
 
 #: schema identifiers embedded in (and required of) emitted documents
 CHROME_TRACE_SCHEMA = "repro.telemetry.chrome-trace/v1"
-RUN_RECORD_SCHEMA = "repro.telemetry.run-record/v4"
+RUN_RECORD_SCHEMA = "repro.telemetry.run-record/v5"
 FIDELITY_REPORT_SCHEMA = "repro.telemetry.fidelity-report/v1"
 
 #: run-record schema versions the validator accepts: v2 added the
 #: optional ``faults`` section (injection/detection/recovery ledger),
 #: v3 the optional ``log`` (structured event stream) and ``health``
 #: (shard heartbeat snapshot) sections, v4 the optional ``cluster``
-#: section (the cluster observatory report); v1–v3 records (committed
-#: baselines, old histories) remain valid.
+#: section (the cluster observatory report), v5 the optional
+#: ``resilience`` section (checkpoint/restart, halo retransmissions,
+#: elastic re-plans); v1–v4 records (committed baselines, old
+#: histories) remain valid.
 RUN_RECORD_SCHEMAS = (
     "repro.telemetry.run-record/v1",
     "repro.telemetry.run-record/v2",
     "repro.telemetry.run-record/v3",
+    "repro.telemetry.run-record/v4",
     RUN_RECORD_SCHEMA,
 )
 
@@ -228,6 +231,7 @@ def run_record(
     log=None,
     health=None,
     cluster: dict[str, Any] | None = None,
+    resilience: dict[str, Any] | None = None,
     extra: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """One structured, schema-tagged record of a run.
@@ -245,8 +249,9 @@ def run_record(
     :data:`~repro.telemetry.health.HEALTH`), ``cluster`` a cluster
     observatory report (see
     :func:`repro.telemetry.cluster.build_cluster_report`; run-record
-    v4), and ``extra`` whatever the producer wants stamped (artifact
-    paths, CLI args, figures).
+    v4), ``resilience`` the checkpoint/halo/re-plan ledger of a
+    resilient cluster run (run-record v5), and ``extra`` whatever the
+    producer wants stamped (artifact paths, CLI args, figures).
     """
     from repro.tcu.trace import recorder_stats
     from repro.telemetry.health import HEALTH
@@ -292,6 +297,8 @@ def run_record(
         )
     if cluster is not None:
         record["cluster"] = cluster
+    if resilience is not None:
+        record["resilience"] = resilience
     record["extra"] = {k: _jsonable(v) for k, v in (extra or {}).items()}
     return record
 
@@ -459,8 +466,8 @@ def _health_lines() -> list[str]:
         ("repro_health_shard_retries", "supervisor resubmissions of the shard",
          lambda s: s.retries),
         ("repro_health_shard_last_beat_age_seconds",
-         "seconds since the shard's last heartbeat",
-         lambda s: time.time() - s.last_beat),
+         "seconds since the shard's last heartbeat (monotonic)",
+         lambda s: s.last_beat_age()),
         ("repro_health_shard_running",
          "1 while the shard is in a non-terminal state",
          lambda s: int(s.state not in ("done", "failed"))),

@@ -69,6 +69,8 @@ class ShardHealth:
         "beats",
         "started",
         "last_beat",
+        "started_mono",
+        "last_beat_mono",
         "_sweep",
     )
 
@@ -80,9 +82,18 @@ class ShardHealth:
         self.tiles_total = 0
         self.retries = 0
         self.beats = 0
+        # staleness is judged on the monotonic clock (immune to wall-
+        # clock adjustments — no negative or false-stale beat ages);
+        # the wall timestamps are kept as display anchors only
         self.started = time.time()
         self.last_beat = self.started
+        self.started_mono = time.monotonic()
+        self.last_beat_mono = self.started_mono
         self._sweep = sweep
+
+    def _touch(self) -> None:
+        self.last_beat = time.time()
+        self.last_beat_mono = time.monotonic()
 
     def beat(self, tiles_done: int = 0, tiles_total: int | None = None) -> None:
         """One heartbeat: advance progress and the last-beat clock.
@@ -94,7 +105,7 @@ class ShardHealth:
         if tiles_total is not None:
             self.tiles_total = tiles_total
         self.beats += 1
-        self.last_beat = time.time()
+        self._touch()
         self._sweep.registry._maybe_write()
 
     def restart(self) -> None:
@@ -102,7 +113,7 @@ class ShardHealth:
         self.state = "running"
         self.tiles_done = 0
         self.beats += 1
-        self.last_beat = time.time()
+        self._touch()
 
     def bump_retries(self) -> None:
         """Count one supervisor resubmission of this shard."""
@@ -110,9 +121,16 @@ class ShardHealth:
         self.state = "retrying"
         self._sweep.registry._maybe_write()
 
+    def age(self) -> float:
+        """Monotonic seconds since this shard registered."""
+        return time.monotonic() - self.started_mono
+
+    def last_beat_age(self) -> float:
+        """Monotonic seconds since the last heartbeat (never negative)."""
+        return time.monotonic() - self.last_beat_mono
+
     def as_dict(self) -> dict[str, Any]:
         """JSON-ready gauges; ages computed at snapshot time."""
-        now = time.time()
         return {
             "shard": self.shard,
             "rows": self.rows,
@@ -121,8 +139,9 @@ class ShardHealth:
             "tiles_total": self.tiles_total,
             "retries": self.retries,
             "beats": self.beats,
-            "age_s": now - self.started,
-            "last_beat_age_s": now - self.last_beat,
+            "age_s": self.age(),
+            "last_beat_age_s": self.last_beat_age(),
+            "last_beat": self.last_beat,
         }
 
 
@@ -329,13 +348,13 @@ class _BoundShard:
             self.shard.restart()
         else:
             self.shard.state = "running"
-            self.shard.last_beat = time.time()
+            self.shard._touch()
         return self.shard
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         self.registry._tls.shard = self._previous
         self.shard.state = "failed" if exc_type is not None else "done"
-        self.shard.last_beat = time.time()
+        self.shard._touch()
         self.registry._maybe_write()
         return False
 

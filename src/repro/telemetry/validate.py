@@ -182,13 +182,59 @@ def _validate_faults_section(faults: Any, path: str = "record.faults") -> None:
             _require_type(value, (int, float), sub)
 
 
+def _validate_resilience_section(
+    resilience: Any, path: str = "record.resilience"
+) -> None:
+    """Validate the optional ``resilience`` ledger (run-record v5).
+
+    Shape: ``checkpoints`` (saved/restored counts), ``halo``
+    (detection/retransmission counters), ``replans`` (one entry per
+    elastic re-partition with the dead rank and the mesh transition),
+    and the total ``reassignments`` count.
+    """
+    _require_type(resilience, dict, path)
+    checkpoints = resilience.get("checkpoints")
+    _require(checkpoints is not None, path, "missing key 'checkpoints'")
+    _require_type(checkpoints, dict, f"{path}.checkpoints")
+    for key in ("saved", "restored"):
+        _require(
+            key in checkpoints, f"{path}.checkpoints", f"missing key {key!r}"
+        )
+        _require_type(checkpoints[key], int, f"{path}.checkpoints.{key}")
+    halo = resilience.get("halo")
+    _require(halo is not None, path, "missing key 'halo'")
+    _require_type(halo, dict, f"{path}.halo")
+    for key, value in halo.items():
+        _require_type(value, int, f"{path}.halo[{key!r}]")
+    replans = resilience.get("replans")
+    _require(replans is not None, path, "missing key 'replans'")
+    _require_type(replans, list, f"{path}.replans")
+    for i, entry in enumerate(replans):
+        epath = f"{path}.replans[{i}]"
+        _require_type(entry, dict, epath)
+        for key, types in (
+            ("round", int),
+            ("dead_rank", int),
+            ("old_mesh", list),
+            ("new_mesh", list),
+        ):
+            _require(key in entry, epath, f"missing key {key!r}")
+            _require_type(entry[key], types, f"{epath}.{key}")
+    _require(
+        "reassignments" in resilience, path, "missing key 'reassignments'"
+    )
+    _require_type(
+        resilience["reassignments"], int, f"{path}.reassignments"
+    )
+
+
 def validate_run_record(record: Any) -> None:
     """Validate a run-record against :data:`RUN_RECORD_SCHEMAS`.
 
     v1 (no ``faults`` section), v2, v3 (optional ``log`` and ``health``
-    sections), and v4 (optional ``cluster`` observatory section)
-    records are all accepted; committed baselines and perf histories
-    predate the newer versions.
+    sections), v4 (optional ``cluster`` observatory section), and v5
+    (optional ``resilience`` section) records are all accepted;
+    committed baselines and perf histories predate the newer versions.
     """
     _require_type(record, dict, "record")
     _require(
@@ -261,6 +307,9 @@ def validate_run_record(record: Any) -> None:
     cluster = record.get("cluster")
     if cluster is not None:
         validate_cluster_report(cluster, path="record.cluster")
+    resilience = record.get("resilience")
+    if resilience is not None:
+        _validate_resilience_section(resilience)
 
 
 def validate_cluster_report(report: Any, path: str = "report") -> None:

@@ -6,7 +6,9 @@ from repro.errors import InputValidationError
 from repro.faults import (
     DEFAULT_FLIP_BIT,
     FAULT_KINDS,
+    HALO_KINDS,
     MMA_KINDS,
+    RANK_KINDS,
     SHARD_KINDS,
     STAGE_KINDS,
     FaultPlan,
@@ -18,6 +20,7 @@ class TestFaultSpec:
     def test_kind_partition(self):
         assert set(FAULT_KINDS) == (
             set(MMA_KINDS) | set(STAGE_KINDS) | set(SHARD_KINDS)
+            | set(HALO_KINDS) | set(RANK_KINDS)
         )
         assert len(FAULT_KINDS) == len(set(FAULT_KINDS))
 

@@ -226,12 +226,12 @@ class TestRunRecordV4:
         record = telemetry.run_record(
             "cluster-obs", log=False, health=False, cluster=report
         )
-        assert record["schema"] == "repro.telemetry.run-record/v4"
+        assert record["schema"] == "repro.telemetry.run-record/v5"
         assert record["cluster"]["schema"] == CLUSTER_REPORT_SCHEMA
         validate_run_record(record)
         path = tmp_path / "rec.json"
         path.write_text(json.dumps(record))
-        assert validate_file(path) == "repro.telemetry.run-record/v4"
+        assert validate_file(path) == "repro.telemetry.run-record/v5"
 
     def test_bad_cluster_section_rejected(self):
         record = telemetry.run_record("bad", log=False, health=False)

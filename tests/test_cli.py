@@ -508,7 +508,7 @@ class TestObservabilityCommands:
         assert main(["chaos", "run", "Box-2D9P", "--size", "16",
                      "--seed", "4", "--faults", "2", "--shards", "2",
                      "--record", str(record_file)]) == 0
-        assert validate_file(record_file).endswith("/v4")
+        assert validate_file(record_file).endswith("/v5")
         record = json.loads(record_file.read_text())
         assert record["log"]["events"]
         assert record["health"]["sweeps"][0]["shards"]
@@ -565,7 +565,7 @@ class TestClusterCommand:
         assert doc["faults"]["shard"]["crashes"] >= 1
         assert doc["faults"]["unrecovered"] == 0
         assert doc["counters"]["mma_ops"] > 0
-        assert validate_file(record).endswith("/v4")
+        assert validate_file(record).endswith("/v5")
         rec = json.loads(record.read_text())
         assert (rec["extra"]["halo_bytes_exchanged"]
                 == doc["halo_bytes_exchanged"])
@@ -599,7 +599,7 @@ class TestClusterCommand:
         assert validate_file(lanes_file).startswith(
             "repro.telemetry.chrome-trace/"
         )
-        assert validate_file(record_file).endswith("/v4")
+        assert validate_file(record_file).endswith("/v5")
         report = json.loads(report_file.read_text())
         assert report["overlap"]["efficiency"] > 0
         assert report["halo"]["reconciled"] is True
